@@ -1,0 +1,155 @@
+package vax780
+
+import (
+	"vax780/internal/cachesim"
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/tbsim"
+	"vax780/internal/workload"
+)
+
+// CacheConfig is one cache organization for an offline cache study.
+type CacheConfig struct {
+	Name          string
+	Bytes         int
+	Ways          int
+	Block         int
+	WriteAllocate bool
+	FlushEvery    int // invalidate everything every N references (0 = never)
+}
+
+// CacheStudyResult is one configuration's outcome over a captured
+// reference trace.
+type CacheStudyResult struct {
+	Config        CacheConfig
+	ReadMissRatio float64
+	MissesPerRef  float64
+	Reads         uint64
+	ReadMisses    uint64
+	IReads        uint64
+	IReadMisses   uint64
+	Writes        uint64
+	WriteMisses   uint64
+}
+
+// Study780Configs returns the sweep around the production design point
+// (8 KB, 2-way, 8-byte blocks, no write-allocate) that the paper's
+// companion cache study (reference [2]) explores.
+func Study780Configs() []CacheConfig {
+	var out []CacheConfig
+	for _, c := range cachesim.Study780() {
+		out = append(out, CacheConfig{
+			Name: c.Name, Bytes: c.Bytes, Ways: c.Ways, Block: c.Block,
+			WriteAllocate: c.WriteAllocate, FlushEvery: c.FlushEvery,
+		})
+	}
+	return out
+}
+
+// CacheStudy captures one workload's physical reference trace on the
+// stock machine and replays it against every given configuration — the
+// trace-once, simulate-many methodology of the companion cache paper the
+// Section 4 numbers come from.
+func CacheStudy(id WorkloadID, instructions int, cfgs []CacheConfig) ([]CacheStudyResult, error) {
+	p, err := id.profile(instructions)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(machine.Config{Mem: mem.Config{}}, tr.Program)
+	m.Mem.Trace = &mem.RefTrace{}
+	if err := m.Run(tr.Stream()); err != nil {
+		return nil, err
+	}
+
+	var out []CacheStudyResult
+	for _, cfg := range cfgs {
+		r := cachesim.Simulate(m.Mem.Trace, cachesim.Config{
+			Name: cfg.Name, Bytes: cfg.Bytes, Ways: cfg.Ways, Block: cfg.Block,
+			WriteAllocate: cfg.WriteAllocate, FlushEvery: cfg.FlushEvery,
+		})
+		out = append(out, CacheStudyResult{
+			Config:        cfg,
+			ReadMissRatio: r.ReadMissRatio(),
+			MissesPerRef:  r.MissesPerRef(),
+			Reads:         r.Reads,
+			ReadMisses:    r.ReadMisses,
+			IReads:        r.IReads,
+			IReadMisses:   r.IReadMisses,
+			Writes:        r.Writes,
+			WriteMisses:   r.WriteMisses,
+		})
+	}
+	return out, nil
+}
+
+// TBConfig is one translation buffer organization for an offline TB
+// study.
+type TBConfig struct {
+	Name          string
+	Entries       int
+	Ways          int
+	IgnoreFlushes bool // address-space tags: survive context switches
+}
+
+// TBStudyResult is one configuration's outcome over a captured probe
+// trace.
+type TBStudyResult struct {
+	Config    TBConfig
+	Probes    uint64
+	Misses    uint64
+	Flushes   uint64
+	MissRatio float64
+}
+
+// StudyTBConfigs returns the sweep the companion TB paper (reference [3])
+// explores around the production 128-entry 2-way split design.
+func StudyTBConfigs() []TBConfig {
+	var out []TBConfig
+	for _, c := range tbsim.Study780() {
+		out = append(out, TBConfig{
+			Name: c.Name, Entries: c.Entries, Ways: c.Ways,
+			IgnoreFlushes: c.IgnoreFlushes,
+		})
+	}
+	return out
+}
+
+// TBStudy captures one workload's TB probe trace (including the
+// context-switch flushes) and replays it against every configuration —
+// the simulation half of the companion paper "Performance of the
+// VAX-11/780 Translation Buffer: Simulation and Measurement".
+func TBStudy(id WorkloadID, instructions int, cfgs []TBConfig) ([]TBStudyResult, error) {
+	p, err := id.profile(instructions)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(machine.Config{Mem: mem.Config{}}, tr.Program)
+	m.Mem.VTrace = &mem.VATrace{}
+	if err := m.Run(tr.Stream()); err != nil {
+		return nil, err
+	}
+
+	var out []TBStudyResult
+	for _, cfg := range cfgs {
+		r := tbsim.Simulate(m.Mem.VTrace, tbsim.Config{
+			Name: cfg.Name, Entries: cfg.Entries, Ways: cfg.Ways,
+			IgnoreFlushes: cfg.IgnoreFlushes,
+		})
+		out = append(out, TBStudyResult{
+			Config:    cfg,
+			Probes:    r.Probes,
+			Misses:    r.Misses,
+			Flushes:   r.Flushes,
+			MissRatio: r.MissRatio(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+// Command vaxdiag prints the simulated system's structure: the Figure 1
+// block diagram, the control-store region summary, the static microcode
+// verifier's verdict, and (with -listing) the full microprogram listing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vax780"
+)
+
+func main() {
+	listing := flag.Bool("listing", false, "print the full control store listing")
+	flag.Parse()
+
+	fmt.Println(vax780.BlockDiagram())
+	fmt.Println(vax780.ControlStoreSummary())
+
+	issues := vax780.VerifyMicrocode()
+	if len(issues) == 0 {
+		fmt.Println("microcode verifier: clean")
+	} else {
+		fmt.Printf("microcode verifier: %d issues\n", len(issues))
+		for _, i := range issues {
+			fmt.Println(" ", i)
+		}
+		defer os.Exit(1)
+	}
+
+	if *listing {
+		fmt.Println()
+		fmt.Println(vax780.ControlStoreListing())
+	}
+}

@@ -1,0 +1,125 @@
+// Command vaxmon runs one workload (or the full composite) under the UPC
+// histogram monitor and prints every table of the paper with the
+// published values alongside — the reproduction's main measurement tool.
+//
+// Usage:
+//
+//	vaxmon [-workload NAME] [-n INSTRUCTIONS] [-strict] [-hot N]
+//	       [-save FILE] [-load FILE] [-compare]
+//
+// With no -workload, all five experiments run and their histograms are
+// summed into the composite, as in the paper. -save dumps the composite
+// histogram (the board readout); -load re-analyzes a saved dump without
+// re-simulating; -compare prints the per-workload comparison matrix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vax780"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "", "single workload: TIMESHARING-A, TIMESHARING-B, RTE-EDU, RTE-SCI, RTE-COM (default: all five)")
+		n         = flag.Int("n", 100_000, "instructions per experiment")
+		strict    = flag.Bool("strict", false, "verify every IB decode against the trace")
+		hot       = flag.Int("hot", 0, "also print the N hottest histogram locations")
+		save      = flag.String("save", "", "save the composite histogram dump to FILE")
+		load      = flag.String("load", "", "analyze a saved histogram dump instead of simulating")
+		compare   = flag.Bool("compare", false, "print the per-workload comparison")
+		intervals = flag.Int("intervals", 0, "also run an interval-variation study with this snapshot interval")
+	)
+	flag.Parse()
+
+	var res *vax780.Results
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		res, err = vax780.LoadHistogram(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Analyzing saved histogram %s\n\n", *load)
+	} else {
+		cfg := vax780.RunConfig{Instructions: *n, Strict: *strict}
+		if *name != "" {
+			id, err := vax780.WorkloadByName(*name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Workloads = []vax780.WorkloadID{id}
+		}
+		var err error
+		res, err = vax780.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("VAX-11/780 UPC histogram measurement")
+	fmt.Println()
+	for _, w := range res.PerWorkload {
+		fmt.Printf("  %-14s %9d instructions  %10d cycles  CPI %.3f\n",
+			w.Workload, w.Instructions, w.Cycles, w.CPI)
+	}
+	fmt.Println()
+	fmt.Println(res.Report())
+
+	if *compare {
+		fmt.Println(res.WorkloadComparison())
+	}
+	if *intervals > 0 {
+		id := vax780.TimesharingA
+		if *name != "" {
+			id, _ = vax780.WorkloadByName(*name)
+		}
+		s, err := vax780.RunIntervals(id, *n, *intervals)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Interval variation (%s, every %d instructions):\n", id, *intervals)
+		for i, p := range s.Points {
+			fmt.Printf("  %4d  CPI %6.2f  SIMPLE %5.1f%%\n", i, p.CPI, p.SimplePct)
+		}
+		fmt.Printf("  mean %.2f  stddev %.2f  range [%.2f, %.2f]\n",
+			s.MeanCPI, s.StdDevCPI, s.MinCPI, s.MaxCPI)
+	}
+	if *hot > 0 {
+		printHotBuckets(res, *hot)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		if err := res.SaveHistogram(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		fmt.Println("histogram dump saved to", *save)
+	}
+}
+
+func printHotBuckets(res *vax780.Results, n int) {
+	fmt.Printf("Hottest %d control-store locations:\n", n)
+	for _, h := range res.HotSpots(n) {
+		fmt.Printf("  %05o  %-24s %-10s %12d cycles (%d stalled)\n",
+			h.Addr, h.Label, h.Region, h.Cycles, h.Stalled)
+	}
+}

@@ -1,0 +1,391 @@
+// Command vaxtables regenerates every table and figure of the paper from
+// a fresh composite run and emits a markdown paper-vs-measured record —
+// the generator behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vaxtables [-n INSTRUCTIONS] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vax780"
+	"vax780/internal/paper"
+	"vax780/internal/vax"
+)
+
+func main() {
+	var (
+		n   = flag.Int("n", 100_000, "instructions per experiment")
+		out = flag.String("o", "", "write markdown to FILE instead of stdout")
+	)
+	flag.Parse()
+
+	res, err := vax780.Run(vax780.RunConfig{Instructions: *n})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxtables:", err)
+		os.Exit(1)
+	}
+	md := Markdown(res, *n)
+	if *out == "" {
+		fmt.Print(md)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vaxtables:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// Markdown renders the full paper-vs-measured record.
+func Markdown(res *vax780.Results, perExperiment int) string {
+	a := res.Analysis()
+	var b strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("# EXPERIMENTS — paper vs. measured")
+	w("")
+	w("Reproduction of Emer & Clark, *A Characterization of Processor")
+	w("Performance in the VAX-11/780* (ISCA 1984 / 1998 retrospective).")
+	w("Composite of the five experiments (%d instructions each; the", perExperiment)
+	w("histograms are summed, as in §2.2 of the paper). Regenerate with:")
+	w("")
+	w("    go run ./cmd/vaxtables -n %d -o EXPERIMENTS.md", perExperiment)
+	w("")
+	w("Reference-value provenance: plain numbers are legible in the")
+	w("available text; `†` marks values reconstructed to satisfy legible")
+	w("totals; `‡` marks values derived arithmetically (see DESIGN.md).")
+	w("")
+	w("## Headline")
+	w("")
+	w("| Metric | Measured | Paper |")
+	w("|---|---|---|")
+	w("| Cycles per average instruction | %.3f | 10.593 |", res.CPI())
+	w("| Instructions analyzed | %d | — |", res.Instructions())
+	w("")
+
+	w("## Per-experiment runs")
+	w("")
+	w("| Experiment | Instructions | Cycles | CPI |")
+	w("|---|---|---|---|")
+	for _, p := range res.PerWorkload {
+		w("| %s | %d | %d | %.3f |", p.Workload, p.Instructions, p.Cycles, p.CPI)
+	}
+	w("")
+
+	w("## Per-workload comparison")
+	w("")
+	w("```")
+	w("%s", strings.TrimRight(res.WorkloadComparison(), "\n"))
+	w("```")
+	w("")
+
+	w("## Figure 1 — system structure")
+	w("")
+	w("Reproduced as the component graph rendered by `cmd/vaxdiag`:")
+	w("")
+	w("```")
+	w("%s", strings.TrimRight(res.BlockDiagram(), "\n"))
+	w("```")
+	w("")
+
+	mark := func(p paper.Provenance) string {
+		switch p {
+		case paper.Reconstructed:
+			return "†"
+		case paper.Derived:
+			return "‡"
+		}
+		return ""
+	}
+
+	w("## Table 1 — opcode group frequency (percent)")
+	w("")
+	w("| Group | Measured | Paper |")
+	w("|---|---|---|")
+	for _, g := range a.OpcodeGroups() {
+		ref := paper.Table1[g.Group]
+		w("| %s | %.2f | %.2f%s |", g.Group, g.Percent, ref.V, mark(ref.P))
+	}
+	w("")
+
+	w("## Table 2 — PC-changing instructions")
+	w("")
+	w("| Branch type | %% of instrs | Paper | %% taken | Paper |")
+	w("|---|---|---|---|---|")
+	rows, total := a.PCChanging()
+	for _, r := range rows {
+		ref, ok := paper.Table2[r.Class]
+		if !ok {
+			continue
+		}
+		w("| %s | %.1f | %.1f | %.0f | %.0f |",
+			r.Class, r.PctOfInstrs, ref.PctOfInstrs.V, r.PctTaken, ref.PctTaken.V)
+	}
+	w("| **TOTAL** | %.1f | %.1f | %.0f | %.0f |",
+		total.PctOfInstrs, paper.Table2Total.PctOfInstrs.V,
+		total.PctTaken, paper.Table2Total.PctTaken.V)
+	w("")
+
+	w("## Table 3 — specifiers per average instruction")
+	w("")
+	sc := a.SpecifierCounts()
+	w("| Item | Measured | Paper |")
+	w("|---|---|---|")
+	w("| First specifiers | %.3f | %.3f |", sc.First, paper.Table3FirstSpecs.V)
+	w("| Other specifiers | %.3f | %.3f |", sc.Other, paper.Table3OtherSpecs.V)
+	w("| Branch displacements | %.3f | %.3f |", sc.BranchDisp, paper.Table3BranchDisp.V)
+	w("")
+
+	w("## Table 4 — operand specifier distribution (percent)")
+	w("")
+	w("| Mode | SPEC1 | Paper | SPEC2-6 | Paper | Total | Paper |")
+	w("|---|---|---|---|---|---|---|")
+	modeRows, indexed := a.SpecifierModes()
+	for _, r := range modeRows {
+		ref := paper.Table4[r.Mode]
+		w("| %s | %.1f | %.1f%s | %.1f | %.1f%s | %.1f | %.1f%s |",
+			r.Mode, r.Spec1, ref.Spec1.V, mark(ref.Spec1.P),
+			r.SpecN, ref.SpecN.V, mark(ref.SpecN.P),
+			r.Total, ref.Total.V, mark(ref.Total.P))
+	}
+	ri := paper.Table4Indexed
+	w("| %s | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f |",
+		"Percent indexed", indexed.Spec1, ri.Spec1.V, indexed.SpecN, ri.SpecN.V,
+		indexed.Total, ri.Total.V)
+	w("")
+
+	w("## Table 5 — D-stream reads and writes per average instruction")
+	w("")
+	w("| Source | Reads | Paper | Writes | Paper |")
+	w("|---|---|---|---|---|")
+	memRows, memTotal := a.MemoryOps()
+	for _, r := range memRows {
+		ref := paper.Table5[r.Source]
+		w("| %s | %.3f | %.3f%s | %.3f | %.3f%s |",
+			r.Source, r.Reads, ref.Reads.V, mark(ref.Reads.P),
+			r.Writes, ref.Writes.V, mark(ref.Writes.P))
+	}
+	w("| **TOTAL** | %.3f | %.3f | %.3f | %.3f |",
+		memTotal.Reads, paper.Table5Total.Reads.V,
+		memTotal.Writes, paper.Table5Total.Writes.V)
+	w("")
+
+	w("## Table 6 — estimated size of average instruction")
+	w("")
+	est := a.InstructionSize()
+	w("| Item | Measured | Paper |")
+	w("|---|---|---|")
+	w("| Specifiers per instruction | %.2f | %.2f |", est.SpecCount, paper.Table3SpecsTotal.V)
+	w("| Average specifier bytes | %.2f | %.2f |", est.SpecBytes, paper.Table6SpecBytes.V)
+	w("| Estimated instruction bytes | %.2f | %.2f |", est.TotalBytes, paper.Table6TotalBytes.V)
+	if est.MeasuredBytes > 0 {
+		w("| Consumed bytes (hardware counter) | %.2f | — |", est.MeasuredBytes)
+	}
+	w("")
+
+	w("## Table 7 — interrupt and context-switch headway (instructions)")
+	w("")
+	h := a.EventHeadways()
+	w("| Event | Measured | Paper |")
+	w("|---|---|---|")
+	w("| Software interrupt requests | %.0f | %.0f |", h.SoftIntRequests, paper.Table7SoftIntRequests.V)
+	w("| Hardware and software interrupts | %.0f | %.0f |", h.Interrupts, paper.Table7Interrupts.V)
+	w("| Context switches | %.0f | %.0f |", h.ContextSwitches, paper.Table7ContextSwitches.V)
+	w("")
+
+	w("## Table 8 — average VAX instruction timing (cycles per instruction)")
+	w("")
+	w("Measured value first, paper value in parentheses.")
+	w("")
+	m := a.CPIMatrix()
+	header := "| Activity |"
+	sep := "|---|"
+	for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+		header += fmt.Sprintf(" %s |", c)
+		sep += "---|"
+	}
+	header += " Total |"
+	sep += "---|"
+	w("%s", header)
+	w("%s", sep)
+	for r := paper.Table8Row(0); r < paper.NumT8Rows; r++ {
+		line := fmt.Sprintf("| %s |", r)
+		for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+			ref := paper.Table8[r][c]
+			line += fmt.Sprintf(" %.3f (%.3f%s) |", m.Cells[r][c], ref.V, mark(ref.P))
+		}
+		rt := paper.Table8RowTotals[r]
+		line += fmt.Sprintf(" %.3f (%.3f%s) |", m.RowTotals[r], rt.V, mark(rt.P))
+		w("%s", line)
+	}
+	line := "| **TOTAL** |"
+	for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+		line += fmt.Sprintf(" %.3f (%.3f) |", m.ColTotals[c], paper.Table8ColTotals[c].V)
+	}
+	line += fmt.Sprintf(" **%.3f (%.3f)** |", m.Total, paper.Table8Total.V)
+	w("%s", line)
+	w("")
+
+	w("## Table 9 — cycles per instruction within each group")
+	w("")
+	w("| Group | Measured | Paper‡ |")
+	w("|---|---|---|")
+	pg := a.PerGroupCycles()
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		cells, ok := pg[g]
+		if !ok {
+			continue
+		}
+		w("| %s | %.2f | %.2f |", g, cells[paper.NumT8Cols],
+			paper.Table9Total(paper.GroupRow(g)).V)
+	}
+	w("")
+
+	w("## Section 4 — implementation events")
+	w("")
+	tb := a.TBMissStats()
+	w("| Metric | Measured | Paper |")
+	w("|---|---|---|")
+	w("| TB misses per instruction | %.4f | %.4f |", tb.MissesPerInstr, paper.Sec4TBMissPerInstr.V)
+	w("| &nbsp;&nbsp;D-stream | %.4f | %.4f |", tb.DPerInstr, paper.Sec4TBMissD.V)
+	w("| &nbsp;&nbsp;I-stream | %.4f | %.4f |", tb.IPerInstr, paper.Sec4TBMissI.V)
+	w("| Cycles per TB miss | %.2f | %.2f |", tb.CyclesPerMiss, paper.Sec4TBMissCycles.V)
+	w("| PTE read stall per miss | %.2f | %.2f |", tb.StallPerMiss, paper.Sec4TBMissStall.V)
+	if cs, ok := a.CacheStudyStats(); ok {
+		w("| IB references per instruction | %.2f | %.2f |", cs.IBRefsPerInstr, paper.Sec4IBRefsPerInstr.V)
+		w("| IB bytes consumed per reference | %.2f | %.2f |", cs.IBBytesPerRef, paper.Sec4IBBytesPerRef.V)
+		w("| Cache read misses per instruction | %.3f | %.3f |", cs.CacheMissPerInstr, paper.Sec4CacheMissPerInstr.V)
+		w("| &nbsp;&nbsp;I-stream | %.3f | %.3f |", cs.CacheMissI, paper.Sec4CacheMissI.V)
+		w("| &nbsp;&nbsp;D-stream | %.3f | %.3f |", cs.CacheMissD, paper.Sec4CacheMissD.V)
+		w("| Unaligned refs per instruction | %.4f | %.4f |", cs.UnalignedPerInstr, paper.UnalignedPerInstr.V)
+	}
+	w("")
+
+	w("## Section 5 — the paper's observations, re-evaluated")
+	w("")
+	w("| Verdict | Claim | Measured |")
+	w("|---|---|---|")
+	for _, o := range a.Observations() {
+		verdict := "holds"
+		if !o.Holds {
+			verdict = "**FAILS**"
+		}
+		w("| %s | %s | %s |", verdict, o.Claim, o.Detail)
+	}
+	w("")
+
+	w("## Ablation A1 — UPC histogram vs. trace-driven timing model")
+	w("")
+	if cmp, err := vax780.CompareTraceDriven(vax780.TimesharingA, perExperiment); err == nil {
+		w("| Metric | Value |")
+		w("|---|---|")
+		w("| Trace-driven estimated CPI | %.2f |", cmp.EstimatedCPI)
+		w("| UPC-measured CPI | %.2f |", cmp.MeasuredCPI)
+		w("| Time invisible to the trace-driven model | %.0f%% |", 100*cmp.InvisibleFraction)
+		w("| Interrupt deliveries absent from the user trace | %d |", cmp.SkippedEvents)
+		w("")
+		w("The gap is the paper's methodological point (§1): benchmark and")
+		w("trace-driven methods cannot see stalls or operating-system and")
+		w("multiprogramming effects; the histogram monitor measures them")
+		w("directly on the live system.")
+	} else {
+		w("(comparison failed: %v)", err)
+	}
+	w("")
+
+	ablN := perExperiment / 4
+	if ablN < 10_000 {
+		ablN = 10_000
+	}
+
+	w("## Ablation A2 — context-switch interval vs. TB behaviour")
+	w("")
+	w("Each switch flushes the process half of the 128-entry TB (§3.4).")
+	w("")
+	w("| Switch every (instr) | TB misses/instr | CPI |")
+	w("|---|---|---|")
+	for _, headway := range []int{1000, 6418, 50000} {
+		r, err := vax780.Run(vax780.RunConfig{
+			Instructions: ablN, Workloads: []vax780.WorkloadID{vax780.TimesharingA},
+			CtxSwitchHeadway: headway,
+		})
+		if err != nil {
+			w("| %d | error: %v | |", headway, err)
+			continue
+		}
+		w("| %d | %.4f | %.3f |", headway, r.TBMiss().MissesPerInstr, r.CPI())
+	}
+	w("")
+
+	w("## Ablation A3 — write buffer occupancy")
+	w("")
+	w("The 11/780's one-longword write buffer is busy 6 cycles per write;")
+	w("a write attempted sooner stalls (§2.1).")
+	w("")
+	w("| Buffer busy (cycles) | Write-stall cycles/instr | CPI |")
+	w("|---|---|---|")
+	for _, busy := range []int{1, 6, 12} {
+		r, err := vax780.Run(vax780.RunConfig{
+			Instructions: ablN, Workloads: []vax780.WorkloadID{vax780.TimesharingA},
+			WriteBusy: busy,
+		})
+		if err != nil {
+			w("| %d | error: %v | |", busy, err)
+			continue
+		}
+		m := r.Analysis().CPIMatrix()
+		w("| %d | %.3f | %.3f |", busy, m.ColTotals[paper.T8WStall], r.CPI())
+	}
+	w("")
+
+	w("## Ablation A4 — overlapped I-Decode (the 11/750 improvement of §5)")
+	w("")
+	base, err1 := vax780.Run(vax780.RunConfig{
+		Instructions: ablN, Workloads: []vax780.WorkloadID{vax780.TimesharingA}})
+	over, err2 := vax780.Run(vax780.RunConfig{
+		Instructions: ablN, Workloads: []vax780.WorkloadID{vax780.TimesharingA},
+		OverlapDecode: true})
+	if err1 == nil && err2 == nil {
+		b0 := base.PerWorkload[0].CPI
+		o0 := over.PerWorkload[0].CPI
+		w("| Machine | CPI |")
+		w("|---|---|")
+		w("| 11/780 (non-overlapped decode) | %.3f |", b0)
+		w("| overlapped decode (11/750 style) | %.3f |", o0)
+		w("| cycles saved per instruction | %.3f |", b0-o0)
+		w("")
+		w("§5 predicts saving \"one cycle on each non-PC-changing")
+		w("instruction\" — about 0.74 cycles at the measured branch rates.")
+	}
+	w("")
+
+	w("## Companion study C1 — cache organization sweep (reference [2])")
+	w("")
+	w("Captured reference trace replayed against alternative caches —")
+	w("the methodology behind every Section 4 cache number.")
+	w("")
+	w("| Organization | Read miss ratio | I-stream | D-stream |")
+	w("|---|---|---|---|")
+	if study, err := vax780.CacheStudy(vax780.TimesharingA, ablN, vax780.Study780Configs()); err == nil {
+		for _, r := range study {
+			iRatio, dRatio := 0.0, 0.0
+			if r.IReads > 0 {
+				iRatio = float64(r.IReadMisses) / float64(r.IReads)
+			}
+			if r.Reads > 0 {
+				dRatio = float64(r.ReadMisses) / float64(r.Reads)
+			}
+			w("| %s | %.4f | %.4f | %.4f |", r.Config.Name, r.ReadMissRatio, iRatio, dRatio)
+		}
+	} else {
+		w("(study failed: %v)", err)
+	}
+	w("")
+	return b.String()
+}

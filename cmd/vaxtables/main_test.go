@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"vax780"
+)
+
+func TestMarkdownSections(t *testing.T) {
+	res, err := vax780.Run(vax780.RunConfig{Instructions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(res, 5000)
+	wants := []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## Headline",
+		"## Per-experiment runs",
+		"## Figure 1 — system structure",
+		"## Table 1 — opcode group frequency",
+		"## Table 2 — PC-changing instructions",
+		"## Table 3 — specifiers per average instruction",
+		"## Table 4 — operand specifier distribution",
+		"## Table 5 — D-stream reads and writes",
+		"## Table 6 — estimated size of average instruction",
+		"## Table 7 — interrupt and context-switch headway",
+		"## Table 8 — average VAX instruction timing",
+		"## Table 9 — cycles per instruction within each group",
+		"## Section 4 — implementation events",
+		"## Ablation A1",
+		"10.593",        // the paper CPI appears
+		"TIMESHARING-A", // all five experiments listed
+		"RTE-COM",
+	}
+	for _, w := range wants {
+		if !strings.Contains(md, w) {
+			t.Errorf("markdown missing %q", w)
+		}
+	}
+	// Every markdown table row must be well-formed (starts and ends with a pipe).
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
+			t.Errorf("malformed table row: %q", line)
+		}
+	}
+}

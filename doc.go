@@ -1,0 +1,19 @@
+// Package vax780 reproduces Emer & Clark's "A Characterization of
+// Processor Performance in the VAX-11/780" (ISCA 1984; 1998 retrospective):
+// a micro-PC histogram monitor attached to a cycle-level simulation of the
+// VAX-11/780, five synthetic VMS-style timesharing workloads standing in
+// for the paper's measurement experiments, and the data-reduction
+// methodology that produces the paper's Tables 1-9 from the raw histogram.
+//
+// The one-call entry point runs the composite experiment and renders every
+// table against the published values:
+//
+//	res, err := vax780.Run(vax780.RunConfig{Instructions: 100_000})
+//	if err != nil { ... }
+//	fmt.Println(res.Report())
+//
+// Individual experiments, hardware ablations (TB flush interval, write
+// buffer depth, cache geometry), the passive UPC monitor itself, and the
+// trace-driven baseline the paper contrasts with are all exposed; see the
+// examples directory and DESIGN.md.
+package vax780

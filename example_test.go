@@ -1,0 +1,103 @@
+package vax780_test
+
+import (
+	"fmt"
+	"os"
+
+	"vax780"
+)
+
+// ExampleRun runs the composite measurement and prints the headline CPI.
+func ExampleRun() {
+	res, err := vax780.Run(vax780.RunConfig{Instructions: 10_000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The measured CPI lands near the paper's 10.593; the exact value
+	// depends on the workload seeds.
+	fmt.Println(res.CPI() > 8 && res.CPI() < 14)
+	// Output: true
+}
+
+// ExampleRunCustom measures a user-defined decimal-heavy workload.
+func ExampleRunCustom() {
+	res, err := vax780.RunCustom(vax780.CustomWorkload{
+		Name:         "COBOL",
+		Seed:         1,
+		DecimalScale: 30,
+	}, 10_000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var decimal float64
+	for _, g := range res.OpcodeGroups() {
+		if g.Group == "DECIMAL" {
+			decimal = g.Percent
+		}
+	}
+	fmt.Println(decimal > 0.3) // far above the composite's 0.03%
+	// Output: true
+}
+
+// ExampleCompareTraceDriven quantifies the paper's methodological
+// argument: the share of processor time a trace-driven model cannot see.
+func ExampleCompareTraceDriven() {
+	cmp, err := vax780.CompareTraceDriven(vax780.TimesharingA, 10_000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(cmp.EstimatedCPI < cmp.MeasuredCPI)
+	// Output: true
+}
+
+// ExampleResults_SaveHistogram shows the dump/reload workflow: measure,
+// save the board readout, analyze offline.
+func ExampleResults_SaveHistogram() {
+	res, err := vax780.Run(vax780.RunConfig{
+		Instructions: 5_000,
+		Workloads:    []vax780.WorkloadID{vax780.TimesharingA},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	f, err := os.CreateTemp("", "*.upch")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.Remove(f.Name())
+	if err := res.SaveHistogram(f); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		fmt.Println(err)
+		return
+	}
+	loaded, err := vax780.LoadHistogram(f)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(loaded.Instructions() == res.Instructions())
+	// Output: true
+}
+
+// ExampleTBStudy sweeps translation buffer organizations over one
+// captured probe trace (the companion paper's methodology).
+func ExampleTBStudy() {
+	results, err := vax780.TBStudy(vax780.TimesharingA, 8_000, []vax780.TBConfig{
+		{Name: "small", Entries: 32, Ways: 2},
+		{Name: "production", Entries: 128, Ways: 2},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(results[1].MissRatio < results[0].MissRatio)
+	// Output: true
+}

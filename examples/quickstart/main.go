@@ -1,0 +1,32 @@
+// Quickstart: run the composite measurement and print the headline
+// results — the shortest path from zero to the paper's CPI breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vax780"
+)
+
+func main() {
+	// Run all five experiments (20k instructions each) and sum their
+	// UPC histograms into the composite, as the paper does.
+	res, err := vax780.Run(vax780.RunConfig{Instructions: 20_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Instructions measured: %d\n", res.Instructions())
+	fmt.Printf("Cycles per average VAX instruction: %.2f (paper: 10.59)\n\n", res.CPI())
+
+	fmt.Println("Where the time goes (cycles per instruction):")
+	for _, row := range res.CycleClasses() {
+		fmt.Printf("  %-9s %6.3f  (paper %.3f)\n", row.Activity, row.Cycles, row.Paper)
+	}
+
+	fmt.Println("\nOpcode group frequencies:")
+	for _, g := range res.OpcodeGroups() {
+		fmt.Printf("  %-10s %6.2f%%  (paper %.2f%%)\n", g.Group, g.Percent, g.Paper)
+	}
+}

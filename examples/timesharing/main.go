@@ -1,0 +1,30 @@
+// Timesharing: the full reproduction of the paper's measurement
+// campaign — five workload experiments, composite histogram, and every
+// table printed against the published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vax780"
+)
+
+func main() {
+	n := flag.Int("n", 60_000, "instructions per experiment")
+	flag.Parse()
+
+	fmt.Println("Running the five measurement experiments of Emer & Clark (1984):")
+	res, err := vax780.Run(vax780.RunConfig{Instructions: *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, w := range res.PerWorkload {
+		fmt.Printf("  %-14s %8d instructions, CPI %.3f\n",
+			w.Workload, w.Instructions, w.CPI)
+	}
+	fmt.Println("\nComposite analysis (sum of the five UPC histograms):")
+	fmt.Println(res.Report())
+}

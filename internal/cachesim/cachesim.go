@@ -1,0 +1,188 @@
+// Package cachesim replays captured physical reference traces against
+// alternative cache organizations — the methodology of the paper's
+// companion study (Clark, "Cache Performance in the VAX-11/780",
+// reference [2]), which the paper leans on for every cache number the UPC
+// histogram cannot see (§4.1-4.2).
+//
+// The machine captures a mem.RefTrace once; Sweep then evaluates any
+// number of cache geometries over the identical reference stream, which
+// is what makes the comparisons meaningful.
+package cachesim
+
+import (
+	"fmt"
+
+	"vax780/internal/mem"
+)
+
+// Config is one cache organization to evaluate.
+type Config struct {
+	Name          string
+	Bytes         int  // total size
+	Ways          int  // associativity
+	Block         int  // block size in bytes
+	WriteAllocate bool // allocate on write miss (the 780 did not)
+	// FlushEvery invalidates the whole cache every N references,
+	// emulating flush-based coherence schemes (the flush-interval
+	// question the paper's Table 7 discussion raises).
+	FlushEvery int
+}
+
+// Result is the outcome of replaying a trace against one configuration.
+type Result struct {
+	Config      Config
+	Reads       uint64
+	ReadMisses  uint64
+	Writes      uint64
+	WriteMisses uint64
+	IReads      uint64
+	IReadMisses uint64
+}
+
+// ReadMissRatio returns read misses (D + I + PTE) over all reads.
+func (r *Result) ReadMissRatio() float64 {
+	reads := r.Reads + r.IReads
+	if reads == 0 {
+		return 0
+	}
+	return float64(r.ReadMisses+r.IReadMisses) / float64(reads)
+}
+
+// MissesPerRef returns total misses per reference.
+func (r *Result) MissesPerRef() float64 {
+	total := r.Reads + r.Writes + r.IReads
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ReadMisses+r.IReadMisses+r.WriteMisses) / float64(total)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%-16s read-miss %.4f (D %d/%d, I %d/%d)",
+		r.Config.Name, r.ReadMissRatio(),
+		r.ReadMisses, r.Reads, r.IReadMisses, r.IReads)
+}
+
+// cache is a standalone set-associative model with round-robin victims.
+type cache struct {
+	ways      int
+	sets      uint32
+	blockBits uint
+	tags      [][]uint32
+	valid     [][]bool
+	victim    []uint32
+	writeAll  bool
+}
+
+func newCache(cfg Config) *cache {
+	if cfg.Ways < 1 {
+		cfg.Ways = 1
+	}
+	if cfg.Block < 4 {
+		cfg.Block = 4
+	}
+	sets := cfg.Bytes / (cfg.Ways * cfg.Block)
+	if sets < 1 {
+		sets = 1
+	}
+	var bits uint
+	for 1<<bits < cfg.Block {
+		bits++
+	}
+	c := &cache{
+		ways:      cfg.Ways,
+		sets:      uint32(sets),
+		blockBits: bits,
+		writeAll:  cfg.WriteAllocate,
+	}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.victim = make([]uint32, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+	}
+	return c
+}
+
+func (c *cache) access(pa uint32, isWrite bool) (hit bool) {
+	blk := pa >> c.blockBits
+	set := blk % c.sets
+	tag := blk / c.sets
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	if !isWrite || c.writeAll {
+		v := c.victim[set] % uint32(c.ways)
+		c.victim[set]++
+		c.tags[set][v] = tag
+		c.valid[set][v] = true
+	}
+	return false
+}
+
+func (c *cache) flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+}
+
+// Simulate replays the trace against one configuration.
+func Simulate(trace *mem.RefTrace, cfg Config) Result {
+	c := newCache(cfg)
+	res := Result{Config: cfg}
+	for i, ref := range trace.Refs {
+		if cfg.FlushEvery > 0 && i > 0 && i%cfg.FlushEvery == 0 {
+			c.flush()
+		}
+		switch ref.Kind {
+		case mem.RefDRead, mem.RefPTERead:
+			res.Reads++
+			if !c.access(ref.PA, false) {
+				res.ReadMisses++
+			}
+		case mem.RefDWrite:
+			res.Writes++
+			if !c.access(ref.PA, true) {
+				res.WriteMisses++
+			}
+		case mem.RefIRead:
+			res.IReads++
+			if !c.access(ref.PA, false) {
+				res.IReadMisses++
+			}
+		}
+	}
+	return res
+}
+
+// Sweep evaluates every configuration over the same trace.
+func Sweep(trace *mem.RefTrace, cfgs []Config) []Result {
+	out := make([]Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		out = append(out, Simulate(trace, cfg))
+	}
+	return out
+}
+
+// Study780 returns the sweep the companion paper explores around the
+// production design point: size, associativity and block size variations
+// of the 8 KB / 2-way / 8-byte cache.
+func Study780() []Config {
+	return []Config{
+		{Name: "1KB/2way/8B", Bytes: 1 << 10, Ways: 2, Block: 8},
+		{Name: "2KB/2way/8B", Bytes: 2 << 10, Ways: 2, Block: 8},
+		{Name: "4KB/2way/8B", Bytes: 4 << 10, Ways: 2, Block: 8},
+		{Name: "8KB/2way/8B", Bytes: 8 << 10, Ways: 2, Block: 8}, // production
+		{Name: "16KB/2way/8B", Bytes: 16 << 10, Ways: 2, Block: 8},
+		{Name: "8KB/1way/8B", Bytes: 8 << 10, Ways: 1, Block: 8},
+		{Name: "8KB/4way/8B", Bytes: 8 << 10, Ways: 4, Block: 8},
+		{Name: "8KB/2way/4B", Bytes: 8 << 10, Ways: 2, Block: 4},
+		{Name: "8KB/2way/16B", Bytes: 8 << 10, Ways: 2, Block: 16},
+		{Name: "8KB/2way/8B+WA", Bytes: 8 << 10, Ways: 2, Block: 8, WriteAllocate: true},
+	}
+}

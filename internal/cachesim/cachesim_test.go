@@ -1,0 +1,124 @@
+package cachesim
+
+import (
+	"testing"
+
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/workload"
+)
+
+// capture runs one workload with reference tracing attached.
+func capture(t *testing.T) *mem.RefTrace {
+	t.Helper()
+	tr, err := workload.Generate(workload.TimesharingA(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Mem: mem.Config{}}, tr.Program)
+	m.Mem.Trace = &mem.RefTrace{}
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	return m.Mem.Trace
+}
+
+func TestCaptureProducesRefs(t *testing.T) {
+	trace := capture(t)
+	if len(trace.Refs) < 10000 {
+		t.Fatalf("only %d references captured", len(trace.Refs))
+	}
+	var kinds [4]int
+	for _, r := range trace.Refs {
+		kinds[r.Kind]++
+	}
+	for k, n := range kinds {
+		if n == 0 {
+			t.Errorf("no %v references", mem.RefKind(k))
+		}
+	}
+}
+
+func TestSimulateMatchesLiveCache(t *testing.T) {
+	// Replaying the captured trace against the production configuration
+	// must reproduce the live machine's miss counts (same stream, same
+	// geometry, same replacement policy).
+	tr, err := workload.Generate(workload.TimesharingA(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Mem: mem.Config{}}, tr.Program)
+	m.Mem.Trace = &mem.RefTrace{}
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	res := Simulate(m.Mem.Trace, Config{Name: "prod", Bytes: 8 << 10, Ways: 2, Block: 8})
+	liveMisses := m.Mem.Stats.DReadMisses + m.Mem.Stats.PTEReadMisses
+	if res.ReadMisses != liveMisses {
+		t.Errorf("replay D+PTE read misses %d != live %d", res.ReadMisses, liveMisses)
+	}
+	if res.IReadMisses != m.Mem.Stats.IReadMisses {
+		t.Errorf("replay I misses %d != live %d", res.IReadMisses, m.Mem.Stats.IReadMisses)
+	}
+}
+
+func TestSweepMonotoneInSize(t *testing.T) {
+	trace := capture(t)
+	results := Sweep(trace, []Config{
+		{Name: "1K", Bytes: 1 << 10, Ways: 2, Block: 8},
+		{Name: "4K", Bytes: 4 << 10, Ways: 2, Block: 8},
+		{Name: "16K", Bytes: 16 << 10, Ways: 2, Block: 8},
+		{Name: "64K", Bytes: 64 << 10, Ways: 2, Block: 8},
+	})
+	for i := 1; i < len(results); i++ {
+		if results[i].ReadMissRatio() > results[i-1].ReadMissRatio()*1.02 {
+			t.Errorf("%s misses more than %s: %.4f > %.4f",
+				results[i].Config.Name, results[i-1].Config.Name,
+				results[i].ReadMissRatio(), results[i-1].ReadMissRatio())
+		}
+	}
+}
+
+func TestWriteAllocateChangesWrites(t *testing.T) {
+	trace := capture(t)
+	noWA := Simulate(trace, Config{Bytes: 8 << 10, Ways: 2, Block: 8})
+	wa := Simulate(trace, Config{Bytes: 8 << 10, Ways: 2, Block: 8, WriteAllocate: true})
+	// Write-allocate turns later reads of written blocks into hits: read
+	// misses should not increase; write misses counted either way.
+	if wa.ReadMisses > noWA.ReadMisses {
+		t.Errorf("write-allocate raised read misses: %d > %d", wa.ReadMisses, noWA.ReadMisses)
+	}
+}
+
+func TestFlushIntervalRaisesMisses(t *testing.T) {
+	trace := capture(t)
+	never := Simulate(trace, Config{Bytes: 8 << 10, Ways: 2, Block: 8})
+	often := Simulate(trace, Config{Bytes: 8 << 10, Ways: 2, Block: 8, FlushEvery: 2000})
+	if often.ReadMissRatio() <= never.ReadMissRatio() {
+		t.Errorf("flushing every 2000 refs should raise the miss ratio (%.4f vs %.4f)",
+			often.ReadMissRatio(), never.ReadMissRatio())
+	}
+}
+
+func TestStudy780Configs(t *testing.T) {
+	cfgs := Study780()
+	if len(cfgs) < 8 {
+		t.Fatal("study sweep too small")
+	}
+	trace := capture(t)
+	for _, r := range Sweep(trace, cfgs) {
+		if r.Reads == 0 || r.IReads == 0 {
+			t.Errorf("%s: empty result", r.Config.Name)
+		}
+		if r.String() == "" {
+			t.Error("empty result string")
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := Simulate(&mem.RefTrace{}, Config{Bytes: 8 << 10, Ways: 2, Block: 8})
+	if r.ReadMissRatio() != 0 || r.MissesPerRef() != 0 {
+		t.Error("empty trace should give zero ratios")
+	}
+}

@@ -1,0 +1,422 @@
+// Package ebox implements the VAX-11/780 EBOX: the microsequencer that
+// executes the control store image against the memory subsystem and the
+// I-Fetch/I-Decode stages. One call to Tick on the attached monitor is
+// made per 200 ns EBOX cycle — the exact observation point of the paper's
+// UPC histogram hardware. The six cycle classes of Table 8 (compute,
+// read, read-stall, write, write-stall, IB-stall) are mutually exclusive
+// by construction: every cycle ticks exactly one (address, stall-set)
+// bucket.
+package ebox
+
+import (
+	"fmt"
+
+	"vax780/internal/ibox"
+	"vax780/internal/mem"
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// Monitor is the passive per-cycle observation hook (the UPC board).
+type Monitor interface {
+	Tick(addr uint16, stalled bool)
+}
+
+// nopMonitor lets the EBOX run unmonitored (the baseline configuration of
+// a machine without the histogram board attached).
+type nopMonitor struct{}
+
+func (nopMonitor) Tick(uint16, bool) {}
+
+// InstrCtx carries everything data-dependent about one instruction (or
+// overhead event) execution: the trace record plus derived operand
+// context prepared by the machine.
+type InstrCtx struct {
+	In *vax.Instr // nil for overhead flows (interrupt delivery)
+
+	// DstSpec is the index of the memory destination specifier whose
+	// write the RSTORE flow performs, or -1 when the result goes to a
+	// register (or nowhere).
+	DstSpec int
+
+	// FieldSpec is the index of the specifier providing the operand that
+	// execute-phase MemReadOperand/MemWriteOperand cycles reference
+	// (bit-field bases), or -1.
+	FieldSpec int
+
+	// String operand cursors for MemReadString/MemWriteString.
+	StrSrc, StrDst uint32
+
+	// ScalarVA is the cursor for MemReadScalar/MemWriteScalar (entry
+	// masks, case tables, PCB longwords, interrupt vectors, ...).
+	ScalarVA uint32
+
+	// Target is the I-stream redirect target used by IBRedirect cycles.
+	Target uint32
+}
+
+// EBOX is the microsequencer.
+type EBOX struct {
+	ROM *urom.ROM
+	Mem *mem.System
+	IB  *ibox.IBox
+	Mon Monitor
+
+	// Now is the cycle counter (200 ns units).
+	Now uint64
+
+	// SP is the current stack pointer; StackLo/StackHi bound the region
+	// so synthetic push/pop imbalance cannot walk off to infinity.
+	SP               uint32
+	StackLo, StackHi uint32
+
+	// Strict enables decode verification against the trace record;
+	// mismatches indicate an encoder/generator inconsistency.
+	Strict bool
+
+	// OverlapDecode models the improvement the paper names in §5: "saving
+	// the non-overlapped I-Decode cycle could save one cycle on each
+	// non-PC-changing instruction. (The later VAX model 11/750 did
+	// [this].)" When set, the IRD cycle is free whenever the previous
+	// instruction fell through (the IB pipeline was not redirected).
+	OverlapDecode bool
+
+	// redirected records whether the current instruction redirected the
+	// I-stream (branch taken / call / return), which forces the next
+	// instruction to pay the full decode cycle even when overlapping.
+	redirected bool
+
+	// microstate
+	ctx      *InstrCtx
+	upc      uint16
+	uret     uint16
+	loop     int
+	pendBase uint16 // base-flow entry for an indexed specifier
+	curSpec  int    // specifier whose operand memory functions reference
+	specIdx  int    // next specifier to decode
+
+	// Instrs counts RunInstr completions (cross-check for the IRD bucket).
+	Instrs uint64
+}
+
+// New builds an EBOX. mon may be nil (unmonitored).
+func New(rom *urom.ROM, m *mem.System, ib *ibox.IBox, mon Monitor) *EBOX {
+	if mon == nil {
+		mon = nopMonitor{}
+	}
+	// The first instruction always pays its decode cycle: there is no
+	// previous instruction to overlap it with.
+	return &EBOX{ROM: rom, Mem: m, IB: ib, Mon: mon, redirected: true}
+}
+
+// tick advances one EBOX cycle: the monitor observes it, the I-Fetch
+// stage gets its cycle (issuing a refill only when the cache port is
+// free), and time moves.
+func (e *EBOX) tick(addr uint16, stalled, portBusy bool) {
+	e.Mon.Tick(addr, stalled)
+	e.IB.Tick(e.Now, !portBusy)
+	e.Now++
+}
+
+// RunInstr executes one traced instruction to completion.
+func (e *EBOX) RunInstr(ctx *InstrCtx) error {
+	e.ctx = ctx
+	e.specIdx = 0
+	e.curSpec = -1
+	overlapped := e.OverlapDecode && !e.redirected
+	e.redirected = false
+	var err error
+	if overlapped {
+		// The decode cycle overlaps the previous instruction's execution:
+		// the dispatch happens without a counted IRD cycle (IB waits, if
+		// any, still cost their stall cycles).
+		var next uint16
+		next, err = e.dispatchInstr()
+		if err == nil {
+			err = e.run(next)
+		}
+	} else {
+		err = e.run(e.ROM.IRD)
+	}
+	if err != nil {
+		return fmt.Errorf("ebox: %s at PC %#x: %w", ctx.In.Op, ctx.In.PC, err)
+	}
+	e.Instrs++
+	return nil
+}
+
+// RunOverhead executes an overhead flow (interrupt delivery) that is not
+// associated with an instruction.
+func (e *EBOX) RunOverhead(entry uint16, ctx *InstrCtx) error {
+	e.ctx = ctx
+	e.specIdx = 0
+	e.curSpec = -1
+	return e.run(entry)
+}
+
+// run is the microsequencer main loop: execute from entry until an
+// end-of-instruction microinstruction completes.
+func (e *EBOX) run(entry uint16) error {
+	e.upc = entry
+	for steps := 0; ; steps++ {
+		if steps > 1_000_000 {
+			return fmt.Errorf("microcode runaway at uPC %#o", e.upc)
+		}
+		mi := e.ROM.Image.At(e.upc)
+
+		if mi.Loop != ucode.LoopNone {
+			e.loop = e.loopCount(mi.Loop, mi.N)
+		}
+
+		if mi.Mem != ucode.MemNone {
+			ok, err := e.doMem(mi, 0)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // microtrap serviced; retry this microinstruction
+			}
+		} else {
+			e.tick(e.upc, false, false)
+		}
+
+		next, done, err := e.seq(mi)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		e.upc = next
+	}
+}
+
+// loopCount resolves a loop-counter load against the instruction context.
+func (e *EBOX) loopCount(src ucode.LoopSrc, n int) int {
+	v := 1
+	in := e.ctx.In
+	switch src {
+	case ucode.LoopImm:
+		v = n
+	case ucode.LoopRegCount:
+		if in != nil {
+			v = in.RegCount
+		}
+	case ucode.LoopStrLW:
+		if in != nil {
+			v = (in.StrLen + 3) / 4
+		}
+	case ucode.LoopStrBytes:
+		if in != nil {
+			v = in.StrLen
+		}
+	case ucode.LoopDigits:
+		if in != nil {
+			v = (in.Digits + 1) / 2
+		}
+	case ucode.LoopFieldLen:
+		if in != nil {
+			v = (in.FieldLen + 31) / 32
+		}
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// push returns the VA for a stack push, wrapping within the stack region.
+func (e *EBOX) push() uint32 {
+	e.SP -= 4
+	if e.SP < e.StackLo {
+		e.SP = e.StackHi - 4
+	}
+	return e.SP
+}
+
+// pop returns the VA for a stack pop.
+func (e *EBOX) pop() uint32 {
+	va := e.SP
+	e.SP += 4
+	if e.SP > e.StackHi {
+		e.SP = e.StackLo + 4
+		va = e.StackLo
+	}
+	return va
+}
+
+// memVA resolves the effective virtual address of a memory function.
+// trapBase is nonzero inside trap-service flows (the faulting address).
+func (e *EBOX) memVA(f ucode.MemFunc, trapBase uint32) (va uint32, spec *vax.Specifier) {
+	ctx := e.ctx
+	switch f {
+	case ucode.MemReadOperand, ucode.MemWriteOperand:
+		if trapBase != 0 {
+			// Alignment microcode: the second physical reference.
+			return trapBase + 4, nil
+		}
+		idx := e.curSpec
+		mi := e.ROM.Image.At(e.upc)
+		if mi.Region >= ucode.RegExecSimple && mi.Region <= ucode.RegExecDecimal {
+			idx = ctx.FieldSpec
+		}
+		if idx < 0 || ctx.In == nil || idx >= len(ctx.In.Specs) {
+			return ctx.ScalarVA, nil
+		}
+		return ctx.In.Specs[idx].Addr, &ctx.In.Specs[idx]
+	case ucode.MemReadPointer:
+		if e.curSpec >= 0 && ctx.In != nil && e.curSpec < len(ctx.In.Specs) {
+			return ctx.In.Specs[e.curSpec].PtrAddr, nil
+		}
+		return ctx.ScalarVA, nil
+	case ucode.MemReadStack:
+		return e.pop(), nil
+	case ucode.MemWriteStack:
+		return e.push(), nil
+	case ucode.MemReadString:
+		va := ctx.StrSrc
+		ctx.StrSrc += 4
+		return va, nil
+	case ucode.MemWriteString:
+		va := ctx.StrDst
+		ctx.StrDst += 4
+		return va, nil
+	case ucode.MemReadScalar, ucode.MemWriteScalar:
+		va := ctx.ScalarVA
+		ctx.ScalarVA += 4
+		return va, nil
+	case ucode.MemReadPTE:
+		// Resolved by the caller (physical).
+		return 0, nil
+	}
+	panic(fmt.Sprintf("ebox: unhandled mem func %v", f))
+}
+
+// doMem performs the memory function of the current microinstruction,
+// ticking its cycles. It returns ok=false when a TB-miss microtrap was
+// taken and the microinstruction must be retried. trapBase is nonzero
+// when already inside a trap-service flow.
+func (e *EBOX) doMem(mi *ucode.MicroInst, trapBase uint32) (bool, error) {
+	// PTE reads are physical: the TB-miss flow computes the PTE address
+	// from the faulting VA and bypasses translation.
+	if mi.Mem == ucode.MemReadPTE {
+		stall := e.Mem.PTERead(e.Mem.PTEAddr(trapBase), e.Now)
+		e.tick(e.upc, false, true)
+		for i := 0; i < stall; i++ {
+			e.tick(e.upc, true, true)
+		}
+		return true, nil
+	}
+
+	va, spec := e.memVA(mi.Mem, trapBase)
+	pa, hit := e.Mem.Translate(va)
+	if !hit {
+		e.Mem.NoteTBMiss(false)
+		if err := e.trap(e.ROM.TBMiss, va); err != nil {
+			return false, err
+		}
+		e.Mem.InsertTB(va)
+		// The stack/string/scalar cursors may have moved; undo the side
+		// effects so the retry recomputes them.
+		e.undoCursor(mi.Mem, va)
+		return false, nil
+	}
+
+	if mi.Mem.IsRead() {
+		stall := e.Mem.DRead(pa, e.Now)
+		e.tick(e.upc, false, true)
+		for i := 0; i < stall; i++ {
+			e.tick(e.upc, true, true)
+		}
+	} else {
+		stall := e.Mem.DWrite(pa, e.Now)
+		for i := 0; i < stall; i++ {
+			e.tick(e.upc, true, true)
+		}
+		e.tick(e.upc, false, true)
+	}
+
+	// Unaligned operands need a second physical reference, performed by
+	// the alignment microcode (Mem Mgmt region).
+	if spec != nil && spec.Unaligned && trapBase == 0 {
+		e.Mem.NoteUnaligned()
+		entry := e.ROM.UnalignedRead
+		if mi.Mem.IsWrite() {
+			entry = e.ROM.UnalignedWrite
+		}
+		spec.Unaligned = false // one trap per operand occurrence
+		if err := e.trap(entry, va); err != nil {
+			return false, err
+		}
+		spec.Unaligned = true // restore the trace record for reuse
+	}
+	return true, nil
+}
+
+// undoCursor reverses the context side effect of an address resolution
+// whose reference trapped before executing.
+func (e *EBOX) undoCursor(f ucode.MemFunc, va uint32) {
+	switch f {
+	case ucode.MemReadStack:
+		e.SP = va
+	case ucode.MemWriteStack:
+		e.SP = va + 4
+		if e.SP > e.StackHi {
+			e.SP = e.StackHi
+		}
+	case ucode.MemReadString:
+		e.ctx.StrSrc -= 4
+	case ucode.MemWriteString:
+		e.ctx.StrDst -= 4
+	case ucode.MemReadScalar, ucode.MemWriteScalar:
+		e.ctx.ScalarVA -= 4
+	}
+}
+
+// trap runs a microtrap: one abort cycle, then the service flow until its
+// TrapRet. trapVA is the faulting virtual address.
+func (e *EBOX) trap(entry uint16, trapVA uint32) error {
+	e.tick(e.ROM.Abort, false, false)
+	savedUPC := e.upc
+	e.upc = entry
+	for steps := 0; ; steps++ {
+		if steps > 10_000 {
+			return fmt.Errorf("trap flow runaway at uPC %#o", e.upc)
+		}
+		mi := e.ROM.Image.At(e.upc)
+		if mi.Mem != ucode.MemNone {
+			ok, err := e.doMem(mi, trapVA)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		} else {
+			e.tick(e.upc, false, false)
+		}
+		switch mi.Seq {
+		case ucode.SeqNext:
+			e.upc++
+		case ucode.SeqJump:
+			e.upc = mi.Target
+		case ucode.SeqTrapRet:
+			e.upc = savedUPC
+			return nil
+		default:
+			return fmt.Errorf("illegal seq %v in trap flow at %#o", mi.Seq, e.upc)
+		}
+	}
+}
+
+// serviceITBMiss runs the TB-miss flow for a pending I-stream miss.
+func (e *EBOX) serviceITBMiss() error {
+	_, va := e.IB.ITBMiss()
+	if err := e.trap(e.ROM.TBMiss, va); err != nil {
+		return err
+	}
+	e.Mem.InsertTB(va)
+	e.IB.ClearITBMiss()
+	return nil
+}

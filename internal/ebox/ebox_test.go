@@ -1,0 +1,393 @@
+package ebox
+
+import (
+	"testing"
+
+	"vax780/internal/ibox"
+	"vax780/internal/mem"
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// testMonitor records every tick for microstate-level assertions.
+type testMonitor struct {
+	normal  map[uint16]uint64
+	stalled map[uint16]uint64
+	total   uint64
+}
+
+func newTestMonitor() *testMonitor {
+	return &testMonitor{normal: map[uint16]uint64{}, stalled: map[uint16]uint64{}}
+}
+
+func (m *testMonitor) Tick(addr uint16, stalled bool) {
+	if stalled {
+		m.stalled[addr]++
+	} else {
+		m.normal[addr]++
+	}
+	m.total++
+}
+
+// rig wires an EBOX over a real ROM, memory system and IBox whose code
+// image is a simple byte map.
+type rig struct {
+	rom  *urom.ROM
+	mem  *mem.System
+	ib   *ibox.IBox
+	e    *EBOX
+	mon  *testMonitor
+	code map[uint32]byte
+}
+
+var sharedROM = urom.Build()
+
+func newRig() *rig {
+	r := &rig{rom: sharedROM, code: map[uint32]byte{}}
+	r.mem = mem.New(mem.Config{})
+	r.ib = ibox.New(r.mem, func(va uint32) (byte, bool) {
+		b, ok := r.code[va]
+		return b, ok
+	})
+	r.mon = newTestMonitor()
+	r.e = New(r.rom, r.mem, r.ib, r.mon)
+	r.e.Strict = true
+	r.e.SP = 0x4100_0000
+	r.e.StackLo = 0x4100_0000 - (64 << 10)
+	r.e.StackHi = 0x4100_0000
+	return r
+}
+
+// load places an instruction's encoding at its PC and redirects the IB.
+func (r *rig) load(in *vax.Instr, pc uint32) {
+	in.PC = pc
+	for i, b := range vax.Encode(nil, in) {
+		r.code[pc+uint32(i)] = b
+	}
+}
+
+func (r *rig) run(t *testing.T, in *vax.Instr, ctx *InstrCtx) {
+	t.Helper()
+	if ctx == nil {
+		ctx = &InstrCtx{DstSpec: -1, FieldSpec: -1}
+	}
+	ctx.In = in
+	if ctx.Target == 0 {
+		ctx.Target = in.Target
+	}
+	r.ib.Redirect(in.PC)
+	if err := r.e.RunInstr(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func regSpec(n int) vax.Specifier {
+	return vax.Specifier{Mode: vax.ModeRegister, Reg: n, Index: -1}
+}
+
+func TestIRDCountsOncePerInstruction(t *testing.T) {
+	r := newRig()
+	in := &vax.Instr{Op: vax.NOP}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	if got := r.mon.normal[r.rom.IRD]; got != 1 {
+		t.Errorf("IRD count = %d, want 1", got)
+	}
+	if r.e.Instrs != 1 {
+		t.Errorf("Instrs = %d", r.e.Instrs)
+	}
+}
+
+func TestOptimizedEntrySkipsStagingCycle(t *testing.T) {
+	r := newRig()
+	// ADDL2 #1, R2 → register destination → optimized entry: the staging
+	// cycle at ExecEntry must NOT be executed.
+	in := &vax.Instr{Op: vax.ADDL2, Specs: []vax.Specifier{
+		{Mode: vax.ModeLiteral, Disp: 1, Index: -1}, regSpec(2)}}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	if got := r.mon.normal[r.rom.ExecEntry[vax.ADDL2]]; got != 0 {
+		t.Errorf("staging cycle executed %d times; optimization should skip it", got)
+	}
+	if got := r.mon.normal[r.rom.ExecEntryOpt[vax.ADDL2]]; got != 1 {
+		t.Errorf("optimized entry count = %d, want 1", got)
+	}
+}
+
+func TestUnoptimizedEntryWithMemoryOperand(t *testing.T) {
+	r := newRig()
+	r.mem.InsertTB(0x5000)
+	in := &vax.Instr{Op: vax.ADDL2, Specs: []vax.Specifier{
+		{Mode: vax.ModeLiteral, Disp: 1, Index: -1},
+		{Mode: vax.ModeByteDisp, Reg: 2, Disp: 8, Addr: 0x5008, Index: -1}}}
+	r.load(in, 0x1000)
+	ctx := &InstrCtx{DstSpec: 1, FieldSpec: -1}
+	r.run(t, in, ctx)
+	if got := r.mon.normal[r.rom.ExecEntry[vax.ADDL2]]; got != 1 {
+		t.Errorf("standard entry count = %d, want 1", got)
+	}
+	// The destination store runs the SPEC2-6 RSTORE flow.
+	if got := r.mon.normal[r.rom.RStore[1]]; got != 1 {
+		t.Errorf("RSTORE count = %d, want 1", got)
+	}
+	if r.mem.Stats.DWrites != 1 {
+		t.Errorf("DWrites = %d, want 1 (the result store)", r.mem.Stats.DWrites)
+	}
+}
+
+func TestRStoreSpec1ForFirstSpecifierDestination(t *testing.T) {
+	r := newRig()
+	r.mem.InsertTB(0x5000)
+	// CLRL 8(R2): the sole (first) specifier is the memory destination.
+	in := &vax.Instr{Op: vax.CLRL, Specs: []vax.Specifier{
+		{Mode: vax.ModeByteDisp, Reg: 2, Disp: 8, Addr: 0x5008, Index: -1}}}
+	r.load(in, 0x1000)
+	r.run(t, in, &InstrCtx{DstSpec: 0, FieldSpec: -1})
+	if got := r.mon.normal[r.rom.RStore[0]]; got != 1 {
+		t.Errorf("spec1 RSTORE count = %d, want 1", got)
+	}
+	if got := r.mon.normal[r.rom.RStore[1]]; got != 0 {
+		t.Errorf("specN RSTORE count = %d, want 0", got)
+	}
+}
+
+func TestLoopCounterDrivesIterations(t *testing.T) {
+	r := newRig()
+	// PUSHR with 5 registers: the push loop body runs 5 times.
+	in := &vax.Instr{Op: vax.PUSHR, RegCount: 5, Specs: []vax.Specifier{
+		{Mode: vax.ModeLiteral, Disp: 0x3E, Index: -1}}}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	if r.mem.Stats.DWrites != 5 {
+		t.Errorf("PUSHR pushed %d longwords, want 5", r.mem.Stats.DWrites)
+	}
+}
+
+func TestStringLoopLongwords(t *testing.T) {
+	r := newRig()
+	for _, va := range []uint32{0x6000, 0x7000} {
+		r.mem.InsertTB(va)
+	}
+	in := &vax.Instr{Op: vax.MOVC3, StrLen: 17, Specs: []vax.Specifier{
+		{Mode: vax.ModeLiteral, Disp: 17, Index: -1},
+		{Mode: vax.ModeRegDeferred, Reg: 1, Addr: 0x6000, Index: -1},
+		{Mode: vax.ModeRegDeferred, Reg: 2, Addr: 0x7000, Index: -1}}}
+	r.load(in, 0x1000)
+	ctx := &InstrCtx{DstSpec: -1, FieldSpec: -1, StrSrc: 0x6000, StrDst: 0x7000}
+	r.run(t, in, ctx)
+	// ceil(17/4) = 5 longword reads and writes.
+	if r.mem.Stats.DReads != 5 || r.mem.Stats.DWrites != 5 {
+		t.Errorf("string traffic r=%d w=%d, want 5/5", r.mem.Stats.DReads, r.mem.Stats.DWrites)
+	}
+	// Cursors advanced by 5 longwords.
+	if ctx.StrSrc != 0x6000+20 || ctx.StrDst != 0x7000+20 {
+		t.Errorf("cursors: src=%#x dst=%#x", ctx.StrSrc, ctx.StrDst)
+	}
+}
+
+func TestReadStallAttributedToReadingMicroinstruction(t *testing.T) {
+	r := newRig()
+	r.mem.InsertTB(0x5000)
+	// Cold cache: the displacement-mode operand read misses and stalls.
+	in := &vax.Instr{Op: vax.TSTL, Specs: []vax.Specifier{
+		{Mode: vax.ModeByteDisp, Reg: 2, Disp: 8, Addr: 0x5008, Index: -1}}}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	// Find the spec1 displacement read location.
+	readLoc := r.rom.SpecEntry[0][vax.ModeByteDisp][urom.VarRead] + 1 // addr calc, then read
+	if got := r.mon.normal[readLoc]; got != 1 {
+		t.Errorf("read cycle count = %d, want 1", got)
+	}
+	if got := r.mon.stalled[readLoc]; got == 0 {
+		t.Error("no stall cycles at the reading microinstruction (cold cache must miss)")
+	}
+}
+
+func TestWriteStallAttribution(t *testing.T) {
+	r := newRig()
+	// Two PUSHLs back to back: the second write hits the busy buffer.
+	in1 := &vax.Instr{Op: vax.PUSHL, Specs: []vax.Specifier{regSpec(1)}}
+	in2 := &vax.Instr{Op: vax.PUSHL, Specs: []vax.Specifier{regSpec(1)}}
+	r.load(in1, 0x1000)
+	r.load(in2, 0x1000+uint32(in1.Size()))
+	r.ib.Redirect(0x1000)
+	ctx := &InstrCtx{DstSpec: -1, FieldSpec: -1}
+	ctx.In = in1
+	if err := r.e.RunInstr(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := &InstrCtx{DstSpec: -1, FieldSpec: -1}
+	ctx2.In = in2
+	if err := r.e.RunInstr(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if r.mem.Stats.WriteStall == 0 {
+		t.Error("second push should write-stall behind the one-longword buffer")
+	}
+	// The stall lands at the push's write microinstruction.
+	pushLoc := r.rom.ExecEntry[vax.PUSHL]
+	if r.mon.stalled[pushLoc] == 0 {
+		t.Error("write stall not attributed to the push microinstruction")
+	}
+}
+
+func TestTBMissTrapRunsServiceAndRetries(t *testing.T) {
+	r := newRig()
+	// No TB entry for the operand page: the read traps, the service flow
+	// installs the translation, the read retries and completes.
+	in := &vax.Instr{Op: vax.TSTL, Specs: []vax.Specifier{
+		{Mode: vax.ModeRegDeferred, Reg: 1, Addr: 0x0070_0000, Index: -1}}}
+	r.load(in, 0x1000)
+	r.mem.InsertTB(0x1000) // keep the I-stream from missing too
+	r.run(t, in, nil)
+	if r.mem.Stats.DTBMisses != 1 {
+		t.Errorf("DTBMisses = %d, want 1", r.mem.Stats.DTBMisses)
+	}
+	if got := r.mon.normal[r.rom.TBMiss]; got != 1 {
+		t.Errorf("TB miss service entries = %d, want 1", got)
+	}
+	if r.mon.normal[r.rom.Abort] == 0 {
+		t.Error("no abort cycle for the microtrap")
+	}
+	// After service the translation must be installed.
+	if _, ok := r.mem.Translate(0x0070_0000); !ok {
+		t.Error("service flow did not install the translation")
+	}
+	// The read eventually succeeded exactly once.
+	if r.mem.Stats.DReads != 1 {
+		t.Errorf("DReads = %d, want 1", r.mem.Stats.DReads)
+	}
+}
+
+func TestIndexedFirstSpecifierRunsSharedBaseFlow(t *testing.T) {
+	r := newRig()
+	r.mem.InsertTB(0x5000)
+	in := &vax.Instr{Op: vax.TSTL, Specs: []vax.Specifier{
+		{Mode: vax.ModeByteDisp, Reg: 2, Disp: 8, Addr: 0x5008, Index: 3}}}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	if got := r.mon.normal[r.rom.IdxEntry[0]]; got != 1 {
+		t.Errorf("spec1 index preamble count = %d, want 1", got)
+	}
+	// The base flow executed is the SPEC2-6 copy (sharing artifact).
+	base := r.rom.SpecEntry[1][vax.ModeByteDisp][urom.VarRead]
+	if got := r.mon.normal[base]; got != 1 {
+		t.Errorf("shared SPEC2-6 base flow count = %d, want 1", got)
+	}
+	// The SPEC1 copy must NOT run.
+	s1 := r.rom.SpecEntry[0][vax.ModeByteDisp][urom.VarRead]
+	if got := r.mon.normal[s1]; got != 0 {
+		t.Errorf("SPEC1 flow ran %d times for an indexed specifier", got)
+	}
+}
+
+func TestBDispRunsOnlyWhenTaken(t *testing.T) {
+	r := newRig()
+	taken := &vax.Instr{Op: vax.BEQL, Taken: true, BranchDisp: 2}
+	taken.Target = 0x1000 + 2 + 2
+	r.load(taken, 0x1000)
+	// Materialize the target so the redirect lands on bytes.
+	nop := &vax.Instr{Op: vax.NOP}
+	r.load(nop, taken.Target)
+	r.run(t, taken, nil)
+	if got := r.mon.normal[r.rom.BDisp]; got != 1 {
+		t.Errorf("B-DISP count = %d, want 1", got)
+	}
+
+	r2 := newRig()
+	untaken := &vax.Instr{Op: vax.BEQL, Taken: false, BranchDisp: 2}
+	r2.load(untaken, 0x1000)
+	r2.run(t, untaken, nil)
+	if got := r2.mon.normal[r2.rom.BDisp]; got != 0 {
+		t.Errorf("untaken branch ran B-DISP %d times", got)
+	}
+}
+
+func TestSIRRDispatch(t *testing.T) {
+	r := newRig()
+	in := &vax.Instr{Op: vax.MTPR, SIRR: true, Specs: []vax.Specifier{
+		{Mode: vax.ModeLiteral, Disp: 4, Index: -1},
+		{Mode: vax.ModeLiteral, Disp: 0x14, Index: -1}}}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	if got := r.mon.normal[r.rom.ExecEntrySIRR]; got != 1 {
+		t.Errorf("SIRR exit count = %d, want 1", got)
+	}
+	if got := r.mon.normal[r.rom.ExecEntry[vax.MTPR]]; got != 0 {
+		t.Errorf("ordinary MTPR flow ran %d times for a SIRR write", got)
+	}
+}
+
+func TestStrictDecodeMismatchFails(t *testing.T) {
+	r := newRig()
+	// Materialize a MOVL encoding but claim the trace executes TSTL.
+	real := &vax.Instr{Op: vax.MOVL, Specs: []vax.Specifier{regSpec(1), regSpec(2)}}
+	r.load(real, 0x1000)
+	fake := &vax.Instr{Op: vax.TSTL, PC: 0x1000, Specs: []vax.Specifier{regSpec(1)}}
+	ctx := &InstrCtx{In: fake, DstSpec: -1, FieldSpec: -1}
+	r.ib.Redirect(0x1000)
+	if err := r.e.RunInstr(ctx); err == nil {
+		t.Error("strict mode should reject a decode mismatch")
+	}
+}
+
+func TestStackWrapStaysInRegion(t *testing.T) {
+	r := newRig()
+	r.e.SP = r.e.StackLo + 4
+	in := &vax.Instr{Op: vax.PUSHR, RegCount: 8, Specs: []vax.Specifier{
+		{Mode: vax.ModeLiteral, Disp: 0x3F, Index: -1}}}
+	r.load(in, 0x1000)
+	r.run(t, in, nil)
+	if r.e.SP < r.e.StackLo || r.e.SP > r.e.StackHi {
+		t.Errorf("SP %#x escaped region [%#x,%#x]", r.e.SP, r.e.StackLo, r.e.StackHi)
+	}
+}
+
+func TestCycleAccountingExact(t *testing.T) {
+	r := newRig()
+	r.mem.InsertTB(0x5000)
+	ins := []*vax.Instr{
+		{Op: vax.MOVL, Specs: []vax.Specifier{regSpec(1), regSpec(2)}},
+		{Op: vax.ADDL2, Specs: []vax.Specifier{
+			{Mode: vax.ModeByteDisp, Reg: 3, Disp: 4, Addr: 0x5004, Index: -1},
+			regSpec(4)}},
+		{Op: vax.NOP},
+	}
+	pc := uint32(0x1000)
+	for _, in := range ins {
+		r.load(in, pc)
+		pc += uint32(in.Size())
+	}
+	r.ib.Redirect(0x1000)
+	for _, in := range ins {
+		ctx := &InstrCtx{In: in, DstSpec: -1, FieldSpec: -1}
+		if err := r.e.RunInstr(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.mon.total != r.e.Now {
+		t.Errorf("monitor saw %d cycles, EBOX advanced %d", r.mon.total, r.e.Now)
+	}
+}
+
+func TestRunawayMicrocodeDetected(t *testing.T) {
+	// A hand-built image with an infinite loop must be caught, not hang.
+	asm := ucode.NewAssembler()
+	asm.Region(ucode.RegDecode)
+	asm.Label("ird").DecodeInstr("d")
+	asm.Label("stall.instr").IBStallLoc(ucode.IBDecodeInstr, "s")
+	asm.Label("spin").Jump("spin", "forever")
+	// Reuse the real ROM but overwrite a copy's NOP entry to spin.
+	// Simpler: drive run() directly at the spin location via RunOverhead.
+	img := asm.MustAssemble()
+	rom := &urom.ROM{Image: img}
+	rom.IRD = img.Addr("ird")
+	m := mem.New(mem.Config{})
+	ib := ibox.New(m, func(uint32) (byte, bool) { return 0, false })
+	e := New(rom, m, ib, nil)
+	err := e.RunOverhead(img.Addr("spin"), &InstrCtx{DstSpec: -1, FieldSpec: -1})
+	if err == nil {
+		t.Error("runaway microcode not detected")
+	}
+}

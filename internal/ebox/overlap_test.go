@@ -1,0 +1,79 @@
+package ebox
+
+import (
+	"testing"
+
+	"vax780/internal/vax"
+)
+
+// TestOverlapSkipsIRDAfterFallThrough: with OverlapDecode, the second of
+// two fall-through instructions pays no IRD cycle.
+func TestOverlapSkipsIRDAfterFallThrough(t *testing.T) {
+	r := newRig()
+	r.e.OverlapDecode = true
+	in1 := &vax.Instr{Op: vax.NOP}
+	in2 := &vax.Instr{Op: vax.NOP}
+	r.load(in1, 0x1000)
+	r.load(in2, 0x1000+uint32(in1.Size()))
+	r.ib.Redirect(0x1000)
+	for _, in := range []*vax.Instr{in1, in2} {
+		ctx := &InstrCtx{In: in, DstSpec: -1, FieldSpec: -1}
+		if err := r.e.RunInstr(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first instruction pays the IRD cycle (nothing preceded it);
+	// the second overlaps it away.
+	if got := r.mon.normal[r.rom.IRD]; got != 1 {
+		t.Errorf("IRD cycles = %d, want 1 (second decode overlapped)", got)
+	}
+	if r.e.Instrs != 2 {
+		t.Errorf("Instrs = %d", r.e.Instrs)
+	}
+}
+
+// TestOverlapPaysIRDAfterRedirect: a taken branch flushes the pipeline,
+// so the next instruction pays the decode cycle even when overlapping.
+func TestOverlapPaysIRDAfterRedirect(t *testing.T) {
+	r := newRig()
+	r.e.OverlapDecode = true
+	br := &vax.Instr{Op: vax.BRB, Taken: true, BranchDisp: 4}
+	after := &vax.Instr{Op: vax.NOP}
+	br.Target = 0x1000 + uint32(br.Size()) + 4
+	r.load(br, 0x1000)
+	r.load(after, br.Target)
+	r.ib.Redirect(0x1000)
+	for _, in := range []*vax.Instr{br, after} {
+		ctx := &InstrCtx{In: in, DstSpec: -1, FieldSpec: -1, Target: in.Target}
+		if err := r.e.RunInstr(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both instructions pay IRD: the first because the machine just
+	// started, the second because the branch redirected the I-stream.
+	if got := r.mon.normal[r.rom.IRD]; got != 2 {
+		t.Errorf("IRD cycles = %d, want 2 (redirect forces decode)", got)
+	}
+}
+
+// TestOverlapOffAlwaysPaysIRD: the stock 780 pays the decode cycle on
+// every instruction.
+func TestOverlapOffAlwaysPaysIRD(t *testing.T) {
+	r := newRig()
+	ins := []*vax.Instr{{Op: vax.NOP}, {Op: vax.NOP}, {Op: vax.NOP}}
+	pc := uint32(0x1000)
+	for _, in := range ins {
+		r.load(in, pc)
+		pc += uint32(in.Size())
+	}
+	r.ib.Redirect(0x1000)
+	for _, in := range ins {
+		ctx := &InstrCtx{In: in, DstSpec: -1, FieldSpec: -1}
+		if err := r.e.RunInstr(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.mon.normal[r.rom.IRD]; got != 3 {
+		t.Errorf("IRD cycles = %d, want 3", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package ibox models the VAX-11/780 I-Fetch stage: the 8-byte
+// Instruction Buffer (IB) and its refill engine. The IB makes a cache
+// reference whenever one or more bytes are empty, accepts as many bytes as
+// it has room for when the longword arrives, and may therefore reference
+// the same longword up to four times (§4.1) — behaviour the paper calls
+// implementation-specific and measures at about 2.2 references per
+// instruction delivering about 1.7 bytes each.
+//
+// An I-stream translation-buffer miss does not trap immediately: a flag is
+// set, and when the EBOX finds insufficient bytes in the IB to decode it
+// recognizes the flag and runs the TB-miss microcode (§2.1).
+package ibox
+
+import (
+	"vax780/internal/mem"
+)
+
+// Capacity is the size of the instruction buffer in bytes.
+const Capacity = 8
+
+// ByteSource supplies the actual instruction-stream bytes at a virtual
+// address (the machine's materialized code image). ok=false means no code
+// is materialized there; the IB receives a zero filler byte, which the
+// decode path never consumes.
+type ByteSource func(va uint32) (b byte, ok bool)
+
+// IBox is the I-Fetch stage.
+type IBox struct {
+	mem *mem.System
+	src ByteSource
+
+	buf     [Capacity]byte
+	bufLen  int
+	bufVA   uint32 // VA of buf[0]
+	fetchVA uint32 // VA of the next byte to request
+
+	pending       bool
+	pendingArrive uint64
+
+	itbMiss   bool
+	itbMissVA uint32
+
+	// Refs counts IB cache references; Consumed counts bytes the decode
+	// path actually used; Resyncs counts forced refills outside branch
+	// redirects (should stay 0 on a consistent workload).
+	Refs     uint64
+	Consumed uint64
+	Resyncs  uint64
+}
+
+// New builds an IBox over the given memory system and code image.
+func New(m *mem.System, src ByteSource) *IBox {
+	return &IBox{mem: m, src: src}
+}
+
+// Bytes returns the current IB contents, starting at BufVA.
+func (ib *IBox) Bytes() []byte { return ib.buf[:ib.bufLen] }
+
+// BufVA returns the virtual address of the first buffered byte.
+func (ib *IBox) BufVA() uint32 { return ib.bufVA }
+
+// Consume removes n decoded bytes from the front of the IB.
+func (ib *IBox) Consume(n int) {
+	if n > ib.bufLen {
+		panic("ibox: consume beyond buffer")
+	}
+	copy(ib.buf[:], ib.buf[n:ib.bufLen])
+	ib.bufLen -= n
+	ib.bufVA += uint32(n)
+	ib.Consumed += uint64(n)
+}
+
+// Redirect flushes the IB and restarts fetching at target (a taken
+// branch, or an initial resync). Any in-flight refill is discarded.
+func (ib *IBox) Redirect(target uint32) {
+	ib.bufLen = 0
+	ib.bufVA = target
+	ib.fetchVA = target
+	ib.pending = false
+	ib.itbMiss = false
+}
+
+// ITBMiss reports a pending I-stream TB miss and the faulting address.
+func (ib *IBox) ITBMiss() (bool, uint32) { return ib.itbMiss, ib.itbMissVA }
+
+// ClearITBMiss is called by the EBOX after the TB-miss microcode has
+// installed the translation.
+func (ib *IBox) ClearITBMiss() { ib.itbMiss = false }
+
+// Tick advances the I-Fetch stage one EBOX cycle. portFree reports
+// whether the cache port is free this cycle (the EBOX has priority).
+func (ib *IBox) Tick(now uint64, portFree bool) {
+	if ib.pending {
+		if now >= ib.pendingArrive {
+			ib.accept()
+		}
+		return
+	}
+	if !portFree || ib.bufLen >= Capacity || ib.itbMiss {
+		return
+	}
+	va := ib.fetchVA
+	pa, ok := ib.mem.Translate(va)
+	if !ok {
+		ib.itbMiss = true
+		ib.itbMissVA = va
+		ib.mem.NoteTBMiss(true)
+		return
+	}
+	latency, _ := ib.mem.IRead(pa&^3, now)
+	ib.Refs++
+	ib.pending = true
+	// Data is usable the cycle after a hit, later on a miss.
+	ib.pendingArrive = now + 1 + uint64(latency)
+}
+
+// accept delivers the arrived longword: as many of its bytes as the IB has
+// room for right now, starting at fetchVA (§4.1).
+func (ib *IBox) accept() {
+	ib.pending = false
+	inLongword := 4 - int(ib.fetchVA&3)
+	room := Capacity - ib.bufLen
+	take := inLongword
+	if take > room {
+		take = room
+	}
+	for i := 0; i < take; i++ {
+		b, _ := ib.src(ib.fetchVA + uint32(i))
+		ib.buf[ib.bufLen+i] = b
+	}
+	ib.bufLen += take
+	ib.fetchVA += uint32(take)
+	ib.mem.NoteIBytes(take)
+}
+
+// ForceResync redirects to target and counts the event; used by the
+// machine when the trace and the IB disagree (should not happen on a
+// consistent workload).
+func (ib *IBox) ForceResync(target uint32) {
+	ib.Resyncs++
+	ib.Redirect(target)
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+	"vax780/internal/workload"
+)
+
+// TestGeneratedWorkloadRunsStrict is the central integration test: a
+// synthesized timesharing workload must execute with strict decode
+// verification, zero I-stream resyncs, and exact cycle conservation.
+func TestGeneratedWorkloadRunsStrict(t *testing.T) {
+	tr, err := workload.Generate(workload.TimesharingA(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := upc.New()
+	mon.Start()
+	m := New(Config{Mem: mem.Config{}, Monitor: mon, Strict: true}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Resyncs != 0 {
+		t.Errorf("resyncs = %d, want 0 (trace and IB disagree)", m.Stats.Resyncs)
+	}
+	if got := mon.Snapshot().TotalCycles(); got != m.E.Now {
+		t.Errorf("cycle conservation broken: monitor %d, ebox %d", got, m.E.Now)
+	}
+	ird, _ := mon.Read(m.ROM.IRD)
+	if ird != m.Stats.Instrs {
+		t.Errorf("IRD count %d != instructions %d", ird, m.Stats.Instrs)
+	}
+
+	cpi := m.CPI()
+	if cpi < 7 || cpi > 15 {
+		t.Errorf("CPI = %.2f; the paper measures 10.6", cpi)
+	}
+
+	st := &m.Mem.Stats
+	instr := float64(m.Stats.Instrs)
+	t.Logf("CPI=%.2f", cpi)
+	t.Logf("reads/instr=%.3f (paper .783)  writes/instr=%.3f (paper .409)",
+		float64(st.DReads)/instr, float64(st.DWrites)/instr)
+	t.Logf("cache read miss/instr: D=%.3f (paper .10)  I=%.3f (paper .18)",
+		float64(st.DReadMisses)/instr, float64(st.IReadMisses)/instr)
+	t.Logf("TB miss/instr: D=%.4f (paper .020)  I=%.4f (paper .009)",
+		float64(st.DTBMisses)/instr, float64(st.ITBMisses)/instr)
+	t.Logf("IB refs/instr=%.2f (paper 2.2)  bytes/ref=%.2f (paper 1.7)",
+		float64(st.IReads)/instr, float64(st.IBytes)/float64(st.IReads))
+	t.Logf("read stall/instr=%.2f (paper .96)  write stall/instr=%.2f (paper .45)",
+		float64(st.ReadStall)/instr, float64(st.WriteStall)/instr)
+	t.Logf("unaligned/instr=%.4f (paper .016)", float64(st.Unaligned)/instr)
+	t.Logf("PTE stall/miss=%.2f (paper 3.5)", safeDiv(float64(0), 1)) // see TB stats below
+	if st.DTBMisses+st.ITBMisses > 0 {
+		t.Logf("TB service PTE reads=%d misses=%d", st.PTEReads, st.PTEReadMisses)
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func TestAllProfilesRunStrict(t *testing.T) {
+	for _, p := range workload.AllProfiles(6000) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tr, err := workload.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(Config{Mem: mem.Config{}, Strict: true}, tr.Program)
+			if err := m.Run(tr.Stream()); err != nil {
+				t.Fatal(err)
+			}
+			if m.Stats.Resyncs != 0 {
+				t.Errorf("resyncs = %d", m.Stats.Resyncs)
+			}
+			if cpi := m.CPI(); cpi < 6 || cpi > 18 {
+				t.Errorf("CPI = %.2f out of range", cpi)
+			}
+		})
+	}
+}
+
+// TestArchivedTraceReplaysIdentically: a trace archived to bytes and
+// reloaded must execute bit-identically on a fresh machine.
+func TestArchivedTraceReplaysIdentically(t *testing.T) {
+	orig, err := workload.Generate(workload.TimesharingB(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(tr *workload.Trace) (uint64, mem.Stats) {
+		m := New(Config{Mem: mem.Config{}, Strict: true}, tr.Program)
+		if err := m.Run(tr.Stream()); err != nil {
+			t.Fatal(err)
+		}
+		return m.E.Now, m.Mem.Stats
+	}
+	c1, s1 := run(orig)
+	c2, s2 := run(loaded)
+	if c1 != c2 {
+		t.Errorf("cycles differ: %d vs %d", c1, c2)
+	}
+	if s1 != s2 {
+		t.Errorf("memory stats differ:\n%+v\n%+v", s1, s2)
+	}
+}

@@ -1,0 +1,378 @@
+// Package machine assembles the complete simulated VAX-11/780: the memory
+// subsystem, the I-Fetch and EBOX pipeline stages, the microprogram, and
+// the optional UPC histogram monitor — the measured system of the paper.
+// It executes workload traces, injecting the VMS-style overhead events
+// (interrupt delivery, context switching) those traces carry.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"vax780/internal/ebox"
+	"vax780/internal/ibox"
+	"vax780/internal/mem"
+	"vax780/internal/ucode"
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+	"vax780/internal/workload"
+)
+
+// Stack layout constants: each process gets a 64 KB stack region; the
+// interrupt stack lives in system space.
+const (
+	procStackBase  = 0x4000_0000
+	procStackSlot  = 0x0100_0000
+	stackBytes     = 64 << 10
+	intStackHi     = 0x8011_0000
+	intStackLo     = intStackHi - stackBytes
+	pcbBase        = 0x8020_0000
+	scbVectorBase  = 0x8000_0200 // interrupt vector reads
+	sysScratchBase = 0x8030_0000
+)
+
+// Config configures a machine.
+type Config struct {
+	Mem     mem.Config
+	Monitor *upc.Monitor // nil: run unmonitored
+	Strict  bool         // verify IB decode against the trace
+
+	// OverlapDecode enables the 11/750-style overlapped I-Decode (§5 of
+	// the paper: saves one cycle on each non-PC-changing instruction).
+	OverlapDecode bool
+}
+
+// RunStats are execution-level counters kept by the machine itself.
+type RunStats struct {
+	Instrs     uint64
+	Interrupts uint64
+	Resyncs    uint64
+}
+
+// Machine is the simulated system.
+type Machine struct {
+	Mem *mem.System
+	ROM *urom.ROM
+	IB  *ibox.IBox
+	E   *ebox.EBOX
+	Mon *upc.Monitor
+
+	Stats RunStats
+
+	prog    *workload.Program
+	started bool
+
+	// Hot code-page cache for the IB byte source (one machine = one
+	// goroutine, so this needs no locking).
+	cachePage uint32
+	cacheData *[512]byte
+	cacheUsed *[512]bool
+	inInt     bool   // executing on the interrupt stack
+	savedSP   uint32 // process SP while on the interrupt stack
+	curASID   uint32
+
+	procSP map[uint32]uint32 // per-process saved stack pointers
+}
+
+// codeByte is the IB's byte source: Program.Byte with a one-page cache
+// (instruction fetch is overwhelmingly sequential within a page).
+func (m *Machine) codeByte(va uint32) (byte, bool) {
+	pg := va >> 9
+	if pg != m.cachePage || m.cacheData == nil {
+		m.cacheData, m.cacheUsed = m.prog.Page(va)
+		m.cachePage = pg
+	}
+	if m.cacheData == nil {
+		return 0, false
+	}
+	off := va & 511
+	return m.cacheData[off], m.cacheUsed[off]
+}
+
+// sharedROM is built once: the microprogram is immutable.
+var sharedROM = urom.Build()
+
+// ROM returns the microprogram shared by all machines.
+func ROM() *urom.ROM { return sharedROM }
+
+// New builds a machine that will execute over the given program image.
+func New(cfg Config, prog *workload.Program) *Machine {
+	m := &Machine{
+		Mem:    mem.New(cfg.Mem),
+		ROM:    sharedROM,
+		Mon:    cfg.Monitor,
+		prog:   prog,
+		procSP: make(map[uint32]uint32),
+	}
+	m.IB = ibox.New(m.Mem, m.codeByte)
+	var mon ebox.Monitor
+	if cfg.Monitor != nil {
+		mon = cfg.Monitor
+	}
+	m.E = ebox.New(m.ROM, m.Mem, m.IB, mon)
+	m.E.Strict = cfg.Strict
+	m.E.OverlapDecode = cfg.OverlapDecode
+	m.setProcess(1)
+	return m
+}
+
+// setProcess switches the EBOX stack context to the given process.
+func (m *Machine) setProcess(asid uint32) {
+	if !m.inInt && m.started {
+		m.procSP[m.curASID] = m.E.SP
+	}
+	m.curASID = asid
+	m.Mem.SetASID(asid)
+	lo := uint32(procStackBase + asid*procStackSlot)
+	hi := lo + stackBytes
+	sp, ok := m.procSP[asid]
+	if !ok {
+		sp = hi - 4096 // leave headroom for pops above the initial SP
+	}
+	m.E.SP, m.E.StackLo, m.E.StackHi = sp, lo, hi
+}
+
+// Run executes the whole stream.
+func (m *Machine) Run(s workload.Stream) error {
+	for {
+		it, ok := s.Next()
+		if !ok {
+			return nil
+		}
+		if err := m.Step(it); err != nil {
+			return err
+		}
+	}
+}
+
+// RunIntervals executes the stream, snapshotting the attached monitor
+// every interval instructions, and returns the per-interval histogram
+// deltas — the variation data the paper's averages-only reduction could
+// not provide (§2.2). A trailing partial interval is included.
+func (m *Machine) RunIntervals(s workload.Stream, interval uint64) ([]*upc.Histogram, error) {
+	if m.Mon == nil {
+		return nil, fmt.Errorf("machine: RunIntervals requires a monitor")
+	}
+	if interval == 0 {
+		return nil, fmt.Errorf("machine: interval must be positive")
+	}
+	var out []*upc.Histogram
+	prev := m.Mon.Snapshot()
+	next := m.Stats.Instrs + interval
+	for {
+		it, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := m.Step(it); err != nil {
+			return nil, err
+		}
+		if m.Stats.Instrs >= next {
+			cur := m.Mon.Snapshot()
+			out = append(out, cur.Diff(prev))
+			prev = cur
+			next += interval
+		}
+	}
+	last := m.Mon.Snapshot().Diff(prev)
+	if last.TotalCycles() > 0 {
+		out = append(out, last)
+	}
+	return out, nil
+}
+
+// Step executes one trace item.
+func (m *Machine) Step(it *workload.Item) error {
+	switch it.Kind {
+	case workload.KindInterrupt:
+		return m.deliverInterrupt(it)
+	case workload.KindInstr:
+		return m.runInstr(it)
+	}
+	return fmt.Errorf("machine: unknown item kind %d", it.Kind)
+}
+
+// deliverInterrupt runs the interrupt microcode: switch to the interrupt
+// stack, push PC/PSL, redirect to the handler.
+func (m *Machine) deliverInterrupt(it *workload.Item) error {
+	m.Stats.Interrupts++
+	if !m.inInt {
+		m.savedSP = m.E.SP
+		m.E.SP, m.E.StackLo, m.E.StackHi = intStackHi-8, intStackLo, intStackHi
+		m.inInt = true
+	}
+	ctx := &ebox.InstrCtx{
+		In:        nil,
+		DstSpec:   -1,
+		FieldSpec: -1,
+		ScalarVA:  scbVectorBase,
+		Target:    it.HandlerPC,
+	}
+	return m.E.RunOverhead(m.ROM.Interrupt, ctx)
+}
+
+// runInstr executes one traced instruction.
+func (m *Machine) runInstr(it *workload.Item) error {
+	in := it.In
+	if !m.started {
+		m.IB.Redirect(in.PC)
+		m.started = true
+	} else if m.IB.BufVA() != in.PC {
+		// The trace and the IB disagree — resynchronize. On a consistent
+		// workload this never fires; the counter makes violations visible.
+		m.IB.ForceResync(in.PC)
+		m.Stats.Resyncs++
+	}
+
+	ctx := m.buildCtx(in)
+	if err := m.E.RunInstr(ctx); err != nil {
+		return err
+	}
+	m.Stats.Instrs++
+
+	// Architectural side effects the microcode flows signal to the
+	// simulated operating environment.
+	switch in.Op {
+	case vax.LDPCTX:
+		// LDPCTX's microcode flushed the process half of the TB; the
+		// machine-level effect is the context change itself.
+		m.Mem.FlushProcessTB()
+		if m.inInt {
+			// The scheduler runs on the interrupt stack. The outgoing
+			// process's SP was parked at interrupt entry; bank it, and
+			// stage the incoming process's SP for the REI that ends the
+			// handler. The EBOX keeps using the interrupt stack until
+			// then.
+			m.procSP[m.curASID] = m.savedSP
+			m.curASID = it.SwitchTo
+			m.Mem.SetASID(it.SwitchTo)
+			lo := uint32(procStackBase + it.SwitchTo*procStackSlot)
+			sp, ok := m.procSP[it.SwitchTo]
+			if !ok {
+				sp = lo + stackBytes - 4096
+			}
+			m.savedSP = sp
+		} else {
+			m.setProcess(it.SwitchTo)
+		}
+	case vax.REI:
+		if m.inInt {
+			m.inInt = false
+			m.E.SP = m.savedSP
+			lo := uint32(procStackBase + m.curASID*procStackSlot)
+			m.E.StackLo, m.E.StackHi = lo, lo+stackBytes
+		}
+	}
+	return nil
+}
+
+// buildCtx derives the execution context of one instruction: destination
+// specifier, field-base specifier, string cursors, and the scalar data
+// cursor, per the conventions the microcode flows rely on.
+func (m *Machine) buildCtx(in *vax.Instr) *ebox.InstrCtx {
+	info := in.Info()
+	ctx := &ebox.InstrCtx{
+		In:        in,
+		DstSpec:   -1,
+		FieldSpec: -1,
+		ScalarVA:  sysScratchBase + uint32(m.Stats.Instrs%64)*4,
+		Target:    in.Target,
+	}
+
+	addrSpecs := make([]int, 0, 3)
+	for i, t := range info.Specs {
+		sp := &in.Specs[i]
+		switch t.Access {
+		case vax.AccWrite, vax.AccModify:
+			if sp.Mode.IsMemory() {
+				ctx.DstSpec = i // last memory write/modify wins
+			}
+		case vax.AccVField:
+			ctx.FieldSpec = i
+		case vax.AccAddress:
+			addrSpecs = append(addrSpecs, i)
+		}
+	}
+
+	// String cursors: the first address operand is the source string, the
+	// last the destination (MOVC3: len, src, dst; decimal ops likewise).
+	if len(addrSpecs) > 0 {
+		ctx.StrSrc = in.Specs[addrSpecs[0]].Addr
+		ctx.StrDst = in.Specs[addrSpecs[len(addrSpecs)-1]].Addr
+		// The scalar cursor also points at structured data the flow
+		// touches (entry masks, queue headers).
+		ctx.ScalarVA = in.Specs[addrSpecs[len(addrSpecs)-1]].Addr
+	}
+
+	switch info.Flow {
+	case vax.FlowCase:
+		// The case dispatch table follows the instruction.
+		ctx.ScalarVA = in.PC + uint32(in.Size())
+	case vax.FlowSvpctx, vax.FlowLdpctx:
+		ctx.ScalarVA = pcbBase + m.curASID*0x200
+	}
+	return ctx
+}
+
+// CPI returns total cycles per executed instruction so far.
+func (m *Machine) CPI() float64 {
+	if m.Stats.Instrs == 0 {
+		return 0
+	}
+	return float64(m.E.Now) / float64(m.Stats.Instrs)
+}
+
+// Describe renders the Figure 1 block diagram of the simulated system:
+// the CPU pipeline and memory subsystem components and their connections.
+func (m *Machine) Describe() string {
+	cfg := m.Mem.Config()
+	ext := m.ROM.Image.RegionExtents()
+	used := 0
+	for _, n := range ext {
+		used += n
+	}
+	const width = 68
+	box := func(line string) string {
+		if len(line) > width {
+			line = line[:width]
+		}
+		return "  |" + line + strings.Repeat(" ", width-len(line)) + "|\n"
+	}
+	hdr := func(title string) string {
+		pad := width - len(title) - 2
+		left := pad / 2
+		return "  +" + strings.Repeat("-", left) + " " + title + " " +
+			strings.Repeat("-", pad-left) + "+\n"
+	}
+	var b strings.Builder
+	b.WriteString("VAX-11/780 (simulated) — Figure 1 block diagram\n\n")
+	b.WriteString(hdr("CPU pipeline"))
+	b.WriteString(box(""))
+	b.WriteString(box("  I-Fetch ---> IB (8 bytes) ---> I-Decode --dispatch--> EBOX"))
+	b.WriteString(box("     |                              ^                    |"))
+	b.WriteString(box("     |                              +------ control -----+"))
+	b.WriteString(box(fmt.Sprintf("     |        control store: %d/%d microwords", used, ucode.ControlStoreSize)))
+	b.WriteString(box("     |        (the UPC histogram monitor taps the micro-PC)"))
+	b.WriteString("  +-----|----------------------------------------------------|---------+\n")
+	b.WriteString("        | I-stream reads                        D-stream reads | writes\n")
+	b.WriteString("        v                                                      v\n")
+	b.WriteString(hdr("memory subsystem"))
+	b.WriteString(box(""))
+	b.WriteString(box(fmt.Sprintf("  Translation Buffer: %d entries, %d-way, split system/process",
+		cfg.TBEntries, cfg.TBWays)))
+	b.WriteString(box("        | physical address"))
+	b.WriteString(box("        v"))
+	b.WriteString(box(fmt.Sprintf("  Cache: %d KB, %d-way, %d-byte blocks, write-through",
+		cfg.CacheBytes>>10, cfg.CacheWays, cfg.CacheBlock)))
+	b.WriteString(box("        | read miss            \\--> Write Buffer (1 longword)"))
+	b.WriteString(box("        v                                  |"))
+	b.WriteString(box(fmt.Sprintf("  SBI (Synchronous Backplane Interconnect), %d-cycle memory read",
+		cfg.MissLatency)))
+	b.WriteString(box("        |"))
+	b.WriteString(box("        v"))
+	b.WriteString(box(fmt.Sprintf("  Memory: %d MB", cfg.MemoryBytes>>20)))
+	b.WriteString("  +" + strings.Repeat("-", width) + "+\n")
+	b.WriteString("  EBOX microinstruction time: 200 ns (1 cycle)\n")
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+	"vax780/internal/workload"
+)
+
+// TestMachinesRunConcurrently verifies that independent machines sharing
+// the immutable microprogram can run in parallel (run under -race to
+// catch any accidental shared mutable state; the control store image must
+// be read-only at run time).
+func TestMachinesRunConcurrently(t *testing.T) {
+	profiles := workload.AllProfiles(4000)
+	var wg sync.WaitGroup
+	errs := make([]error, len(profiles))
+	cpis := make([]float64, len(profiles))
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p workload.Profile) {
+			defer wg.Done()
+			tr, err := workload.Generate(p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mon := upc.New()
+			mon.Start()
+			m := New(Config{Mem: mem.Config{}, Monitor: mon, Strict: true}, tr.Program)
+			if err := m.Run(tr.Stream()); err != nil {
+				errs[i] = err
+				return
+			}
+			cpis[i] = m.CPI()
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("machine %d: %v", i, err)
+		}
+		if cpis[i] < 6 || cpis[i] > 18 {
+			t.Errorf("machine %d: CPI %.2f", i, cpis[i])
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"testing"
+
+	"vax780/internal/mem"
+	"vax780/internal/workload"
+)
+
+// runWith executes one fixed workload on a machine with the given memory
+// configuration and returns it for inspection.
+func runWith(t *testing.T, cfg mem.Config) *Machine {
+	t.Helper()
+	tr, err := workload.Generate(workload.TimesharingA(15000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Mem: cfg}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCacheSizeSweepMonotone(t *testing.T) {
+	// Bigger caches must not miss more on the identical reference stream.
+	var prev float64 = -1
+	for _, kb := range []int{1, 2, 8, 32} {
+		m := runWith(t, mem.Config{CacheBytes: kb << 10})
+		misses := float64(m.Mem.Stats.DReadMisses+m.Mem.Stats.IReadMisses) /
+			float64(m.Stats.Instrs)
+		t.Logf("%2d KB cache: %.3f read misses/instr, CPI %.2f", kb, misses, m.CPI())
+		if prev >= 0 && misses > prev*1.05 {
+			t.Errorf("%d KB cache misses more than the smaller one (%.3f > %.3f)",
+				kb, misses, prev)
+		}
+		prev = misses
+	}
+}
+
+func TestTBSizeSweepMonotone(t *testing.T) {
+	var prev float64 = -1
+	for _, entries := range []int{32, 128, 512} {
+		m := runWith(t, mem.Config{TBEntries: entries})
+		misses := float64(m.Mem.Stats.DTBMisses+m.Mem.Stats.ITBMisses) /
+			float64(m.Stats.Instrs)
+		t.Logf("%3d-entry TB: %.4f misses/instr", entries, misses)
+		if prev >= 0 && misses > prev*1.05 {
+			t.Errorf("%d-entry TB misses more than the smaller one (%.4f > %.4f)",
+				entries, misses, prev)
+		}
+		prev = misses
+	}
+}
+
+func TestMissLatencySweepRaisesCPI(t *testing.T) {
+	var prev float64 = -1
+	for _, lat := range []int{2, 6, 16} {
+		m := runWith(t, mem.Config{MissLatency: lat})
+		t.Logf("%2d-cycle miss latency: CPI %.2f", lat, m.CPI())
+		if prev >= 0 && m.CPI() <= prev {
+			t.Errorf("latency %d gives CPI %.2f, not above %.2f", lat, m.CPI(), prev)
+		}
+		prev = m.CPI()
+	}
+}
+
+func TestWriteBusySweepRaisesWriteStall(t *testing.T) {
+	var prev float64 = -1
+	for _, busy := range []int{1, 6, 14} {
+		m := runWith(t, mem.Config{WriteBusy: busy})
+		ws := float64(m.Mem.Stats.WriteStall) / float64(m.Stats.Instrs)
+		t.Logf("%2d-cycle write buffer: %.3f write-stall cycles/instr", busy, ws)
+		if prev >= 0 && ws < prev {
+			t.Errorf("write busy %d stalls less (%.3f) than faster buffer (%.3f)",
+				busy, ws, prev)
+		}
+		prev = ws
+	}
+}
+
+func TestIdenticalConfigIsDeterministic(t *testing.T) {
+	a := runWith(t, mem.Config{})
+	b := runWith(t, mem.Config{})
+	if a.E.Now != b.E.Now {
+		t.Errorf("non-deterministic: %d vs %d cycles", a.E.Now, b.E.Now)
+	}
+	if a.Mem.Stats != b.Mem.Stats {
+		t.Errorf("non-deterministic stats:\n%+v\n%+v", a.Mem.Stats, b.Mem.Stats)
+	}
+}
+
+// TestOverlappedDecodeSavesPredictedCycles checks the §5 prediction: the
+// 11/750-style overlapped I-Decode saves one cycle on each
+// non-PC-CHANGING instruction, i.e. roughly (1 - taken fraction) cycles
+// per instruction.
+func TestOverlappedDecodeSavesPredictedCycles(t *testing.T) {
+	tr, err := workload.Generate(workload.TimesharingA(15000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := New(Config{Mem: mem.Config{}}, tr.Program)
+	if err := base.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := workload.Generate(workload.TimesharingA(15000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := New(Config{Mem: mem.Config{}, OverlapDecode: true}, tr2.Program)
+	if err := over.Run(tr2.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	saved := base.CPI() - over.CPI()
+	t.Logf("base CPI %.3f, overlapped %.3f, saved %.3f cycles/instr",
+		base.CPI(), over.CPI(), saved)
+	// Taken redirects are ~26%% of instructions, so the saving should be
+	// roughly 0.74 cycles/instruction (some is recovered IB time).
+	if saved < 0.4 || saved > 1.1 {
+		t.Errorf("overlapped decode saved %.3f cycles/instr; §5 predicts ≈0.7", saved)
+	}
+}

@@ -1,0 +1,70 @@
+package mem
+
+// Cache models the 11/780 data cache: physically addressed, write-through,
+// no write-allocate. Both the D-stream and the IB refill path reference
+// it; a read miss fills the block, a write updates only on hit.
+type Cache struct {
+	ways      int
+	sets      int
+	blockBits uint
+
+	tags  [][]uint32
+	valid [][]bool
+	// round-robin victim pointer per set (the 780 used random
+	// replacement; round-robin is the standard deterministic stand-in).
+	victim []uint32
+}
+
+func newCache(bytes, ways, block int) *Cache {
+	sets := bytes / (ways * block)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{ways: ways, sets: sets, blockBits: log2(block)}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.victim = make([]uint32, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint32, ways)
+		c.valid[i] = make([]bool, ways)
+	}
+	return c
+}
+
+func log2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// access references physical address pa. allocate selects read behaviour
+// (fill on miss) versus write behaviour (update on hit only). It reports
+// whether the reference hit.
+func (c *Cache) access(pa uint32, allocate bool) bool {
+	blk := pa >> c.blockBits
+	set := blk % uint32(c.sets)
+	tag := blk / uint32(c.sets)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	if allocate {
+		v := c.victim[set] % uint32(c.ways)
+		c.victim[set]++
+		c.tags[set][v] = tag
+		c.valid[set][v] = true
+	}
+	return false
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+}

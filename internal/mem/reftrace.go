@@ -1,0 +1,43 @@
+package mem
+
+// RefKind classifies one physical memory reference.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	RefDRead RefKind = iota
+	RefDWrite
+	RefIRead
+	RefPTERead
+)
+
+var refKindNames = [...]string{"d-read", "d-write", "i-read", "pte-read"}
+
+func (k RefKind) String() string {
+	if int(k) < len(refKindNames) {
+		return refKindNames[k]
+	}
+	return "?"
+}
+
+// Ref is one physical reference in a captured trace.
+type Ref struct {
+	Kind RefKind
+	PA   uint32
+}
+
+// RefTrace captures the physical reference stream of a run — the raw
+// material of the paper's companion cache study (Clark, "Cache
+// Performance in the VAX-11/780", reference [2]): traces captured from
+// the live machine and replayed against alternative cache organizations
+// offline.
+type RefTrace struct {
+	Refs []Ref
+}
+
+// record appends one reference when tracing is attached.
+func (s *System) record(k RefKind, pa uint32) {
+	if s.Trace != nil {
+		s.Trace.Refs = append(s.Trace.Refs, Ref{Kind: k, PA: pa})
+	}
+}

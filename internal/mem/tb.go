@@ -1,0 +1,81 @@
+package mem
+
+// TB models the 11/780 translation buffer: 128 entries organized as two
+// halves — one for system-space addresses, one for process-space — each
+// set-associative. A context switch (the LDPCTX microcode) flushes only
+// the process half; this split is why the paper's companion study [3]
+// cares about context-switch headway for TB simulations (§3.4).
+type TB struct {
+	ways     int
+	sets     int // sets per half
+	pageBits uint
+
+	// entries[half][set][way]; half 0 = process, 1 = system.
+	entries [2][][]tbEntry
+	// clock drives round-robin replacement, as the real TB's random
+	// replacement is well-approximated by it at this granularity.
+	clock uint32
+}
+
+type tbEntry struct {
+	vpn   uint32
+	valid bool
+}
+
+func newTB(entries, ways, pageBytes int) *TB {
+	setsPerHalf := entries / 2 / ways
+	if setsPerHalf < 1 {
+		setsPerHalf = 1
+	}
+	t := &TB{ways: ways, sets: setsPerHalf}
+	for half := 0; half < 2; half++ {
+		t.entries[half] = make([][]tbEntry, setsPerHalf)
+		for s := range t.entries[half] {
+			t.entries[half][s] = make([]tbEntry, ways)
+		}
+	}
+	return t
+}
+
+func (t *TB) halfFor(sys bool) int {
+	if sys {
+		return 1
+	}
+	return 0
+}
+
+// lookup probes the TB for vpn in the given space.
+func (t *TB) lookup(vpn uint32, sys bool) bool {
+	set := t.entries[t.halfFor(sys)][vpn%uint32(t.sets)]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs vpn, evicting round-robin within its set.
+func (t *TB) insert(vpn uint32, sys bool) {
+	set := t.entries[t.halfFor(sys)][vpn%uint32(t.sets)]
+	for i := range set {
+		if !set[i].valid {
+			set[i] = tbEntry{vpn: vpn, valid: true}
+			return
+		}
+		if set[i].vpn == vpn {
+			return
+		}
+	}
+	t.clock++
+	set[t.clock%uint32(t.ways)] = tbEntry{vpn: vpn, valid: true}
+}
+
+// flushProcess invalidates the process half.
+func (t *TB) flushProcess() {
+	for s := range t.entries[0] {
+		for w := range t.entries[0][s] {
+			t.entries[0][s][w].valid = false
+		}
+	}
+}

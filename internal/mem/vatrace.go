@@ -1,0 +1,34 @@
+package mem
+
+// VARef is one virtual-address translation event (a TB probe), or a
+// process-half flush marker (Flush=true) from a context switch.
+type VARef struct {
+	VA    uint32
+	Flush bool
+}
+
+// VATrace captures the virtual reference stream seen by the translation
+// buffer — the raw material of the paper's other companion study (Clark &
+// Emer, "Performance of the VAX-11/780 Translation Buffer: Simulation and
+// Measurement", reference [3]): TB probes captured from the live machine
+// and replayed against alternative TB organizations.
+//
+// Retried probes after a miss-service appear in the trace, exactly as the
+// real TB saw them.
+type VATrace struct {
+	Refs []VARef
+}
+
+// recordVA appends one probe when VA tracing is attached.
+func (s *System) recordVA(va uint32) {
+	if s.VTrace != nil {
+		s.VTrace.Refs = append(s.VTrace.Refs, VARef{VA: va})
+	}
+}
+
+// recordFlush appends a process-half flush marker.
+func (s *System) recordFlush() {
+	if s.VTrace != nil {
+		s.VTrace.Refs = append(s.VTrace.Refs, VARef{Flush: true})
+	}
+}

@@ -1,0 +1,367 @@
+// Package paper records the published reference values of Emer & Clark's
+// "A Characterization of Processor Performance in the VAX-11/780" (ISCA
+// 1984), used by the reproduction harness to print paper-vs-measured
+// comparisons.
+//
+// The available text of the paper is OCR-damaged in places; every value
+// here carries a provenance tag. Exact values are legible in the text;
+// Reconstructed values were filled in to satisfy the legible row and
+// column totals (see DESIGN.md §2); Derived values follow arithmetically
+// from other values (e.g. Table 9 = Table 8 execute rows divided by the
+// Table 1 group frequencies, a relation the legible cells confirm).
+package paper
+
+import "vax780/internal/vax"
+
+// Provenance describes how a reference value was obtained from the
+// damaged text.
+type Provenance int
+
+// Provenance values.
+const (
+	Exact Provenance = iota
+	Reconstructed
+	Derived
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case Exact:
+		return "exact"
+	case Reconstructed:
+		return "reconstructed"
+	case Derived:
+		return "derived"
+	}
+	return "?"
+}
+
+// Value is one published number with provenance.
+type Value struct {
+	V float64
+	P Provenance
+}
+
+func ex(v float64) Value  { return Value{v, Exact} }
+func rec(v float64) Value { return Value{v, Reconstructed} }
+
+// Table1 is the opcode group frequency (percent of instruction
+// executions).
+var Table1 = map[vax.Group]Value{
+	vax.GroupSimple:    ex(83.60),
+	vax.GroupField:     ex(6.92),
+	vax.GroupFloat:     ex(3.62),
+	vax.GroupCallRet:   ex(3.22),
+	vax.GroupSystem:    ex(2.11),
+	vax.GroupCharacter: ex(0.43),
+	vax.GroupDecimal:   ex(0.03),
+}
+
+// Table2Row is one PC-changing class row: percent of all instructions and
+// the percent of those that actually branch.
+type Table2Row struct {
+	PctOfInstrs Value
+	PctTaken    Value
+}
+
+// Table2 keys rows by PC class.
+var Table2 = map[vax.PCClass]Table2Row{
+	vax.PCSimpleCond: {ex(19.3), ex(56)},
+	vax.PCLoop:       {ex(4.1), ex(91)},
+	vax.PCLowBit:     {ex(2.0), ex(41)},
+	vax.PCSubr:       {ex(4.5), ex(100)},
+	vax.PCUncond:     {ex(0.3), ex(100)},
+	vax.PCCase:       {ex(0.9), ex(100)},
+	vax.PCBitBranch:  {ex(4.3), ex(44)},
+	vax.PCProc:       {ex(2.4), ex(100)},
+	vax.PCSystem:     {ex(0.4), ex(100)},
+}
+
+// Table2Total: 38.5% of instructions change the PC; 67% of those branch.
+var Table2Total = Table2Row{ex(38.5), ex(67)}
+
+// Table3: specifiers and branch displacements per average instruction.
+var (
+	Table3FirstSpecs = ex(0.726)
+	Table3OtherSpecs = ex(0.758)
+	Table3BranchDisp = ex(0.312)
+	Table3SpecsTotal = ex(1.48) // excludes branch displacements
+)
+
+// Table4Row is an addressing-mode frequency row (percent of specifiers).
+type Table4Row struct {
+	Spec1, SpecN, Total Value
+}
+
+// Table4Mode names the merged mode rows the paper reports (displacement
+// widths are indistinguishable in the histogram).
+type Table4Mode int
+
+// Table 4 rows.
+const (
+	T4Register Table4Mode = iota
+	T4Literal
+	T4Immediate
+	T4Displacement
+	T4RegDeferred
+	T4AutoInc
+	T4AutoDec
+	T4DispDeferred
+	T4Absolute
+	T4AutoIncDef
+	NumT4Modes
+)
+
+var t4Names = [...]string{
+	"Register", "Short literal", "Immediate (PC)+", "Displacement",
+	"Register deferred", "Autoincrement", "Autodecrement",
+	"Disp. deferred", "Absolute", "Autoinc. deferred",
+}
+
+func (m Table4Mode) String() string { return t4Names[m] }
+
+// Table4 is the operand specifier mode distribution. Register, literal
+// and immediate rows are legible; the memory rows are reconstructed to
+// the legible totals.
+var Table4 = map[Table4Mode]Table4Row{
+	T4Register:     {ex(28.7), ex(52.6), ex(41.0)},
+	T4Literal:      {ex(21.1), ex(10.8), ex(15.8)},
+	T4Immediate:    {ex(3.2), ex(1.7), ex(2.4)},
+	T4Displacement: {ex(25.0), rec(12.6), rec(18.6)},
+	T4RegDeferred:  {rec(9.5), rec(8.5), rec(9.0)},
+	T4AutoInc:      {rec(6.0), rec(5.4), rec(5.7)},
+	T4AutoDec:      {rec(2.0), rec(2.4), rec(2.2)},
+	T4DispDeferred: {rec(3.0), rec(3.4), rec(3.2)},
+	T4Absolute:     {rec(1.0), rec(2.2), rec(1.6)},
+	T4AutoIncDef:   {rec(0.5), rec(0.5), rec(0.5)},
+}
+
+// Table4Indexed is the percent of specifiers that are indexed.
+var Table4Indexed = Table4Row{ex(8.5), ex(4.2), ex(6.3)}
+
+// Table5Row is D-stream reads/writes per average instruction by source.
+type Table5Row struct {
+	Reads, Writes Value
+}
+
+// Table5Source enumerates the rows of Table 5.
+type Table5Source int
+
+// Table 5 rows: the two specifier sources, the seven execute groups, and
+// the overhead ("Other") row.
+const (
+	T5Spec1 Table5Source = iota
+	T5SpecN
+	T5Simple
+	T5Field
+	T5Float
+	T5CallRet
+	T5System
+	T5Character
+	T5Decimal
+	T5Other
+	NumT5Sources
+)
+
+var t5Names = [...]string{
+	"Spec1", "Spec2-6", "SIMPLE", "FIELD", "FLOAT", "CALL/RET",
+	"SYSTEM", "CHARACTER", "DECIMAL", "Other",
+}
+
+func (s Table5Source) String() string { return t5Names[s] }
+
+// Table5 per-source reads and writes per average instruction.
+var Table5 = map[Table5Source]Table5Row{
+	T5Spec1:     {ex(0.306), ex(0.029)},
+	T5SpecN:     {ex(0.148), rec(0.133)},
+	T5Simple:    {ex(0.049), rec(0.033)},
+	T5Field:     {rec(0.029), ex(0.007)},
+	T5Float:     {ex(0.000), ex(0.008)},
+	T5CallRet:   {ex(0.133), ex(0.130)},
+	T5System:    {ex(0.015), ex(0.014)},
+	T5Character: {ex(0.039), ex(0.046)},
+	T5Decimal:   {ex(0.002), ex(0.001)},
+	T5Other:     {ex(0.062), ex(0.008)},
+}
+
+// Table5Total: overall reads and writes per instruction (2:1 ratio).
+var Table5Total = Table5Row{ex(0.783), ex(0.409)}
+
+// UnalignedPerInstr: unaligned D-stream references per instruction.
+var UnalignedPerInstr = ex(0.016)
+
+// Table6: estimated size of the average instruction.
+var (
+	Table6SpecBytes  = ex(1.68) // average specifier size, from ref [15]
+	Table6TotalBytes = ex(3.8)
+)
+
+// Table7: interrupt and context-switch instruction headways.
+var (
+	Table7SoftIntRequests = ex(2539)
+	Table7Interrupts      = ex(637)
+	Table7ContextSwitches = ex(6418)
+)
+
+// Table8Row identifies a row of the CPI matrix.
+type Table8Row int
+
+// Table 8 rows.
+const (
+	T8Decode Table8Row = iota
+	T8Spec1
+	T8SpecN
+	T8BDisp
+	T8Simple
+	T8Field
+	T8Float
+	T8CallRet
+	T8System
+	T8Character
+	T8Decimal
+	T8IntExcept
+	T8MemMgmt
+	T8Abort
+	NumT8Rows
+)
+
+var t8Names = [...]string{
+	"Decode", "Spec1", "Spec2-6", "B-Disp", "Simple", "Field", "Float",
+	"Call/Ret", "System", "Character", "Decimal", "Int/Except",
+	"Mem Mgmt", "Abort",
+}
+
+func (r Table8Row) String() string { return t8Names[r] }
+
+// Table8Col identifies a column of the CPI matrix (the six mutually
+// exclusive cycle classes).
+type Table8Col int
+
+// Table 8 columns.
+const (
+	T8Compute Table8Col = iota
+	T8Read
+	T8RStall
+	T8Write
+	T8WStall
+	T8IBStall
+	NumT8Cols
+)
+
+var t8ColNames = [...]string{"Compute", "Read", "R-Stall", "Write", "W-Stall", "IB-Stall"}
+
+func (c Table8Col) String() string { return t8ColNames[c] }
+
+// Table8 is the average VAX instruction timing matrix: cycles per
+// instruction by activity and cycle class. Row layout per DESIGN.md: the
+// legible cells are Exact; the interior is Reconstructed to satisfy the
+// legible row totals (right column) and column totals (TOTAL row), which
+// are all Exact.
+var Table8 = [NumT8Rows][NumT8Cols]Value{
+	T8Decode:    {ex(1.000), ex(0), ex(0), ex(0), ex(0), ex(0.613)},
+	T8Spec1:     {rec(0.895), ex(0.306), rec(0.364), ex(0.029), rec(0.090), rec(0.012)},
+	T8SpecN:     {rec(1.052), ex(0.148), rec(0.116), rec(0.133), rec(0.203), rec(0.004)},
+	T8BDisp:     {rec(0.192), ex(0), ex(0), ex(0), ex(0), rec(0.009)},
+	T8Simple:    {ex(0.870), ex(0.049), rec(0.017), rec(0.033), rec(0.007), rec(0.001)},
+	T8Field:     {ex(0.482), rec(0.029), rec(0.058), ex(0.007), rec(0.002), rec(0.022)},
+	T8Float:     {ex(0.292), ex(0.000), ex(0.000), ex(0.008), ex(0.001), rec(0.001)},
+	T8CallRet:   {ex(0.937), ex(0.133), ex(0.074), ex(0.130), ex(0.134), rec(0.050)},
+	T8System:    {rec(0.482), ex(0.015), rec(0.012), ex(0.014), rec(0.004), rec(0.001)},
+	T8Character: {rec(0.307), ex(0.039), rec(0.106), ex(0.046), rec(0.004), rec(0.004)},
+	T8Decimal:   {ex(0.026), ex(0.002), rec(0.001), ex(0.001), ex(0.002), rec(0.000)},
+	T8IntExcept: {ex(0.055), ex(0.002), ex(0.004), ex(0.006), rec(0.002), rec(0.002)},
+	T8MemMgmt:   {rec(0.548), rec(0.060), rec(0.212), rec(0.002), rec(0.001), rec(0.001)},
+	T8Abort:     {ex(0.127), ex(0), ex(0), ex(0), ex(0), ex(0)},
+}
+
+// Table8RowTotals are the legible right-hand column values.
+var Table8RowTotals = [NumT8Rows]Value{
+	T8Decode:    ex(1.613),
+	T8Spec1:     rec(1.696),
+	T8SpecN:     rec(1.656),
+	T8BDisp:     rec(0.201),
+	T8Simple:    ex(0.977),
+	T8Field:     ex(0.600),
+	T8Float:     ex(0.302),
+	T8CallRet:   ex(1.458),
+	T8System:    rec(0.528),
+	T8Character: ex(0.506),
+	T8Decimal:   ex(0.031),
+	T8IntExcept: ex(0.071),
+	T8MemMgmt:   ex(0.824),
+	T8Abort:     ex(0.127),
+}
+
+// Table8ColTotals is the legible TOTAL row.
+var Table8ColTotals = [NumT8Cols]Value{
+	ex(7.267), ex(0.783), ex(0.964), ex(0.409), ex(0.450), ex(0.720),
+}
+
+// Table8Total is the bottom-right cell: cycles per average instruction.
+var Table8Total = ex(10.593)
+
+// Table9 (cycles per instruction within each group, execute phase only)
+// is derived: Table 8 group rows divided by Table 1 frequencies. The
+// legible Table 9 cells (e.g. DECIMAL ≈ 100.77 total, CALL/RET ≈ 45.25,
+// CHARACTER ≈ 117.04, FLOAT compute ≈ 8.07) confirm the relation.
+func Table9(row Table8Row, col Table8Col) Value {
+	g, ok := table8Group[row]
+	if !ok {
+		return Value{}
+	}
+	freq := Table1[g].V / 100
+	v := Table8[row][col]
+	return Value{V: v.V / freq, P: Derived}
+}
+
+// Table9Total returns the derived per-group total.
+func Table9Total(row Table8Row) Value {
+	g, ok := table8Group[row]
+	if !ok {
+		return Value{}
+	}
+	return Value{V: Table8RowTotals[row].V / (Table1[g].V / 100), P: Derived}
+}
+
+var table8Group = map[Table8Row]vax.Group{
+	T8Simple:    vax.GroupSimple,
+	T8Field:     vax.GroupField,
+	T8Float:     vax.GroupFloat,
+	T8CallRet:   vax.GroupCallRet,
+	T8System:    vax.GroupSystem,
+	T8Character: vax.GroupCharacter,
+	T8Decimal:   vax.GroupDecimal,
+}
+
+// GroupRow maps an opcode group to its Table 8 row.
+func GroupRow(g vax.Group) Table8Row {
+	for r, gg := range table8Group {
+		if gg == g {
+			return r
+		}
+	}
+	return NumT8Rows
+}
+
+// Section 4 implementation-event reference values.
+var (
+	Sec4IBRefsPerInstr    = ex(2.2)  // IB cache references per instruction
+	Sec4IBBytesPerRef     = ex(1.7)  // bytes consumed per IB reference
+	Sec4CacheMissPerInstr = ex(0.28) // cache read misses per instruction
+	Sec4CacheMissI        = ex(0.18)
+	Sec4CacheMissD        = ex(0.10)
+	Sec4TBMissPerInstr    = ex(0.029)
+	Sec4TBMissD           = ex(0.020)
+	Sec4TBMissI           = ex(0.009)
+	Sec4TBMissCycles      = ex(21.6) // cycles per TB miss service
+	Sec4TBMissStall       = ex(3.5)  // of which PTE read stall
+	Sec4ReadStallSimple   = ex(6)    // simplest-case read miss stall
+)
+
+// SpecOptimization: cycles per instruction of combined first-execute
+// cycles reported in the specifier rows (§5).
+var (
+	SpecOptSimple   = ex(0.15)
+	SpecOptField    = ex(0.01)
+	SpecIdxArtifact = ex(0.06) // SPEC1 index work reported under SPEC2-6
+)

@@ -1,0 +1,207 @@
+package paper
+
+import (
+	"math"
+	"testing"
+
+	"vax780/internal/vax"
+)
+
+// TestTable1SumsTo100 checks the group frequencies total 100%.
+func TestTable1SumsTo100(t *testing.T) {
+	sum := 0.0
+	for _, v := range Table1 {
+		sum += v.V
+	}
+	if math.Abs(sum-100) > 0.2 {
+		t.Errorf("Table 1 sums to %.2f%%", sum)
+	}
+}
+
+// TestTable2RowsSumToTotal checks the PC-changing class percentages match
+// the published total (38.5% / 67% taken).
+func TestTable2RowsSumToTotal(t *testing.T) {
+	sumPct, sumTaken := 0.0, 0.0
+	for _, r := range Table2 {
+		sumPct += r.PctOfInstrs.V
+		sumTaken += r.PctOfInstrs.V * r.PctTaken.V / 100
+	}
+	if math.Abs(sumPct-Table2Total.PctOfInstrs.V) > 0.5 {
+		t.Errorf("Table 2 class sum %.1f != total %.1f", sumPct, Table2Total.PctOfInstrs.V)
+	}
+	takenPct := 100 * sumTaken / sumPct
+	if math.Abs(takenPct-Table2Total.PctTaken.V) > 2 {
+		t.Errorf("Table 2 taken %.1f%% != total %.0f%%", takenPct, Table2Total.PctTaken.V)
+	}
+}
+
+// TestTable3Consistency: first + other specifiers = total.
+func TestTable3Consistency(t *testing.T) {
+	if math.Abs(Table3FirstSpecs.V+Table3OtherSpecs.V-Table3SpecsTotal.V) > 0.01 {
+		t.Error("Table 3 spec counts inconsistent")
+	}
+}
+
+// TestTable4ColumnsSum checks each distribution column reaches ≈100%.
+func TestTable4ColumnsSum(t *testing.T) {
+	var s1, sn, tot float64
+	for _, r := range Table4 {
+		s1 += r.Spec1.V
+		sn += r.SpecN.V
+		tot += r.Total.V
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"spec1", s1}, {"specN", sn}, {"total", tot}} {
+		if math.Abs(c.v-100) > 0.5 {
+			t.Errorf("Table 4 %s column sums to %.1f%%", c.name, c.v)
+		}
+	}
+	// The total column must be the position-weighted mix of the others.
+	w1 := Table3FirstSpecs.V / Table3SpecsTotal.V
+	for m, r := range Table4 {
+		blend := w1*r.Spec1.V + (1-w1)*r.SpecN.V
+		if math.Abs(blend-r.Total.V) > 0.8 {
+			t.Errorf("%v: blended %.1f != total %.1f", m, blend, r.Total.V)
+		}
+	}
+}
+
+// TestTable5ColumnsSum checks the read and write columns against the
+// published totals (.783 and .409, the 2:1 ratio).
+func TestTable5ColumnsSum(t *testing.T) {
+	var r, w float64
+	for _, row := range Table5 {
+		r += row.Reads.V
+		w += row.Writes.V
+	}
+	if math.Abs(r-Table5Total.Reads.V) > 0.01 {
+		t.Errorf("Table 5 reads sum %.3f != %.3f", r, Table5Total.Reads.V)
+	}
+	if math.Abs(w-Table5Total.Writes.V) > 0.01 {
+		t.Errorf("Table 5 writes sum %.3f != %.3f", w, Table5Total.Writes.V)
+	}
+	if ratio := r / w; ratio < 1.8 || ratio > 2.1 {
+		t.Errorf("read:write ratio %.2f, paper says about 2:1", ratio)
+	}
+}
+
+// TestTable8Consistency is the core reconstruction check: every row sums
+// to its published total, every column to the published TOTAL row, and
+// the grand total is 10.593 cycles/instruction.
+func TestTable8Consistency(t *testing.T) {
+	var colSums [NumT8Cols]float64
+	for r := Table8Row(0); r < NumT8Rows; r++ {
+		rowSum := 0.0
+		for c := Table8Col(0); c < NumT8Cols; c++ {
+			rowSum += Table8[r][c].V
+			colSums[c] += Table8[r][c].V
+		}
+		if math.Abs(rowSum-Table8RowTotals[r].V) > 0.02 {
+			t.Errorf("row %v sums to %.3f, total says %.3f", r, rowSum, Table8RowTotals[r].V)
+		}
+	}
+	grand := 0.0
+	for c := Table8Col(0); c < NumT8Cols; c++ {
+		if math.Abs(colSums[c]-Table8ColTotals[c].V) > 0.02 {
+			t.Errorf("column %v sums to %.3f, total says %.3f", c, colSums[c], Table8ColTotals[c].V)
+		}
+		grand += Table8ColTotals[c].V
+	}
+	if math.Abs(grand-Table8Total.V) > 0.01 {
+		t.Errorf("grand total %.3f != %.3f", grand, Table8Total.V)
+	}
+}
+
+// TestTable8Read/WriteColumnsMatchTable5: the Read and Write columns of
+// Table 8 are the same measurement as Table 5.
+func TestTable8MatchesTable5(t *testing.T) {
+	pairs := []struct {
+		t8 Table8Row
+		t5 Table5Source
+	}{
+		{T8Spec1, T5Spec1}, {T8SpecN, T5SpecN}, {T8Simple, T5Simple},
+		{T8Float, T5Float}, {T8CallRet, T5CallRet}, {T8System, T5System},
+		{T8Character, T5Character}, {T8Decimal, T5Decimal},
+	}
+	for _, p := range pairs {
+		if math.Abs(Table8[p.t8][T8Read].V-Table5[p.t5].Reads.V) > 0.005 {
+			t.Errorf("%v reads: T8 %.3f vs T5 %.3f", p.t8,
+				Table8[p.t8][T8Read].V, Table5[p.t5].Reads.V)
+		}
+		if math.Abs(Table8[p.t8][T8Write].V-Table5[p.t5].Writes.V) > 0.005 {
+			t.Errorf("%v writes: T8 %.3f vs T5 %.3f", p.t8,
+				Table8[p.t8][T8Write].V, Table5[p.t5].Writes.V)
+		}
+	}
+}
+
+// TestTable9LegibleCells checks the derived Table 9 values against the
+// cells that are legible in the text.
+func TestTable9LegibleCells(t *testing.T) {
+	cases := []struct {
+		row  Table8Row
+		col  Table8Col
+		want float64
+		tol  float64
+	}{
+		{T8Float, T8Compute, 8.07, 0.15}, // "Float 8.07 compute"
+		{T8Decimal, T8Compute, 84.37, 4}, // Decimal row fully legible
+		{T8Decimal, T8Read, 5.64, 1.5},
+		{T8Decimal, T8Write, 3.94, 1},
+	}
+	for _, c := range cases {
+		got := Table9(c.row, c.col).V
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Table9[%v][%v] = %.2f, legible cell says %.2f", c.row, c.col, got, c.want)
+		}
+	}
+	totals := []struct {
+		row  Table8Row
+		want float64
+		tol  float64
+	}{
+		{T8Simple, 1.17, 0.03},
+		{T8Field, 8.67, 0.1},
+		{T8Float, 8.33, 0.12},
+		{T8CallRet, 45.25, 0.5},
+		{T8Character, 117.04, 1.5},
+		{T8Decimal, 100.77, 4},
+	}
+	for _, c := range totals {
+		got := Table9Total(c.row).V
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Table9Total[%v] = %.2f, legible cell says %.2f", c.row, got, c.want)
+		}
+	}
+}
+
+// TestTable9StallObservations checks §5's qualitative claims: CALL/RET
+// read stall is about half its reads-plus-operations; CHARACTER read
+// stall is more than twice its reads.
+func TestTable9StallObservations(t *testing.T) {
+	cr := Table8[T8Character]
+	if cr[T8RStall].V < 2*cr[T8Read].V {
+		t.Error("CHARACTER read stall should exceed twice its reads (poor string locality)")
+	}
+	mm := Table8[T8MemMgmt]
+	if mm[T8RStall].V < 3*mm[T8Read].V {
+		t.Error("Mem Mgmt read stall should exceed 3x its reads (PTE misses)")
+	}
+}
+
+func TestGroupRowRoundTrip(t *testing.T) {
+	for g := vax.Group(0); g < vax.NumGroups; g++ {
+		r := GroupRow(g)
+		if r == NumT8Rows {
+			t.Errorf("no Table 8 row for group %v", g)
+		}
+	}
+}
+
+func TestProvenanceStrings(t *testing.T) {
+	if Exact.String() != "exact" || Reconstructed.String() != "reconstructed" || Derived.String() != "derived" {
+		t.Error("provenance strings wrong")
+	}
+}

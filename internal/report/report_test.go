@@ -1,0 +1,134 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vax780/internal/analysis"
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+	"vax780/internal/workload"
+)
+
+func testReport(t *testing.T) *Report {
+	t.Helper()
+	tr, err := workload.Generate(workload.TimesharingA(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon, Strict: true}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	a := analysis.New(machine.ROM(), mon.Snapshot()).
+		WithHardwareCounters(analysis.HWCounters{Mem: m.Mem.Stats, IBConsumed: m.IB.Consumed})
+	return New(a)
+}
+
+func TestAllTablesRender(t *testing.T) {
+	r := testReport(t)
+	out := r.All()
+	wants := []string{
+		"Table 1: Opcode Group Frequency",
+		"Table 2: PC-Changing Instructions",
+		"Table 3: Specifiers and Branch Displacements",
+		"Table 4: Operand Specifier Distribution",
+		"Table 5: D-stream Reads and Writes",
+		"Table 6: Estimated Size of Average Instruction",
+		"Table 7: Interrupt and Context-Switch Headway",
+		"Table 8: Average VAX Instruction Timing",
+		"Table 9: Cycles per Instruction Within Each Group",
+		"Section 4: Implementation Events",
+		"SIMPLE", "CALL/RET", "CHARACTER",
+		"Decode", "Spec1", "B-Disp", "Mem Mgmt",
+		"IB references per instruction",
+		"reconstructed",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("report missing %q", w)
+		}
+	}
+	if len(out) < 3000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestTable8RendersEveryRow(t *testing.T) {
+	r := testReport(t)
+	out := r.Table8()
+	for _, row := range []string{"Decode", "Spec1", "Spec2-6", "B-Disp",
+		"Simple", "Field", "Float", "Call/Ret", "System", "Character",
+		"Decimal", "Int/Except", "Mem Mgmt", "Abort", "TOTAL"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("Table 8 missing row %q", row)
+		}
+	}
+	// The measured and paper CPI both appear in the TOTAL line.
+	if !strings.Contains(out, "10.593") {
+		t.Error("Table 8 missing the paper total 10.593")
+	}
+}
+
+func TestSection4WithoutHW(t *testing.T) {
+	tr, err := workload.Generate(workload.TimesharingA(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	r := New(analysis.New(machine.ROM(), mon.Snapshot()))
+	out := r.Section4()
+	if !strings.Contains(out, "TB misses per instruction") {
+		t.Error("TB section should render from histogram alone")
+	}
+	if strings.Contains(out, "IB references") {
+		t.Error("cache-study lines should be absent without counters")
+	}
+}
+
+func TestIndividualTables(t *testing.T) {
+	r := testReport(t)
+	cases := []struct {
+		name string
+		out  string
+		want []string
+	}{
+		{"t1", r.Table1(), []string{"SIMPLE", "83.60", "M/P"}},
+		{"t2", r.Table2(), []string{"Loop branches", "taken%inst", "TOTAL"}},
+		{"t3", r.Table3(), []string{"First specifiers", "0.726"}},
+		{"t4", r.Table4(), []string{"Short literal", "Percent indexed"}},
+		{"t5", r.Table5(), []string{"Spec2-6", "CALL/RET", "TOTAL"}},
+		{"t6", r.Table6(), []string{"Avg specifier size", "3.80"}},
+		{"t7", r.Table7(), []string{"Software interrupt requests", "2539"}},
+		{"t8", r.Table8(), []string{"Compute", "IB-Stall", "Mem Mgmt", "10.593"}},
+		{"t9", r.Table9(), []string{"R-Stall", "CHARACTER", "Paper"}},
+		{"s4", r.Section4(), []string{"Cycles per TB miss", "21.60", "SBI utilization"}},
+		{"obs", r.Observations(), []string{"holds", "CALL/RET"}},
+	}
+	for _, c := range cases {
+		for _, w := range c.want {
+			if !strings.Contains(c.out, w) {
+				t.Errorf("%s: missing %q in:\n%s", c.name, w, c.out)
+			}
+		}
+	}
+}
+
+func TestWorkloadComparisonRender(t *testing.T) {
+	r := testReport(t)
+	out := WorkloadComparison([]string{"A", "B"},
+		[]*analysis.Analysis{r.A, r.A})
+	for _, w := range []string{"Per-Workload Comparison", "CPI", "SIMPLE %", "TB miss/instr", "Interrupt headway"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("comparison missing %q", w)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package tbsim replays captured translation-buffer probe traces against
+// alternative TB organizations — the methodology of the paper's other
+// companion study (Clark & Emer, "Performance of the VAX-11/780
+// Translation Buffer: Simulation and Measurement", reference [3], which
+// §3.4 and §4.2 of the characterization paper point to).
+//
+// The trace carries the live machine's probe stream including the
+// process-half flushes at context switches, so flush-interval effects —
+// the very question §3.4 says the context-switch headway informs — are
+// replayed faithfully.
+package tbsim
+
+import (
+	"fmt"
+
+	"vax780/internal/mem"
+)
+
+// Config is one TB organization to evaluate.
+type Config struct {
+	Name      string
+	Entries   int // total entries, split in half between system and process space
+	Ways      int
+	PageBytes int // 512 on the VAX
+	// IgnoreFlushes disables the process-half flushes in the trace,
+	// modelling a TB with address-space tags that survive switches.
+	IgnoreFlushes bool
+}
+
+// Result is one configuration's outcome.
+type Result struct {
+	Config  Config
+	Probes  uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+// MissRatio returns misses per probe.
+func (r *Result) MissRatio() float64 {
+	if r.Probes == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Probes)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%-18s miss %.4f (%d/%d, %d flushes)",
+		r.Config.Name, r.MissRatio(), r.Misses, r.Probes, r.Flushes)
+}
+
+// tb is a standalone split TB model mirroring the machine's (half system,
+// half process, set-associative, round-robin victims).
+type tb struct {
+	ways     int
+	sets     uint32
+	pageBits uint
+	entries  [2][][]uint32 // [half][set][way] = vpn+1 (0 = invalid)
+	clock    uint32
+}
+
+func newTB(cfg Config) *tb {
+	if cfg.Ways < 1 {
+		cfg.Ways = 1
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 512
+	}
+	sets := cfg.Entries / 2 / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	var bits uint
+	for 1<<bits < cfg.PageBytes {
+		bits++
+	}
+	t := &tb{ways: cfg.Ways, sets: uint32(sets), pageBits: bits}
+	for half := 0; half < 2; half++ {
+		t.entries[half] = make([][]uint32, sets)
+		for s := range t.entries[half] {
+			t.entries[half][s] = make([]uint32, cfg.Ways)
+		}
+	}
+	return t
+}
+
+func (t *tb) probe(va uint32) (hit bool) {
+	vpn := va >> t.pageBits
+	half := 0
+	if va&0x8000_0000 != 0 {
+		half = 1
+	}
+	set := t.entries[half][vpn%t.sets]
+	for w := range set {
+		if set[w] == vpn+1 {
+			return true
+		}
+	}
+	// Miss: install (the service microcode always fills).
+	for w := range set {
+		if set[w] == 0 {
+			set[w] = vpn + 1
+			return false
+		}
+	}
+	t.clock++
+	set[t.clock%uint32(t.ways)] = vpn + 1
+	return false
+}
+
+func (t *tb) flushProcess() {
+	for s := range t.entries[0] {
+		for w := range t.entries[0][s] {
+			t.entries[0][s][w] = 0
+		}
+	}
+}
+
+// Simulate replays the probe trace against one configuration.
+func Simulate(trace *mem.VATrace, cfg Config) Result {
+	t := newTB(cfg)
+	res := Result{Config: cfg}
+	for _, ref := range trace.Refs {
+		if ref.Flush {
+			res.Flushes++
+			if !cfg.IgnoreFlushes {
+				t.flushProcess()
+			}
+			continue
+		}
+		res.Probes++
+		if !t.probe(ref.VA) {
+			res.Misses++
+		}
+	}
+	return res
+}
+
+// Sweep evaluates every configuration over the same trace.
+func Sweep(trace *mem.VATrace, cfgs []Config) []Result {
+	out := make([]Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		out = append(out, Simulate(trace, cfg))
+	}
+	return out
+}
+
+// Study780 returns the sweep the companion TB paper explores around the
+// production design point (128 entries, 2-way, split halves), including
+// the no-flush what-if of address-space tags.
+func Study780() []Config {
+	return []Config{
+		{Name: "64e/2way", Entries: 64, Ways: 2},
+		{Name: "128e/2way", Entries: 128, Ways: 2}, // production
+		{Name: "256e/2way", Entries: 256, Ways: 2},
+		{Name: "512e/2way", Entries: 512, Ways: 2},
+		{Name: "128e/1way", Entries: 128, Ways: 1},
+		{Name: "128e/4way", Entries: 128, Ways: 4},
+		{Name: "128e/2way/noflush", Entries: 128, Ways: 2, IgnoreFlushes: true},
+	}
+}

@@ -1,0 +1,303 @@
+package ucode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Assembler builds a control-store image from symbolic flows. Flows are
+// emitted sequentially; labels are resolved at Assemble time so flows may
+// reference each other in any order (the microcode-sharing jumps depend on
+// this).
+type Assembler struct {
+	insts   []MicroInst
+	labels  map[string]uint16
+	fixups  []fixup
+	region  Region
+	errlist []string
+}
+
+type fixup struct {
+	addr  int
+	label string
+}
+
+// NewAssembler returns an empty assembler. Address 0 is reserved as an
+// invalid location (the real machine's microaddress 0 is the reset entry).
+func NewAssembler() *Assembler {
+	a := &Assembler{labels: make(map[string]uint16)}
+	a.insts = append(a.insts, MicroInst{Label: "reset", Comment: "reserved"})
+	return a
+}
+
+// Region sets the region tag applied to subsequently emitted locations.
+func (a *Assembler) Region(r Region) *Assembler {
+	a.region = r
+	return a
+}
+
+// Label binds name to the next emitted location.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.errf("duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = uint16(len(a.insts))
+	return a
+}
+
+// emit appends one microinstruction in the current region, attaching any
+// label bound to this address.
+func (a *Assembler) emit(mi MicroInst) *Assembler {
+	mi.Region = a.region
+	for name, addr := range a.labels {
+		if int(addr) == len(a.insts) && mi.Label == "" {
+			mi.Label = name
+		}
+	}
+	a.insts = append(a.insts, mi)
+	return a
+}
+
+// Compute emits n autonomous compute cycles.
+func (a *Assembler) Compute(n int, comment string) *Assembler {
+	for i := 0; i < n; i++ {
+		c := comment
+		if n > 1 {
+			c = fmt.Sprintf("%s (%d/%d)", comment, i+1, n)
+		}
+		a.emit(MicroInst{Seq: SeqNext, Comment: c})
+	}
+	return a
+}
+
+// Mem emits one memory-function cycle.
+func (a *Assembler) Mem(f MemFunc, comment string) *Assembler {
+	return a.emit(MicroInst{Mem: f, Seq: SeqNext, Comment: comment})
+}
+
+// LoopLoad emits a compute cycle that loads the loop counter.
+func (a *Assembler) LoopLoad(src LoopSrc, n int, comment string) *Assembler {
+	return a.emit(MicroInst{Seq: SeqNext, Loop: src, N: n, Comment: comment})
+}
+
+// LoopBack emits the loop-closing microinstruction: decrement the counter
+// and jump back to label while it remains positive. The microinstruction
+// itself may also carry a memory function (the common "read/write inside
+// the loop-closing cycle" idiom).
+func (a *Assembler) LoopBack(label string, mem MemFunc, comment string) *Assembler {
+	a.fixups = append(a.fixups, fixup{addr: len(a.insts), label: label})
+	return a.emit(MicroInst{Mem: mem, Seq: SeqLoop, Comment: comment})
+}
+
+// Jump emits an unconditional jump to label.
+func (a *Assembler) Jump(label string, comment string) *Assembler {
+	a.fixups = append(a.fixups, fixup{addr: len(a.insts), label: label})
+	return a.emit(MicroInst{Seq: SeqJump, Comment: comment})
+}
+
+// DecodeInstr emits the IRD microinstruction: one compute cycle that
+// consumes the opcode byte and dispatches on it.
+func (a *Assembler) DecodeInstr(comment string) *Assembler {
+	return a.emit(MicroInst{IB: IBDecodeInstr, Seq: SeqDispatch, Comment: comment})
+}
+
+// DecodeSpec emits a specifier-decode dispatch cycle.
+func (a *Assembler) DecodeSpec(comment string) *Assembler {
+	return a.emit(MicroInst{IB: IBDecodeSpec, Seq: SeqDispatch, Comment: comment})
+}
+
+// DecodeBranch emits a branch-displacement decode dispatch cycle.
+func (a *Assembler) DecodeBranch(comment string) *Assembler {
+	return a.emit(MicroInst{IB: IBDecodeBranch, Seq: SeqDispatch, Comment: comment})
+}
+
+// Redirect emits the cycle that commands I-Fetch to refill from the branch
+// target (paper §5: "an additional cycle is consumed in the execute phase
+// of the instruction to redirect the IB").
+func (a *Assembler) Redirect(comment string) *Assembler {
+	return a.emit(MicroInst{IB: IBRedirect, Seq: SeqNext, Comment: comment})
+}
+
+// IBStallLoc emits an IB-stall wait location: executed once per cycle in
+// which a decode found insufficient bytes in the IB. Sequencing re-issues
+// the same decode each cycle, so Seq is SeqDispatch with the stall flag.
+func (a *Assembler) IBStallLoc(f IBFunc, comment string) *Assembler {
+	return a.emit(MicroInst{IB: f, Seq: SeqDispatch, IBStall: true, Comment: comment})
+}
+
+// End emits the end-of-instruction microinstruction (back to IRD).
+func (a *Assembler) End(comment string) *Assembler {
+	return a.emit(MicroInst{Seq: SeqEndInstr, Comment: comment})
+}
+
+// EndMem emits an end-of-instruction cycle that also performs a memory
+// function (common: the final result write ends the instruction).
+func (a *Assembler) EndMem(f MemFunc, comment string) *Assembler {
+	return a.emit(MicroInst{Mem: f, Seq: SeqEndInstr, Comment: comment})
+}
+
+// EndStore emits the final execute compute cycle of a flow whose result
+// goes to the destination specifier: the sequencer continues to the RSTORE
+// microroutine when the destination is in memory and ends the instruction
+// otherwise (the register store shares this cycle — the 11/780's
+// literal/register optimization).
+func (a *Assembler) EndStore(comment string) *Assembler {
+	return a.emit(MicroInst{Seq: SeqStore, Comment: comment})
+}
+
+// CondTaken emits a compute cycle that jumps to label when the current
+// instruction's branch is taken and falls through otherwise.
+func (a *Assembler) CondTaken(label string, comment string) *Assembler {
+	a.fixups = append(a.fixups, fixup{addr: len(a.insts), label: label})
+	return a.emit(MicroInst{Seq: SeqCondTaken, Comment: comment})
+}
+
+// SkipBranch emits an end-of-instruction cycle that consumes the untaken
+// branch's displacement bytes from the IB without computing the target
+// (paper §5: B-DISP has fewer compute cycles than there are branch
+// displacements because untaken branches skip the computation).
+func (a *Assembler) SkipBranch(comment string) *Assembler {
+	return a.emit(MicroInst{IB: IBSkipBranch, Seq: SeqEndInstr, Comment: comment})
+}
+
+// DispatchBase emits a cycle that dispatches to the base-mode flow of an
+// indexed specifier (the EBOX holds the pending base entry computed at
+// decode time).
+func (a *Assembler) DispatchBase(comment string) *Assembler {
+	return a.emit(MicroInst{Seq: SeqDispatch, Comment: comment})
+}
+
+// TrapRet emits the microtrap return cycle (retry the trapped reference).
+func (a *Assembler) TrapRet(comment string) *Assembler {
+	return a.emit(MicroInst{Seq: SeqTrapRet, Comment: comment})
+}
+
+// URet emits a micro-subroutine return cycle (used by the shared B-DISP
+// flow to return to its caller's redirect cycle).
+func (a *Assembler) URet(comment string) *Assembler {
+	return a.emit(MicroInst{Seq: SeqURet, Comment: comment})
+}
+
+// EndRedirect emits a cycle that redirects I-Fetch to the branch target and
+// ends the instruction.
+func (a *Assembler) EndRedirect(comment string) *Assembler {
+	return a.emit(MicroInst{IB: IBRedirect, Seq: SeqEndInstr, Comment: comment})
+}
+
+// CondBranchDisp emits the fused conditional-branch cycle of a
+// displacement branch: when the branch is taken it requests the branch
+// displacement decode (dispatching to the B-DISP flow, which returns to
+// takenLabel); when untaken it consumes the displacement bytes and ends
+// the instruction in this same cycle.
+func (a *Assembler) CondBranchDisp(takenLabel string, comment string) *Assembler {
+	a.fixups = append(a.fixups, fixup{addr: len(a.insts), label: takenLabel})
+	return a.emit(MicroInst{Seq: SeqCondTaken, IB: IBDecodeBranch, Comment: comment})
+}
+
+func (a *Assembler) errf(format string, args ...interface{}) {
+	a.errlist = append(a.errlist, fmt.Sprintf(format, args...))
+}
+
+// Image is an assembled control store.
+type Image struct {
+	Insts  []MicroInst
+	Labels map[string]uint16
+}
+
+// Assemble resolves all fixups and returns the finished image.
+func (a *Assembler) Assemble() (*Image, error) {
+	for _, f := range a.fixups {
+		addr, ok := a.labels[f.label]
+		if !ok {
+			a.errf("undefined label %q", f.label)
+			continue
+		}
+		a.insts[f.addr].Target = addr
+	}
+	// Bind labels onto their instructions for listings.
+	for name, addr := range a.labels {
+		if int(addr) < len(a.insts) && a.insts[addr].Label == "" {
+			a.insts[addr].Label = name
+		}
+	}
+	if len(a.insts) > ControlStoreSize {
+		a.errf("control store overflow: %d locations > %d", len(a.insts), ControlStoreSize)
+	}
+	if len(a.errlist) > 0 {
+		return nil, fmt.Errorf("ucode: assembly errors:\n  %s", strings.Join(a.errlist, "\n  "))
+	}
+	return &Image{
+		Insts:  append([]MicroInst(nil), a.insts...),
+		Labels: copyLabels(a.labels),
+	}, nil
+}
+
+func copyLabels(m map[string]uint16) map[string]uint16 {
+	out := make(map[string]uint16, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// MustAssemble is Assemble for program-construction paths where an error
+// is a build bug.
+func (a *Assembler) MustAssemble() *Image {
+	img, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// Addr returns the address bound to label, panicking if undefined: image
+// consumers use it to build dispatch tables at init time.
+func (img *Image) Addr(label string) uint16 {
+	addr, ok := img.Labels[label]
+	if !ok {
+		panic("ucode: undefined label " + label)
+	}
+	return addr
+}
+
+// At returns the microinstruction at addr.
+func (img *Image) At(addr uint16) *MicroInst {
+	return &img.Insts[addr]
+}
+
+// Size returns the number of occupied control-store locations.
+func (img *Image) Size() int { return len(img.Insts) }
+
+// Listing renders a human-readable control-store listing, one line per
+// location, grouped by region.
+func (img *Image) Listing() string {
+	var b strings.Builder
+	for addr, mi := range img.Insts {
+		fmt.Fprintf(&b, "%05o  %-10s %s\n", addr, mi.Region, mi.String())
+	}
+	return b.String()
+}
+
+// RegionExtents returns, for each region, the number of control-store
+// locations it occupies. Useful for the vaxdiag listing and layout tests.
+func (img *Image) RegionExtents() map[Region]int {
+	out := make(map[Region]int)
+	for _, mi := range img.Insts {
+		out[mi.Region]++
+	}
+	return out
+}
+
+// SortedLabels returns all labels in address order.
+func (img *Image) SortedLabels() []string {
+	names := make([]string, 0, len(img.Labels))
+	for n := range img.Labels {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return img.Labels[names[i]] < img.Labels[names[j]]
+	})
+	return names
+}

@@ -1,0 +1,138 @@
+package ucode
+
+import "fmt"
+
+// Issue is one static-analysis finding in a control-store image.
+type Issue struct {
+	Addr uint16
+	Msg  string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%05o: %s", i.Addr, i.Msg)
+}
+
+// Verify statically checks an assembled control store for the classes of
+// microprogramming bugs the 11/780's own development tooling screened
+// for: jumps out of range, fall-through past the end of store, loop
+// closers that jump forward (non-terminating), dispatches without decode
+// functions, memory functions on stall locations, and unreachable
+// regions. It returns every issue found; an empty slice means the image
+// passes.
+func Verify(img *Image) []Issue {
+	var issues []Issue
+	n := img.Size()
+	add := func(addr uint16, format string, args ...interface{}) {
+		issues = append(issues, Issue{Addr: addr, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	labelled := make(map[uint16]bool, len(img.Labels))
+	for _, a := range img.Labels {
+		labelled[a] = true
+	}
+
+	for addr := 0; addr < n; addr++ {
+		mi := img.At(uint16(addr))
+		a := uint16(addr)
+
+		switch mi.Seq {
+		case SeqNext:
+			if addr == n-1 {
+				add(a, "falls through past the end of the control store")
+			}
+		case SeqJump:
+			if int(mi.Target) >= n {
+				add(a, "jump target %05o out of range", mi.Target)
+			} else if !labelled[mi.Target] && mi.Target != 0 {
+				add(a, "jump target %05o has no label", mi.Target)
+			}
+		case SeqLoop:
+			if int(mi.Target) >= n {
+				add(a, "loop target %05o out of range", mi.Target)
+			} else if mi.Target >= a {
+				add(a, "loop closer jumps forward to %05o (cannot terminate)", mi.Target)
+			}
+		case SeqCondTaken:
+			if mi.IB != IBDecodeBranch {
+				add(a, "conditional branch cycle without a branch decode")
+			}
+			if int(mi.Target) >= n {
+				add(a, "taken-path target %05o out of range", mi.Target)
+			}
+		case SeqDispatch:
+			// Dispatch needs a decode function or a pending-base dispatch
+			// (IBNone, used only by the index preambles).
+			switch mi.IB {
+			case IBDecodeInstr, IBDecodeSpec, IBDecodeBranch, IBNone:
+			default:
+				add(a, "dispatch with IB function %v", mi.IB)
+			}
+		case SeqEndInstr, SeqStore, SeqTrapRet, SeqURet:
+			// terminators are always fine
+		default:
+			add(a, "unknown sequencer function %d", mi.Seq)
+		}
+
+		if mi.IBStall {
+			if mi.Mem != MemNone {
+				add(a, "IB-stall location with a memory function")
+			}
+			if mi.Seq != SeqDispatch {
+				add(a, "IB-stall location must re-dispatch")
+			}
+		}
+
+		if mi.Mem.IsRead() && mi.Mem.IsWrite() {
+			add(a, "memory function both reads and writes")
+		}
+
+		if mi.Region == RegNone && addr != 0 {
+			add(a, "location outside any region")
+		}
+
+		if mi.Loop != LoopNone && mi.Loop != LoopImm && mi.N != 0 {
+			add(a, "loop counter load with both source %d and immediate %d", mi.Loop, mi.N)
+		}
+	}
+
+	issues = append(issues, verifyReachability(img, labelled)...)
+	return issues
+}
+
+// verifyReachability walks the static successor graph from every label
+// (flow entries are entered via dispatch tables, so labels are roots) and
+// reports locations no flow can reach.
+func verifyReachability(img *Image, labelled map[uint16]bool) []Issue {
+	n := img.Size()
+	reached := make([]bool, n)
+	var stack []uint16
+	for a := range labelled {
+		stack = append(stack, a)
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if int(a) >= n || reached[a] {
+			continue
+		}
+		reached[a] = true
+		mi := img.At(a)
+		switch mi.Seq {
+		case SeqNext:
+			stack = append(stack, a+1)
+		case SeqJump:
+			stack = append(stack, mi.Target)
+		case SeqLoop, SeqCondTaken:
+			stack = append(stack, a+1, mi.Target)
+		}
+		// Dispatches and terminators end the static walk; their
+		// successors come from dispatch tables (the labels themselves).
+	}
+	var issues []Issue
+	for a := 1; a < n; a++ {
+		if !reached[a] {
+			issues = append(issues, Issue{Addr: uint16(a), Msg: "unreachable location"})
+		}
+	}
+	return issues
+}

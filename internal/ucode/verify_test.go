@@ -1,0 +1,114 @@
+package ucode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCleanImage(t *testing.T) {
+	a := NewAssembler()
+	a.Region(RegDecode)
+	a.Label("ird").DecodeInstr("d")
+	a.Label("stall").IBStallLoc(ucodeStallFunc, "s")
+	a.Region(RegExecSimple)
+	a.Label("flow").Compute(2, "work").End("done")
+	a.Label("loop.head").LoopLoad(LoopImm, 3, "init")
+	a.Label("loop.body").Compute(1, "body")
+	a.LoopBack("loop.body", MemNone, "again")
+	a.End("done")
+	img := a.MustAssemble()
+	if issues := Verify(img); len(issues) != 0 {
+		t.Errorf("clean image has issues: %v", issues)
+	}
+}
+
+const ucodeStallFunc = IBDecodeInstr
+
+func TestVerifyCatchesForwardLoop(t *testing.T) {
+	a := NewAssembler()
+	a.Region(RegExecSimple)
+	a.Label("bad").LoopBack("fwd", MemNone, "forward loop")
+	a.Label("fwd").End("target")
+	img := a.MustAssemble()
+	found := false
+	for _, i := range Verify(img) {
+		if strings.Contains(i.Msg, "cannot terminate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("forward loop not reported")
+	}
+}
+
+func TestVerifyCatchesFallThroughEnd(t *testing.T) {
+	a := NewAssembler()
+	a.Region(RegExecSimple)
+	a.Label("x").Compute(1, "falls off the end")
+	img := a.MustAssemble()
+	found := false
+	for _, i := range Verify(img) {
+		if strings.Contains(i.Msg, "falls through past the end") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fall-through past end not reported")
+	}
+}
+
+func TestVerifyCatchesUnreachable(t *testing.T) {
+	a := NewAssembler()
+	a.Region(RegExecSimple)
+	a.Label("a").End("done")
+	a.Compute(1, "orphan") // no label, nothing falls into it
+	a.End("orphan end")
+	img := a.MustAssemble()
+	found := 0
+	for _, i := range Verify(img) {
+		if strings.Contains(i.Msg, "unreachable") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d unreachable locations, want 2", found)
+	}
+}
+
+func TestVerifyCatchesStallWithMemory(t *testing.T) {
+	a := NewAssembler()
+	a.Region(RegDecode)
+	a.Label("s").emit(MicroInst{IB: IBDecodeInstr, Seq: SeqDispatch, IBStall: true, Mem: MemReadOperand})
+	img := a.MustAssemble()
+	found := false
+	for _, i := range Verify(img) {
+		if strings.Contains(i.Msg, "IB-stall location with a memory function") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stall-with-memory not reported")
+	}
+}
+
+func TestVerifyCatchesRegionlessCode(t *testing.T) {
+	a := NewAssembler()
+	a.Label("noregion").End("no region set")
+	img := a.MustAssemble()
+	found := false
+	for _, i := range Verify(img) {
+		if strings.Contains(i.Msg, "outside any region") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("regionless location not reported")
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	i := Issue{Addr: 8, Msg: "boom"}
+	if i.String() != "00010: boom" {
+		t.Errorf("Issue.String = %q", i.String())
+	}
+}

@@ -1,0 +1,104 @@
+package upc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Histogram dump format. The measurement procedure of §2.2 read the
+// board's counts over the Unibus and saved them for offline reduction;
+// this is that dump: a small header, the two count sets, and a checksum.
+//
+//	magic   [4]byte  "UPCH"
+//	version uint16   1
+//	buckets uint32   16384
+//	normal  [buckets]uint64 little-endian
+//	stalled [buckets]uint64
+//	crc32   uint32   IEEE, over everything above
+const (
+	dumpMagic   = "UPCH"
+	dumpVersion = 1
+)
+
+// WriteTo serializes the histogram.
+func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(cw, crc)
+
+	if _, err := mw.Write([]byte(dumpMagic)); err != nil {
+		return cw.n, err
+	}
+	hdr := make([]byte, 6)
+	binary.LittleEndian.PutUint16(hdr[0:], dumpVersion)
+	binary.LittleEndian.PutUint32(hdr[2:], Buckets)
+	if _, err := mw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, 8*Buckets)
+	for _, set := range [][Buckets]uint64{h.Normal, h.Stalled} {
+		for i, v := range set {
+			binary.LittleEndian.PutUint64(buf[8*i:], v)
+		}
+		if _, err := mw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	sum := make([]byte, 4)
+	binary.LittleEndian.PutUint32(sum, crc.Sum32())
+	_, err := cw.Write(sum)
+	return cw.n, err
+}
+
+// ReadHistogram deserializes a histogram dump, verifying its checksum.
+func ReadHistogram(r io.Reader) (*Histogram, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	head := make([]byte, 10)
+	if _, err := io.ReadFull(tr, head); err != nil {
+		return nil, fmt.Errorf("upc: reading header: %w", err)
+	}
+	if string(head[:4]) != dumpMagic {
+		return nil, fmt.Errorf("upc: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != dumpVersion {
+		return nil, fmt.Errorf("upc: unsupported version %d", v)
+	}
+	if b := binary.LittleEndian.Uint32(head[6:]); b != Buckets {
+		return nil, fmt.Errorf("upc: bucket count %d, want %d", b, Buckets)
+	}
+
+	h := &Histogram{}
+	buf := make([]byte, 8*Buckets)
+	for _, set := range []*[Buckets]uint64{&h.Normal, &h.Stalled} {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, fmt.Errorf("upc: reading counts: %w", err)
+		}
+		for i := range set {
+			set[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+	}
+	want := crc.Sum32()
+	sum := make([]byte, 4)
+	if _, err := io.ReadFull(r, sum); err != nil {
+		return nil, fmt.Errorf("upc: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum); got != want {
+		return nil, fmt.Errorf("upc: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return h, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

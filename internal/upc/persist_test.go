@@ -1,0 +1,136 @@
+package upc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHistogramRoundTrip(t *testing.T) {
+	m := New()
+	m.Start()
+	for i := 0; i < 1000; i++ {
+		m.Tick(uint16(i*37%Buckets), i%3 == 0)
+	}
+	h := m.Snapshot()
+
+	var buf bytes.Buffer
+	n, err := h.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadHistogram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadHistogramDetectsCorruption(t *testing.T) {
+	h := &Histogram{}
+	h.Normal[5] = 42
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a count byte: checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[100] ^= 0xFF
+	if _, err := ReadHistogram(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted dump accepted")
+	}
+
+	// Bad magic.
+	corrupt = append([]byte(nil), data...)
+	corrupt[0] = 'X'
+	if _, err := ReadHistogram(bytes.NewReader(corrupt)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Truncated.
+	if _, err := ReadHistogram(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated dump accepted")
+	}
+
+	// Empty.
+	if _, err := ReadHistogram(bytes.NewReader(nil)); err == nil {
+		t.Error("empty dump accepted")
+	}
+}
+
+func TestReadHistogramVersionCheck(t *testing.T) {
+	h := &Histogram{}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	if _, err := ReadHistogram(bytes.NewReader(data)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestRoundTripPreservesComposite(t *testing.T) {
+	// Summing dumps from separate runs must equal summing live
+	// histograms — the paper's composite workflow over saved dumps.
+	a, b := &Histogram{}, &Histogram{}
+	a.Normal[10] = 5
+	a.Stalled[10] = 2
+	b.Normal[10] = 7
+
+	var bufA, bufB bytes.Buffer
+	if _, err := a.WriteTo(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := ReadHistogram(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadHistogram(&bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Add(rb)
+	if n, s := ra.At(10); n != 12 || s != 2 {
+		t.Errorf("composite = %d/%d, want 12/2", n, s)
+	}
+}
+
+// FuzzReadHistogram feeds arbitrary bytes to the dump reader: it must
+// never panic and never accept corrupt data silently.
+func FuzzReadHistogram(f *testing.F) {
+	h := &Histogram{}
+	h.Normal[3] = 9
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("UPCH"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadHistogram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip identically.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatal("accepted dump does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package upc implements the paper's contribution: the micro-PC histogram
+// monitor. The hardware was a general-purpose histogram count board with
+// 16,000 addressable count locations plus a processor-specific interface
+// that addressed a distinct bucket for each microcode location and pulsed
+// a count for each microinstruction executed (§2.2).
+//
+// The board actually contains two sets of counts: one for non-stalled
+// microinstructions and one for read- or write-stalled microinstructions
+// (§4.3). It is completely passive — attaching it changes nothing about
+// the measured system — and is controlled over the Unibus: commands start
+// and stop collection, clear the buckets, and read them out.
+package upc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Buckets is the number of addressable count locations on the histogram
+// board.
+const Buckets = 16384
+
+// counterBits models the board's counter width. The paper notes the
+// capacity sufficed for 1-2 hours of heavy processing; 40-bit counters at
+// a 5 MHz cycle rate give about 61 hours for a single hot location, and
+// more importantly let us detect saturation rather than wrap.
+const counterBits = 40
+
+const counterMax = (uint64(1) << counterBits) - 1
+
+// Monitor is the UPC histogram monitor.
+type Monitor struct {
+	normal    [Buckets]uint64
+	stalled   [Buckets]uint64
+	running   bool
+	saturated bool
+}
+
+// New returns a stopped, cleared monitor.
+func New() *Monitor { return &Monitor{} }
+
+// Start begins data collection.
+func (m *Monitor) Start() { m.running = true }
+
+// Stop halts data collection.
+func (m *Monitor) Stop() { m.running = false }
+
+// Running reports whether the monitor is collecting.
+func (m *Monitor) Running() bool { return m.running }
+
+// Clear zeroes every bucket.
+func (m *Monitor) Clear() {
+	m.normal = [Buckets]uint64{}
+	m.stalled = [Buckets]uint64{}
+	m.saturated = false
+}
+
+// Saturated reports whether any counter hit its capacity (data from a
+// saturated run undercounts and should be discarded).
+func (m *Monitor) Saturated() bool { return m.saturated }
+
+// Tick records one EBOX cycle at micro-PC addr. stalled selects the
+// second count set, used for read- and write-stalled cycles; IB-stall
+// cycles are ordinary executions of the IB-stall wait microinstruction
+// and arrive with stalled=false (§4.3). Tick is the passive hardware
+// hook: it never affects the machine.
+func (m *Monitor) Tick(addr uint16, stalled bool) {
+	if !m.running {
+		return
+	}
+	i := int(addr) % Buckets
+	c := &m.normal[i]
+	if stalled {
+		c = &m.stalled[i]
+	}
+	if *c >= counterMax {
+		m.saturated = true
+		return
+	}
+	*c++
+}
+
+// Read returns the two counts of one bucket (a Unibus read sequence on
+// the real board).
+func (m *Monitor) Read(addr uint16) (normal, stalled uint64) {
+	i := int(addr) % Buckets
+	return m.normal[i], m.stalled[i]
+}
+
+// Snapshot copies the current counts into a Histogram for offline
+// reduction, as the measurement hosts dumped the board after each run.
+func (m *Monitor) Snapshot() *Histogram {
+	h := &Histogram{}
+	h.Normal = m.normal
+	h.Stalled = m.stalled
+	return h
+}
+
+// Histogram is a dumped set of counts, the unit of data reduction. The
+// composite workload of the paper is the sum of the five per-experiment
+// histograms.
+type Histogram struct {
+	Normal  [Buckets]uint64
+	Stalled [Buckets]uint64
+}
+
+// Add accumulates other into h (histogram summing, §2.2: "the composite
+// of all five, that is, the sum of the five UPC histograms").
+func (h *Histogram) Add(other *Histogram) {
+	for i := range h.Normal {
+		h.Normal[i] += other.Normal[i]
+		h.Stalled[i] += other.Stalled[i]
+	}
+}
+
+// Diff returns h minus prev: the counts accumulated between two
+// snapshots. This enables the interval analysis the paper lists as a
+// limitation of its averages-only reduction (§2.2: "no measures of the
+// variation of the statistics during the measurement are collected").
+func (h *Histogram) Diff(prev *Histogram) *Histogram {
+	out := &Histogram{}
+	for i := range h.Normal {
+		out.Normal[i] = h.Normal[i] - prev.Normal[i]
+		out.Stalled[i] = h.Stalled[i] - prev.Stalled[i]
+	}
+	return out
+}
+
+// TotalCycles returns the total of both count sets: every processor cycle
+// of the measurement interval.
+func (h *Histogram) TotalCycles() uint64 {
+	var n uint64
+	for i := range h.Normal {
+		n += h.Normal[i] + h.Stalled[i]
+	}
+	return n
+}
+
+// At returns the counts at one location.
+func (h *Histogram) At(addr uint16) (normal, stalled uint64) {
+	return h.Normal[addr], h.Stalled[addr]
+}
+
+// Unibus register offsets of the histogram board. The board was designed
+// as a Unibus device (§2.2); this register file reproduces that control
+// path so the monitor can be driven exactly as the measurement scripts
+// drove it.
+const (
+	RegCSR    = 0o0 // control/status register
+	RegAddr   = 0o2 // bucket address register
+	RegDataLo = 0o4 // low 16 bits of the addressed count
+	RegDataHi = 0o6 // high bits of the addressed count (reads latch)
+)
+
+// CSR bits.
+const (
+	CSRRun      = 1 << 0 // set: counting
+	CSRClear    = 1 << 1 // write 1: clear all buckets
+	CSRStallSet = 1 << 2 // select the stalled count set for readout
+	CSRSat      = 1 << 7 // read-only: a counter saturated
+)
+
+// Bus is the Unibus programming interface of the board.
+type Bus struct {
+	m     *Monitor
+	addr  uint16
+	stall bool
+	latch uint64
+}
+
+// NewBus attaches a Unibus register interface to m.
+func NewBus(m *Monitor) *Bus { return &Bus{m: m} }
+
+// ErrBadRegister is returned for accesses outside the board's register
+// file.
+var ErrBadRegister = errors.New("upc: no such register")
+
+// WriteWord performs a Unibus word write to the given register offset.
+func (b *Bus) WriteWord(off uint16, v uint16) error {
+	switch off {
+	case RegCSR:
+		if v&CSRClear != 0 {
+			b.m.Clear()
+		}
+		if v&CSRRun != 0 {
+			b.m.Start()
+		} else {
+			b.m.Stop()
+		}
+		b.stall = v&CSRStallSet != 0
+		return nil
+	case RegAddr:
+		b.addr = v % Buckets
+		return nil
+	case RegDataLo, RegDataHi:
+		return fmt.Errorf("%w: data registers are read-only", ErrBadRegister)
+	}
+	return ErrBadRegister
+}
+
+// ReadWord performs a Unibus word read. Reading RegDataLo latches the
+// addressed counter so the two halves are consistent.
+func (b *Bus) ReadWord(off uint16) (uint16, error) {
+	switch off {
+	case RegCSR:
+		var v uint16
+		if b.m.running {
+			v |= CSRRun
+		}
+		if b.stall {
+			v |= CSRStallSet
+		}
+		if b.m.saturated {
+			v |= CSRSat
+		}
+		return v, nil
+	case RegAddr:
+		return b.addr, nil
+	case RegDataLo:
+		n, s := b.m.Read(b.addr)
+		b.latch = n
+		if b.stall {
+			b.latch = s
+		}
+		return uint16(b.latch), nil
+	case RegDataHi:
+		return uint16(b.latch >> 16), nil
+	}
+	return 0, ErrBadRegister
+}

@@ -1,0 +1,203 @@
+package upc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickRequiresRunning(t *testing.T) {
+	m := New()
+	m.Tick(5, false)
+	if n, _ := m.Read(5); n != 0 {
+		t.Error("stopped monitor counted")
+	}
+	m.Start()
+	m.Tick(5, false)
+	m.Tick(5, true)
+	m.Tick(5, true)
+	n, s := m.Read(5)
+	if n != 1 || s != 2 {
+		t.Errorf("counts = %d/%d, want 1/2", n, s)
+	}
+	m.Stop()
+	m.Tick(5, false)
+	if n, _ := m.Read(5); n != 1 {
+		t.Error("stopped monitor counted after Stop")
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New()
+	m.Start()
+	m.Tick(1, false)
+	m.Tick(2, true)
+	m.Clear()
+	if n, s := m.Read(1); n != 0 || s != 0 {
+		t.Error("clear did not zero bucket 1")
+	}
+	if _, s := m.Read(2); s != 0 {
+		t.Error("clear did not zero stalled set")
+	}
+}
+
+func TestSnapshotAndAdd(t *testing.T) {
+	m := New()
+	m.Start()
+	for i := 0; i < 10; i++ {
+		m.Tick(100, false)
+	}
+	m.Tick(200, true)
+	h1 := m.Snapshot()
+	m.Clear()
+	m.Tick(100, false)
+	h2 := m.Snapshot()
+
+	h1.Add(h2)
+	if n, _ := h1.At(100); n != 11 {
+		t.Errorf("composite bucket 100 = %d, want 11", n)
+	}
+	if got := h1.TotalCycles(); got != 12 {
+		t.Errorf("TotalCycles = %d, want 12", got)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	m := New()
+	m.Start()
+	m.Tick(7, false)
+	h := m.Snapshot()
+	m.Tick(7, false)
+	if n, _ := h.At(7); n != 1 {
+		t.Error("snapshot aliases live counters")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	m := New()
+	m.Start()
+	m.normal[3] = counterMax
+	m.Tick(3, false)
+	if !m.Saturated() {
+		t.Error("saturation not detected")
+	}
+	if m.normal[3] != counterMax {
+		t.Error("counter wrapped past capacity")
+	}
+	m.Clear()
+	if m.Saturated() {
+		t.Error("Clear did not reset saturation")
+	}
+}
+
+func TestBusControl(t *testing.T) {
+	m := New()
+	b := NewBus(m)
+	if err := b.WriteWord(RegCSR, CSRRun); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Running() {
+		t.Error("CSR run bit did not start the monitor")
+	}
+	m.Tick(42, false)
+	m.Tick(42, false)
+	m.Tick(42, true)
+
+	// Read the normal count of bucket 42.
+	if err := b.WriteWord(RegAddr, 42); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := b.ReadWord(RegDataLo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 {
+		t.Errorf("normal count = %d, want 2", lo)
+	}
+	// Switch to the stalled set.
+	if err := b.WriteWord(RegCSR, CSRRun|CSRStallSet); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ = b.ReadWord(RegDataLo)
+	if lo != 1 {
+		t.Errorf("stalled count = %d, want 1", lo)
+	}
+
+	// Stop and clear via CSR.
+	if err := b.WriteWord(RegCSR, CSRClear); err != nil {
+		t.Fatal(err)
+	}
+	if m.Running() {
+		t.Error("CSR write without run bit should stop")
+	}
+	if n, _ := m.Read(42); n != 0 {
+		t.Error("CSR clear bit did not clear")
+	}
+}
+
+func TestBusCSRStatus(t *testing.T) {
+	m := New()
+	b := NewBus(m)
+	m.Start()
+	m.saturated = true
+	v, err := b.ReadWord(RegCSR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v&CSRRun == 0 || v&CSRSat == 0 {
+		t.Errorf("CSR = %o, want run+sat bits", v)
+	}
+}
+
+func TestBusLatchConsistency(t *testing.T) {
+	m := New()
+	b := NewBus(m)
+	m.Start()
+	for i := 0; i < 0x1_0005; i++ { // force a count > 16 bits
+		m.Tick(9, false)
+	}
+	b.WriteWord(RegAddr, 9)
+	lo, _ := b.ReadWord(RegDataLo)
+	hi, _ := b.ReadWord(RegDataHi)
+	got := uint64(hi)<<16 | uint64(lo)
+	if got != 0x1_0005 {
+		t.Errorf("latched read = %#x, want 0x10005", got)
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	b := NewBus(New())
+	if _, err := b.ReadWord(0o10); err == nil {
+		t.Error("read of bad register should fail")
+	}
+	if err := b.WriteWord(0o10, 0); err == nil {
+		t.Error("write of bad register should fail")
+	}
+	if err := b.WriteWord(RegDataLo, 1); err == nil {
+		t.Error("data registers must be read-only")
+	}
+}
+
+func TestBucketAddressWraps(t *testing.T) {
+	m := New()
+	m.Start()
+	m.Tick(uint16(Buckets), false) // wraps to 0 (16384 % 16384)
+	if n, _ := m.Read(0); n != 1 {
+		t.Error("address wrap mismatch between Tick and Read")
+	}
+}
+
+func TestQuickTickSum(t *testing.T) {
+	// Property: total cycles equals number of ticks, regardless of
+	// address/stall pattern.
+	m := New()
+	m.Start()
+	ticks := 0
+	f := func(addr uint16, stalled bool) bool {
+		m.Tick(addr, stalled)
+		ticks++
+		return m.Snapshot().TotalCycles() == uint64(ticks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,405 @@
+package urom
+
+import "vax780/internal/ucode"
+
+// buildExecFlows emits one execute flow per microcode-sharing class. Flow
+// lengths are modelled on the per-group cycle counts of Table 9 of the
+// paper (SIMPLE ≈ 1.2 cycles, FLOAT ≈ 8.3, CALL/RET ≈ 45, CHARACTER ≈ 117,
+// DECIMAL ≈ 101); data-dependent loops draw their counts from the
+// instruction context.
+func (b *builder) buildExecFlows() {
+	b.buildSimpleFlows()
+	b.buildFieldFlows()
+	b.buildFloatFlows()
+	b.buildCallRetFlows()
+	b.buildSystemExecFlows()
+	b.buildCharacterFlows()
+	b.buildDecimalFlows()
+}
+
+func (b *builder) buildSimpleFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecSimple)
+
+	// Moves: one cycle — route data, set condition codes, store result.
+	a.Label("exec.move").EndStore("move data, set CCs")
+	// Quadword moves transfer two longwords: the second longword's write
+	// goes out back-to-back with the RSTORE write, which is where quad
+	// stores pick up write-buffer stalls.
+	a.Label("exec.moveq").
+		Compute(1, "stage second longword").
+		Mem(ucode.MemWriteScalar, "write second longword").
+		EndStore("store first longword, set CCs")
+	a.Label("exec.moveaddr").EndStore("move address")
+
+	// Integer add/subtract/inc/dec share this flow; the ALU control field
+	// is set by hardware from the opcode (§3.1). The optimized entry skips
+	// the operand-staging cycle when the 780's literal/register operand
+	// hardware has already staged it.
+	a.Label("exec.arith").Compute(1, "stage operands")
+	a.Label("exec.arith.opt").EndStore("ALU op, store")
+
+	a.Label("exec.extarith").
+		Compute(2, "extended arithmetic setup").
+		EndStore("ALU op, store")
+
+	a.Label("exec.bool").Compute(1, "stage operands")
+	a.Label("exec.bool.opt").EndStore("boolean op, store")
+
+	a.Label("exec.cmptst").End("compare/test, set CCs")
+
+	a.Label("exec.cvt").Compute(1, "stage operand")
+	a.Label("exec.cvt.opt").EndStore("convert, store")
+
+	a.Label("exec.push").
+		EndMem(ucode.MemWriteStack, "decrement SP, push operand")
+
+	a.Label("exec.psl").Compute(1, "PSL access").End("done")
+	a.Label("exec.nop").End("no operation")
+
+	// Simple conditional branches, BRB and BRW: a single fused cycle
+	// tests the condition; taken branches decode the displacement (B-DISP
+	// flow) and redirect, untaken ones consume the displacement in the
+	// test cycle itself.
+	a.Label("exec.condbr").CondBranchDisp("exec.condbr.take", "test condition")
+	a.Label("exec.condbr.take").EndRedirect("redirect I-fetch to target")
+
+	// Loop branches: SOB/AOB/ACB share an index-update cycle first. Each
+	// branch class has its own taken-path location, which is how the
+	// histogram recovers the per-class taken ratios of Table 2.
+	a.Label("exec.loopbr").
+		Compute(1, "step and test index").
+		CondBranchDisp("exec.loopbr.take", "test limit")
+	a.Label("exec.loopbr.take").EndRedirect("redirect I-fetch to target")
+
+	// Low-bit tests.
+	a.Label("exec.lowbit").CondBranchDisp("exec.lowbit.take", "test low bit")
+	a.Label("exec.lowbit.take").EndRedirect("redirect I-fetch to target")
+
+	// Subroutine linkage is simple on the VAX: push or pop of PC plus a
+	// jump (§3.1).
+	a.Label("exec.bsb").
+		Mem(ucode.MemWriteStack, "push PC").
+		CondBranchDisp("exec.bsb.take", "always taken")
+	a.Label("exec.bsb.take").EndRedirect("enter subroutine")
+	a.Label("exec.jsb").
+		Mem(ucode.MemWriteStack, "push PC").
+		EndRedirect("jump via specifier address")
+	a.Label("exec.rsb").
+		Mem(ucode.MemReadStack, "pop PC").
+		EndRedirect("return")
+
+	a.Label("exec.jmp").EndRedirect("jump via specifier address")
+
+	// Case branch: bounds check, dispatch-table read, redirect.
+	a.Label("exec.case").
+		Compute(1, "bound selector").
+		Mem(ucode.MemReadScalar, "read case table entry").
+		EndRedirect("redirect to case arm")
+}
+
+func (b *builder) buildFieldFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecField)
+
+	// Field extract/compare/find: register-base and memory-base variants
+	// (the base longword read is execute work, not specifier work).
+	a.Label("exec.fieldext").
+		Compute(2, "position/size checks")
+	a.Label("exec.fieldext.opt").
+		Compute(8, "align, shift and mask").
+		EndStore("store field")
+	a.Label("exec.fieldext.mem").
+		Compute(3, "position/size checks").
+		Mem(ucode.MemReadOperand, "read base longword").
+		Compute(8, "extract across boundary").
+		EndStore("store field")
+
+	a.Label("exec.fieldins").
+		Compute(9, "merge field into registers").
+		End("done")
+	a.Label("exec.fieldins.mem").
+		Compute(3, "position/size checks").
+		Mem(ucode.MemReadOperand, "read base longword").
+		Compute(6, "merge field").
+		EndMem(ucode.MemWriteOperand, "write base longword")
+
+	// Bit branches. BBS/BBC only test; BBSS/BBCC etc. also write the bit
+	// back. All variants share the B-DISP path through the common take
+	// location.
+	a.Label("exec.bitbr").
+		Compute(2, "compute bit position").
+		CondBranchDisp("exec.bitbr.take", "test bit in register")
+	a.Label("exec.bitbr.take").EndRedirect("redirect to target")
+	a.Label("exec.bitbr.mem").
+		Compute(2, "compute bit position").
+		Mem(ucode.MemReadOperand, "read base byte").
+		CondBranchDisp("exec.bitbr.take", "test bit")
+	a.Label("exec.bitbrm").
+		Compute(3, "compute position, set/clear bit").
+		CondBranchDisp("exec.bitbr.take", "test bit")
+	a.Label("exec.bitbrm.mem").
+		Compute(2, "compute bit position").
+		Mem(ucode.MemReadOperand, "read base byte").
+		Compute(1, "set/clear bit").
+		Mem(ucode.MemWriteOperand, "write modified byte").
+		CondBranchDisp("exec.bitbr.take", "test bit")
+}
+
+func (b *builder) buildFloatFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecFloat)
+
+	// All measured machines had Floating Point Accelerators (§2.2), so
+	// these are the FPA-assisted cycle counts. D_floating operands take
+	// roughly twice the F_floating time through the FPA.
+	a.Label("exec.floatadd").
+		Compute(4, "FPA add/sub/convert").
+		EndStore("store result")
+	a.Label("exec.floataddd").
+		Compute(8, "FPA D_floating add/sub").
+		EndStore("store result")
+	a.Label("exec.floatmul").
+		Compute(9, "FPA multiply/divide").
+		EndStore("store result")
+	a.Label("exec.floatmuld").
+		Compute(17, "FPA D_floating multiply/divide").
+		EndStore("store result")
+	a.Label("exec.intmul").
+		Compute(10, "integer multiply").
+		EndStore("store result")
+	a.Label("exec.intdiv").
+		Compute(18, "integer divide").
+		EndStore("store result")
+}
+
+func (b *builder) buildCallRetFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecCallRet)
+
+	// CALLG/CALLS: procedure linkage is expensive — considerable state
+	// saving on the stack (§3.1). Register pushes are paced a few cycles
+	// apart, which still write-stalls behind the one-longword write
+	// buffer.
+	a.Label("exec.call").
+		Compute(2, "fetch argument count, align stack")
+	b.patchHop("exec.call.p1")
+	a.Mem(ucode.MemReadScalar, "read entry mask").
+		Compute(2, "decode entry mask").
+		LoopLoad(ucode.LoopRegCount, 0, "registers to save")
+	a.Label("exec.call.push").
+		Compute(3, "select and stage next register").
+		LoopBack("exec.call.push", ucode.MemWriteStack, "push register")
+	// Five longwords of state: PC, FP, AP, mask/PSW, condition handler.
+	for i := 0; i < 5; i++ {
+		a.Compute(3, "build state longword").
+			Mem(ucode.MemWriteStack, "push state")
+	}
+	a.Compute(3, "set FP, AP, new PSW").
+		EndRedirect("enter procedure")
+
+	// RET: unwind the frame.
+	a.Label("exec.ret").
+		Compute(2, "locate frame").
+		Mem(ucode.MemReadScalar, "read saved mask/PSW")
+	for i := 0; i < 4; i++ {
+		a.Mem(ucode.MemReadStack, "pop state").
+			Compute(1, "restore state")
+	}
+	a.LoopLoad(ucode.LoopRegCount, 0, "registers to restore")
+	a.Label("exec.ret.pop").
+		Mem(ucode.MemReadStack, "pop register").
+		Compute(1, "restore register").
+		LoopBack("exec.ret.pop", ucode.MemNone, "next register")
+	a.Compute(2, "restore PSW, strip stack").
+		EndRedirect("return to caller")
+
+	// PUSHR/POPR: multi-register push and pop.
+	a.Label("exec.pushr").
+		Compute(1, "scan mask").
+		LoopLoad(ucode.LoopRegCount, 0, "registers to push")
+	a.Label("exec.pushr.push").
+		Compute(2, "select register").
+		LoopBack("exec.pushr.push", ucode.MemWriteStack, "push register")
+	a.End("done")
+
+	a.Label("exec.popr").
+		Compute(1, "scan mask").
+		LoopLoad(ucode.LoopRegCount, 0, "registers to pop")
+	a.Label("exec.popr.pop").
+		Mem(ucode.MemReadStack, "pop register").
+		Compute(1, "restore register").
+		LoopBack("exec.popr.pop", ucode.MemNone, "next register")
+	a.End("done")
+}
+
+func (b *builder) buildSystemExecFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecSystem)
+
+	// Change-mode: build exception frame on the new-mode stack.
+	a.Label("exec.chm").
+		Compute(20, "validate, switch stacks")
+	b.patchHop("exec.chm.p1")
+	for i := 0; i < 3; i++ {
+		a.Compute(2, "build frame longword").
+			Mem(ucode.MemWriteStack, "push frame")
+	}
+	a.Compute(4, "fetch dispatch vector").
+		EndRedirect("enter system service")
+
+	// REI: pop PC/PSL, validate, return.
+	a.Label("exec.rei").
+		Compute(4, "validate").
+		Mem(ucode.MemReadStack, "pop PC").
+		Compute(3, "check mode transitions").
+		Mem(ucode.MemReadStack, "pop PSL").
+		Compute(12, "restore state, deliver pending").
+		EndRedirect("resume")
+
+	// Context switch: save/load process context to/from the PCB.
+	a.Label("exec.svpctx").
+		Compute(8, "locate PCB, save PSL/SP")
+	a.LoopLoad(ucode.LoopImm, 8, "context longwords")
+	a.Label("exec.svpctx.save").
+		Compute(1, "select context longword").
+		LoopBack("exec.svpctx.save", ucode.MemWriteScalar, "store to PCB")
+	a.Compute(2, "switch to interrupt stack").
+		End("context saved")
+
+	a.Label("exec.ldpctx").
+		Compute(8, "locate PCB, validate")
+	a.LoopLoad(ucode.LoopImm, 8, "context longwords")
+	a.Label("exec.ldpctx.load").
+		Mem(ucode.MemReadScalar, "load from PCB").
+		LoopBack("exec.ldpctx.load", ucode.MemNone, "next longword")
+	a.Compute(4, "flush process-half of TB, set ASTLVL").
+		End("context loaded")
+
+	// Protection probes.
+	a.Label("exec.probe").
+		Compute(12, "probe both ends of the range via TB").
+		End("set CCs")
+
+	// Interlocked queue operations.
+	a.Label("exec.queue").
+		Compute(4, "validate alignment").
+		Mem(ucode.MemReadScalar, "read queue head").
+		Compute(3, "relink").
+		Mem(ucode.MemWriteScalar, "write forward link").
+		Compute(2, "interlock").
+		Mem(ucode.MemWriteScalar, "write back link").
+		Compute(2, "set CCs").
+		End("done")
+
+	// Processor register moves. Writes to the software interrupt request
+	// register take a distinct exit — the micro-address whose count gives
+	// Table 7's software-interrupt-request headway.
+	a.Label("exec.mxpr").
+		Compute(7, "privileged register access").
+		End("done")
+	a.Label("exec.mxpr.sirr").
+		Compute(7, "privileged register access").
+		End("post software interrupt request")
+}
+
+func (b *builder) buildCharacterFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecCharacter)
+
+	// MOVC3/MOVC5/MOVTC: the paper notes character microcode was written
+	// to avoid write stalls by spacing writes (§4.3) — the 7-cycle inner
+	// loop keeps consecutive writes at least 6 cycles apart.
+	a.Label("exec.movc").
+		Compute(6, "compute lengths, directions")
+	b.patchHop("exec.movc.p1")
+	a.Compute(5, "alignment cases").
+		LoopLoad(ucode.LoopStrLW, 0, "longwords to move")
+	a.Label("exec.movc.loop").
+		Mem(ucode.MemReadString, "read source longword").
+		Compute(4, "rotate/merge bytes").
+		Mem(ucode.MemWriteString, "write destination longword").
+		Compute(2, "advance pointers, check count").
+		LoopBack("exec.movc.loop", ucode.MemNone, "next longword")
+	a.Compute(3, "set final registers").
+		End("move complete")
+
+	// CMPC3/CMPC5/MATCHC: read-only double loop collapsed to one.
+	a.Label("exec.cmpc").
+		Compute(4, "compute lengths").
+		LoopLoad(ucode.LoopStrLW, 0, "longwords to compare")
+	a.Label("exec.cmpc.loop").
+		Mem(ucode.MemReadString, "read source 1").
+		Compute(1, "stage").
+		Mem(ucode.MemReadString, "read source 2").
+		Compute(2, "compare").
+		LoopBack("exec.cmpc.loop", ucode.MemNone, "next longword")
+	a.Compute(2, "set registers and CCs").
+		End("compare complete")
+
+	// LOCC/SKPC/SCANC/SPANC: single-stream search.
+	a.Label("exec.locc").
+		Compute(3, "set up search").
+		LoopLoad(ucode.LoopStrLW, 0, "longwords to scan")
+	a.Label("exec.locc.loop").
+		Mem(ucode.MemReadString, "read longword").
+		Compute(3, "scan bytes").
+		LoopBack("exec.locc.loop", ucode.MemNone, "next longword")
+	a.Compute(2, "set result registers").
+		End("search complete")
+}
+
+func (b *builder) buildDecimalFlows() {
+	a := b.asm
+	a.Region(ucode.RegExecDecimal)
+
+	// Packed decimal add/subtract/compare: digit-serial.
+	a.Label("exec.decadd").
+		Compute(8, "fetch signs and lengths").
+		LoopLoad(ucode.LoopDigits, 0, "digit pairs")
+	a.Label("exec.decadd.loop").
+		Mem(ucode.MemReadString, "read operand bytes").
+		Compute(11, "decimal digit arithmetic").
+		Mem(ucode.MemWriteString, "write result byte").
+		Compute(1, "advance").
+		LoopBack("exec.decadd.loop", ucode.MemNone, "next digit pair")
+	a.Compute(8, "fix sign, set CCs").
+		End("decimal op complete")
+
+	// MULP/DIVP: digit-serial with inner repetition folded into a longer
+	// body.
+	a.Label("exec.decmul").
+		Compute(10, "set up partial products").
+		LoopLoad(ucode.LoopDigits, 0, "digit pairs")
+	a.Label("exec.decmul.loop").
+		Mem(ucode.MemReadString, "read digits").
+		Compute(22, "multiply/divide digit step").
+		Mem(ucode.MemWriteString, "write partial result").
+		LoopBack("exec.decmul.loop", ucode.MemNone, "next digits")
+	a.Compute(10, "normalize result").
+		End("done")
+
+	// Conversions and shifts.
+	a.Label("exec.deccvt").
+		Compute(6, "set up conversion").
+		LoopLoad(ucode.LoopDigits, 0, "digit pairs")
+	a.Label("exec.deccvt.loop").
+		Mem(ucode.MemReadString, "read digits").
+		Compute(6, "convert").
+		Mem(ucode.MemWriteString, "write digits").
+		LoopBack("exec.deccvt.loop", ucode.MemNone, "next digits")
+	a.Compute(4, "fix sign").
+		End("done")
+
+	// EDITPC: pattern-driven edit.
+	a.Label("exec.decedit").
+		Compute(10, "fetch pattern").
+		LoopLoad(ucode.LoopDigits, 0, "pattern steps")
+	a.Label("exec.decedit.loop").
+		Mem(ucode.MemReadString, "read pattern/digits").
+		Compute(8, "apply pattern op").
+		Mem(ucode.MemWriteString, "emit character").
+		LoopBack("exec.decedit.loop", ucode.MemNone, "next pattern op")
+	a.Compute(6, "finish edit").
+		End("done")
+}

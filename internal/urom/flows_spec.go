@@ -1,0 +1,131 @@
+package urom
+
+import "vax780/internal/ucode"
+
+// buildDecode emits the decode region: the IRD location, the per-context
+// IB-stall wait locations, and the shared B-DISP micro-subroutine.
+func (b *builder) buildDecode() {
+	a := b.asm
+
+	a.Region(ucode.RegDecode)
+	a.Label("ird").DecodeInstr("instruction decode dispatch")
+	a.Label("stall.instr").IBStallLoc(ucode.IBDecodeInstr, "IB stall: opcode decode")
+
+	a.Region(ucode.RegBDisp)
+	a.Label("bdisp").URet("add branch displacement to PC")
+	a.Label("stall.bdisp").IBStallLoc(ucode.IBDecodeBranch, "IB stall: branch displacement")
+}
+
+// buildSpecFlows emits the SPEC1 and SPEC2-6 flow copies. Every flow ends
+// with a DecodeSpec cycle: the cycle that both finishes this specifier's
+// processing and requests the next I-Decode dispatch (the tight EBOX /
+// I-Decode coupling described in §2.1).
+func (b *builder) buildSpecFlows() {
+	a := b.asm
+
+	for _, pr := range []struct {
+		pos string
+		reg ucode.Region
+	}{
+		{"1", ucode.RegSpec1},
+		{"N", ucode.RegSpecN},
+	} {
+		pos, reg := pr.pos, pr.reg
+		a.Region(reg)
+
+		// Short literal: expanded by hardware; one cycle.
+		a.Label("spec" + pos + ".lit").DecodeSpec("expand short literal")
+
+		// Register: one cycle regardless of access.
+		a.Label("spec" + pos + ".reg").DecodeSpec("register operand")
+
+		// Immediate: the I-stream constant is assembled, then dispatch.
+		a.Label("spec"+pos+".imm").
+			Compute(1, "assemble immediate from IB").
+			DecodeSpec("immediate ready")
+
+		// Register deferred: (Rn). Address is the register; read and go.
+		a.Label("spec"+pos+".regdef.r").
+			Mem(ucode.MemReadOperand, "read @(Rn)").
+			DecodeSpec("operand ready")
+		a.Label("spec" + pos + ".regdef.a").DecodeSpec("address is Rn")
+
+		// Autoincrement: (Rn)+ — bump the register, then access.
+		a.Label("spec"+pos+".autoinc.r").
+			Compute(1, "step Rn").
+			Mem(ucode.MemReadOperand, "read @(Rn)+").
+			DecodeSpec("operand ready")
+		a.Label("spec"+pos+".autoinc.a").
+			Compute(1, "step Rn").
+			DecodeSpec("address ready")
+
+		// Autodecrement: -(Rn).
+		a.Label("spec"+pos+".autodec.r").
+			Compute(1, "decrement Rn").
+			Mem(ucode.MemReadOperand, "read @-(Rn)").
+			DecodeSpec("operand ready")
+		a.Label("spec"+pos+".autodec.a").
+			Compute(1, "decrement Rn").
+			DecodeSpec("address ready")
+
+		// Displacement modes: byte, word and long displacements share one
+		// flow (the width difference is absorbed by the IB decode).
+		a.Label("spec"+pos+".disp.r").
+			Compute(1, "Rn + displacement").
+			Mem(ucode.MemReadOperand, "read @disp(Rn)").
+			DecodeSpec("operand ready")
+		a.Label("spec"+pos+".disp.a").
+			Compute(1, "Rn + displacement").
+			DecodeSpec("address ready")
+
+		// Displacement deferred: extra pointer fetch.
+		a.Label("spec"+pos+".dispdef.r").
+			Compute(1, "Rn + displacement").
+			Mem(ucode.MemReadPointer, "fetch pointer").
+			Mem(ucode.MemReadOperand, "read operand").
+			DecodeSpec("operand ready")
+		a.Label("spec"+pos+".dispdef.a").
+			Compute(1, "Rn + displacement").
+			Mem(ucode.MemReadPointer, "fetch pointer").
+			DecodeSpec("address ready")
+
+		// Autoincrement deferred: @(Rn)+.
+		a.Label("spec"+pos+".autoincdef.r").
+			Compute(1, "step Rn").
+			Mem(ucode.MemReadPointer, "fetch pointer").
+			Mem(ucode.MemReadOperand, "read operand").
+			DecodeSpec("operand ready")
+		a.Label("spec"+pos+".autoincdef.a").
+			Compute(1, "step Rn").
+			Mem(ucode.MemReadPointer, "fetch pointer").
+			DecodeSpec("address ready")
+
+		// Absolute: @#addr — the address came from the I-stream.
+		a.Label("spec"+pos+".abs.r").
+			Mem(ucode.MemReadOperand, "read @#addr").
+			DecodeSpec("operand ready")
+		a.Label("spec" + pos + ".abs.a").DecodeSpec("address from I-stream")
+	}
+
+	// Index-mode preambles. The base-operand processing of an indexed
+	// FIRST specifier runs in the SPEC2-6 flows (microcode sharing), which
+	// is why the paper reports ~0.06 cycles/instruction of SPEC1 work
+	// under SPEC2-6.
+	a.Region(ucode.RegSpec1)
+	a.Label("spec1.idx").
+		Compute(1, "scale index register").
+		DispatchBase("dispatch to shared base flow")
+	a.Region(ucode.RegSpecN)
+	a.Label("specN.idx").
+		Compute(1, "scale index register").
+		DispatchBase("dispatch to shared base flow")
+
+	// Result store flows: the destination write of a memory write/modify
+	// specifier. All scalar data access is specifier microcode (§3.2).
+	a.Region(ucode.RegSpec1)
+	a.Label("rstore.1").EndMem(ucode.MemWriteOperand, "store result to spec1 operand")
+	a.Label("stall.spec1").IBStallLoc(ucode.IBDecodeSpec, "IB stall: first specifier decode")
+	a.Region(ucode.RegSpecN)
+	a.Label("rstore.N").EndMem(ucode.MemWriteOperand, "store result to operand")
+	a.Label("stall.specN").IBStallLoc(ucode.IBDecodeSpec, "IB stall: specifier decode")
+}

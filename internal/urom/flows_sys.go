@@ -1,0 +1,59 @@
+package urom
+
+import "vax780/internal/ucode"
+
+// buildSystemFlows emits the overhead microcode that is not associated
+// with any particular instruction (§5): interrupt delivery, memory
+// management (TB miss service and alignment), and the abort location.
+func (b *builder) buildSystemFlows() {
+	a := b.asm
+
+	// --- Abort: one cycle per microtrap (and one per patch; patch stubs
+	// are emitted separately). Every microtrap passes through here before
+	// entering its service routine.
+	a.Region(ucode.RegAbort)
+	a.Label("abort").Compute(1, "abort trapped microinstruction")
+
+	// --- Memory management.
+	a.Region(ucode.RegMemMgmt)
+
+	// TB miss service: the paper measures 21.6 cycles per miss on
+	// average, of which 3.5 are read stall on the PTE fetch (§4.2). The
+	// abort cycle plus this 17-cycle routine plus the average PTE stall
+	// reproduces that.
+	a.Label("tbmiss").
+		Compute(3, "save state, classify miss").
+		Compute(4, "compute PTE address").
+		Mem(ucode.MemReadPTE, "fetch page table entry").
+		Compute(5, "validate PTE, form TB entry").
+		Compute(3, "write TB, restore state").
+		TrapRet("retry the reference")
+
+	// Unaligned references: the second physical reference and the
+	// byte-rotation work run here.
+	a.Label("unaligned.read").
+		Compute(2, "compute second reference").
+		Mem(ucode.MemReadOperand, "read second longword").
+		Compute(2, "merge bytes").
+		TrapRet("resume")
+	a.Label("unaligned.write").
+		Compute(2, "compute second reference").
+		Mem(ucode.MemWriteOperand, "write second longword").
+		Compute(2, "finish").
+		TrapRet("resume")
+
+	// --- Interrupt and exception delivery. Entered between instructions
+	// when an interrupt is pending; pushes PC/PSL on the interrupt stack
+	// and redirects to the service routine (whose instructions are
+	// ordinary workload instructions).
+	a.Region(ucode.RegIntExcept)
+	a.Label("interrupt").
+		Compute(8, "prioritize, switch to interrupt stack").
+		Mem(ucode.MemReadScalar, "fetch vector").
+		Compute(4, "build frame").
+		Mem(ucode.MemWriteStack, "push PC").
+		Compute(2, "stage PSL").
+		Mem(ucode.MemWriteStack, "push PSL").
+		Compute(12, "raise IPL, validate").
+		EndRedirect("enter service routine")
+}

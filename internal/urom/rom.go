@@ -1,0 +1,366 @@
+// Package urom contains the authored microprogram of the simulated
+// VAX-11/780: the control-store image plus the dispatch tables the
+// I-Decode stage uses to enter it. The flow structure follows the paper's
+// description of the real microcode:
+//
+//   - one non-overlapped IRD (decode) cycle per instruction;
+//   - distinct first-specifier (SPEC1) and later-specifier (SPEC2-6) flow
+//     copies, except that indexed first specifiers share the SPEC2-6 base
+//     flows (the mis-attribution artifact the paper estimates at ~0.06
+//     cycles/instruction);
+//   - a single shared B-DISP micro-subroutine;
+//   - shared execute flows (integer add/subtract share; BRB/BRW share with
+//     the conditional branches), so per-opcode frequencies are
+//     unrecoverable from the histogram, only per-group frequencies;
+//   - dedicated IB-stall wait locations per decode context (§4.3);
+//   - TB-miss service and alignment microcode in the Mem Mgmt region,
+//     entered through a one-cycle abort location (§5).
+package urom
+
+import (
+	"fmt"
+
+	"vax780/internal/ucode"
+	"vax780/internal/vax"
+)
+
+// AccVariant distinguishes the two specifier flow variants per addressing
+// mode: operand-reading flows and address-only flows.
+type AccVariant int
+
+// Specifier flow variants.
+const (
+	VarRead AccVariant = iota // read / modify access: operand is fetched
+	VarAddr                   // write / address / field access: address only
+	NumAccVariants
+)
+
+// VariantFor maps an architectural access type to its flow variant.
+func VariantFor(a vax.Access) AccVariant {
+	switch a {
+	case vax.AccRead, vax.AccModify:
+		return VarRead
+	}
+	return VarAddr
+}
+
+// ROM is the assembled control store plus every dispatch table the
+// I-Decode stage and the EBOX need to run it.
+type ROM struct {
+	Image *ucode.Image
+
+	// IRD is the instruction decode location; its execution count is the
+	// paper's instruction count normalizer.
+	IRD uint16
+
+	// IB-stall wait locations by decode context (paper §4.3: "decoding
+	// hardware maps the IB contents into various dispatch microaddresses,
+	// one of which indicates that there were insufficient bytes").
+	IBStallInstr uint16
+	IBStallSpec1 uint16
+	IBStallSpecN uint16
+	IBStallBDisp uint16
+
+	// SpecEntry[pos][mode][variant] is the specifier flow entry for a
+	// non-indexed specifier. pos 0 = first specifier, 1 = later.
+	SpecEntry [2][vax.NumAddrModes][NumAccVariants]uint16
+
+	// IdxEntry[pos] is the index-mode preamble; after it the EBOX
+	// dispatches to the SPEC2-6 base flow regardless of position
+	// (microcode sharing).
+	IdxEntry [2]uint16
+
+	// BDisp is the shared branch displacement micro-subroutine.
+	BDisp uint16
+
+	// RStore[pos] is the result-store flow used when the destination
+	// specifier is in memory. pos as above.
+	RStore [2]uint16
+
+	// ExecEntry maps opcode to execute flow entry. ExecEntryOpt is the
+	// optimized entry used when the 11/780's literal/register-operand
+	// hardware optimization applies (0 = no optimized entry). ExecEntryMem
+	// is the variant used when a field-base operand is in memory (0 = no
+	// memory variant).
+	ExecEntry    [256]uint16
+	ExecEntryOpt [256]uint16
+	ExecEntryMem [256]uint16
+
+	// ExecEntrySIRR is the MTPR exit taken for software-interrupt-request
+	// writes (the distinct micro-address behind Table 7's request counts).
+	ExecEntrySIRR uint16
+
+	// Overhead and service flows.
+	TBMiss         uint16 // translation-buffer miss service (Mem Mgmt)
+	UnalignedRead  uint16 // unaligned read second-reference microcode
+	UnalignedWrite uint16
+	Interrupt      uint16 // interrupt/exception delivery (Int/Except)
+	Abort          uint16 // one abort cycle per microtrap
+}
+
+// Build assembles the complete microprogram.
+func Build() *ROM {
+	b := &builder{asm: ucode.NewAssembler()}
+	b.buildDecode()
+	b.buildSpecFlows()
+	b.buildExecFlows()
+	b.buildSystemFlows()
+	b.emitPatchBodies()
+
+	img, err := b.asm.Assemble()
+	if err != nil {
+		panic(fmt.Sprintf("urom: %v", err))
+	}
+
+	r := &ROM{Image: img}
+	r.IRD = img.Addr("ird")
+	r.IBStallInstr = img.Addr("stall.instr")
+	r.IBStallSpec1 = img.Addr("stall.spec1")
+	r.IBStallSpecN = img.Addr("stall.specN")
+	r.IBStallBDisp = img.Addr("stall.bdisp")
+	r.BDisp = img.Addr("bdisp")
+	r.RStore[0] = img.Addr("rstore.1")
+	r.RStore[1] = img.Addr("rstore.N")
+	r.IdxEntry[0] = img.Addr("spec1.idx")
+	r.IdxEntry[1] = img.Addr("specN.idx")
+	r.TBMiss = img.Addr("tbmiss")
+	r.UnalignedRead = img.Addr("unaligned.read")
+	r.UnalignedWrite = img.Addr("unaligned.write")
+	r.Interrupt = img.Addr("interrupt")
+	r.Abort = img.Addr("abort")
+
+	r.fillSpecEntries(img)
+	r.fillExecEntries(img)
+	r.ExecEntrySIRR = img.Addr("exec.mxpr.sirr")
+	return r
+}
+
+// specFlowName returns the flow label for a mode/variant at a position
+// ("1" or "N"). Displacement modes of all three widths share one flow, as
+// the real microcode did (the paper takes byte/word/long displacement
+// frequencies from reference [15], not from the histogram).
+func specFlowName(pos string, m vax.AddrMode, v AccVariant) string {
+	var base string
+	switch m {
+	case vax.ModeLiteral:
+		return "spec" + pos + ".lit" // literal has no address variant
+	case vax.ModeRegister:
+		return "spec" + pos + ".reg"
+	case vax.ModeImmediate:
+		return "spec" + pos + ".imm"
+	case vax.ModeRegDeferred:
+		base = "regdef"
+	case vax.ModeAutoIncrement:
+		base = "autoinc"
+	case vax.ModeAutoDecrement:
+		base = "autodec"
+	case vax.ModeAutoIncDeferred:
+		base = "autoincdef"
+	case vax.ModeAbsolute:
+		base = "abs"
+	case vax.ModeByteDisp, vax.ModeWordDisp, vax.ModeLongDisp:
+		base = "disp"
+	case vax.ModeByteDispDeferred, vax.ModeWordDispDeferred, vax.ModeLongDispDeferred:
+		base = "dispdef"
+	default:
+		panic(fmt.Sprintf("urom: no flow for mode %v", m))
+	}
+	if v == VarRead {
+		return "spec" + pos + "." + base + ".r"
+	}
+	return "spec" + pos + "." + base + ".a"
+}
+
+func (r *ROM) fillSpecEntries(img *ucode.Image) {
+	for pos, ps := range []string{"1", "N"} {
+		for m := vax.AddrMode(0); m < vax.NumAddrModes; m++ {
+			for v := AccVariant(0); v < NumAccVariants; v++ {
+				if m == vax.ModeLiteral || m == vax.ModeImmediate {
+					// Literals and immediates are read-only; the encoder
+					// never produces them for write/address operands, so
+					// point both variants at the read flow.
+					r.SpecEntry[pos][m][v] = img.Addr(specFlowName(ps, m, VarRead))
+					continue
+				}
+				r.SpecEntry[pos][m][v] = img.Addr(specFlowName(ps, m, v))
+			}
+		}
+	}
+}
+
+// execLabel returns the execute flow entry label for an opcode. Sharing is
+// expressed here: every opcode mapping to the same label is
+// indistinguishable in the histogram.
+func execLabel(op vax.Opcode) string {
+	info := op.Info()
+	switch info.Flow {
+	case vax.FlowMove:
+		switch op {
+		case vax.MOVQ, vax.CLRQ:
+			return "exec.moveq"
+		}
+		return "exec.move"
+	case vax.FlowMoveAddr:
+		return "exec.moveaddr"
+	case vax.FlowArith:
+		return "exec.arith"
+	case vax.FlowExtArith:
+		return "exec.extarith"
+	case vax.FlowBool:
+		return "exec.bool"
+	case vax.FlowCmpTst:
+		return "exec.cmptst"
+	case vax.FlowCvt:
+		return "exec.cvt"
+	case vax.FlowPush:
+		return "exec.push"
+	case vax.FlowCondBr:
+		return "exec.condbr"
+	case vax.FlowLoopBr:
+		return "exec.loopbr"
+	case vax.FlowLowBitBr:
+		return "exec.lowbit"
+	case vax.FlowBsbRsb:
+		switch op {
+		case vax.JSB:
+			return "exec.jsb"
+		case vax.RSB:
+			return "exec.rsb"
+		}
+		return "exec.bsb"
+	case vax.FlowJmp:
+		return "exec.jmp"
+	case vax.FlowCase:
+		return "exec.case"
+	case vax.FlowFieldExt:
+		return "exec.fieldext"
+	case vax.FlowFieldIns:
+		return "exec.fieldins"
+	case vax.FlowBitBr:
+		switch op {
+		case vax.BBS, vax.BBC:
+			return "exec.bitbr"
+		}
+		return "exec.bitbrm" // set/clear variants write the base back
+	case vax.FlowFloatAdd:
+		switch op {
+		case vax.ADDD2, vax.SUBD2, vax.MOVD, vax.CMPD:
+			return "exec.floataddd"
+		}
+		return "exec.floatadd"
+	case vax.FlowFloatMul:
+		switch op {
+		case vax.MULD2, vax.DIVD2:
+			return "exec.floatmuld"
+		}
+		return "exec.floatmul"
+	case vax.FlowIntMul:
+		return "exec.intmul"
+	case vax.FlowIntDiv:
+		return "exec.intdiv"
+	case vax.FlowCall:
+		return "exec.call"
+	case vax.FlowRet:
+		return "exec.ret"
+	case vax.FlowPushr:
+		return "exec.pushr"
+	case vax.FlowPopr:
+		return "exec.popr"
+	case vax.FlowChm:
+		return "exec.chm"
+	case vax.FlowRei:
+		return "exec.rei"
+	case vax.FlowSvpctx:
+		return "exec.svpctx"
+	case vax.FlowLdpctx:
+		return "exec.ldpctx"
+	case vax.FlowProbe:
+		return "exec.probe"
+	case vax.FlowQueue:
+		return "exec.queue"
+	case vax.FlowMxpr:
+		return "exec.mxpr"
+	case vax.FlowPsl:
+		return "exec.psl"
+	case vax.FlowNop:
+		return "exec.nop"
+	case vax.FlowMovc:
+		return "exec.movc"
+	case vax.FlowCmpc:
+		return "exec.cmpc"
+	case vax.FlowLocc:
+		return "exec.locc"
+	case vax.FlowDecAdd:
+		return "exec.decadd"
+	case vax.FlowDecMul:
+		return "exec.decmul"
+	case vax.FlowDecCvt:
+		return "exec.deccvt"
+	case vax.FlowDecEdit:
+		return "exec.decedit"
+	}
+	panic(fmt.Sprintf("urom: no execute flow for %s", op))
+}
+
+// optimizable lists the flows whose first execute cycle the 11/780's
+// literal/register-operand hardware folds into the last specifier cycle
+// (paper §5: 0.15 cycles/instruction for SIMPLE, 0.01 for FIELD).
+var optimizable = map[string]bool{
+	"exec.arith": true,
+	"exec.bool":  true,
+	"exec.cvt":   true,
+}
+
+// memVariant lists flows with a distinct entry when the field base
+// operand is in memory.
+var memVariant = map[string]string{
+	"exec.fieldext": "exec.fieldext.mem",
+	"exec.fieldins": "exec.fieldins.mem",
+	"exec.bitbr":    "exec.bitbr.mem",
+	"exec.bitbrm":   "exec.bitbrm.mem",
+}
+
+func (r *ROM) fillExecEntries(img *ucode.Image) {
+	for _, op := range vax.Opcodes() {
+		label := execLabel(op)
+		r.ExecEntry[op] = img.Addr(label)
+		if optimizable[label] {
+			r.ExecEntryOpt[op] = img.Addr(label + ".opt")
+		}
+		if mv, ok := memVariant[label]; ok {
+			r.ExecEntryMem[op] = img.Addr(mv)
+		}
+	}
+}
+
+// builder wraps the assembler during flow construction.
+type builder struct {
+	asm        *ucode.Assembler
+	patchStubs []patchStub
+}
+
+type patchStub struct {
+	name  string
+	after string
+}
+
+// patchHop emits a one-cycle detour through the patch area of the control
+// store: the paper counts one abort cycle per microcode patch, and several
+// of the long flows in the real machine ran through patches. after must be
+// a label bound immediately after the call site; the patch bodies are
+// emitted into the Abort region by emitPatchBodies at the end of the
+// build.
+func (b *builder) patchHop(after string) {
+	name := fmt.Sprintf("patch.%d", len(b.patchStubs)+1)
+	b.patchStubs = append(b.patchStubs, patchStub{name: name, after: after})
+	b.asm.Jump(name, "patched microinstruction")
+	b.asm.Label(after)
+}
+
+// emitPatchBodies places every patch stub in the Abort region.
+func (b *builder) emitPatchBodies() {
+	b.asm.Region(ucode.RegAbort)
+	for _, p := range b.patchStubs {
+		b.asm.Label(p.name).Jump(p.after, "patch body, resume flow")
+	}
+}

@@ -1,0 +1,119 @@
+package vax
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDisasmBasic(t *testing.T) {
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{&Instr{Op: NOP}, "NOP"},
+		{&Instr{Op: RSB}, "RSB"},
+		{
+			&Instr{Op: MOVL, Specs: []Specifier{
+				{Mode: ModeLiteral, Disp: 5, Index: -1},
+				{Mode: ModeRegister, Reg: 2, Index: -1},
+			}},
+			"MOVL    #5, R2",
+		},
+		{
+			&Instr{Op: MOVL, Specs: []Specifier{
+				{Mode: ModeByteDisp, Reg: 3, Disp: -8, Index: 4},
+				{Mode: ModeRegDeferred, Reg: 14, Index: -1},
+			}},
+			"MOVL    -8(R3)[R4], (SP)",
+		},
+		{
+			&Instr{Op: TSTL, Specs: []Specifier{
+				{Mode: ModeAutoIncrement, Reg: 7, Index: -1},
+			}},
+			"TSTL    (R7)+",
+		},
+		{
+			&Instr{Op: TSTL, Specs: []Specifier{
+				{Mode: ModeAutoDecrement, Reg: 7, Index: -1},
+			}},
+			"TSTL    -(R7)",
+		},
+		{
+			&Instr{Op: TSTL, Specs: []Specifier{
+				{Mode: ModeAbsolute, Addr: 0x8000, Index: -1},
+			}},
+			"TSTL    @#0X8000",
+		},
+		{
+			&Instr{Op: TSTL, Specs: []Specifier{
+				{Mode: ModeWordDispDeferred, Reg: 12, Disp: 100, Index: -1},
+			}},
+			"TSTL    @100(AP)",
+		},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in); got != c.want {
+			t.Errorf("Disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDisasmBranchTarget(t *testing.T) {
+	in := &Instr{Op: BEQL, BranchDisp: 6, PC: 0x1000}
+	got := Disasm(in)
+	// Target = 0x1000 + 2 + 6 = 0x1008.
+	if !strings.Contains(got, "0X001008") {
+		t.Errorf("Disasm = %q, want target 0X1008", got)
+	}
+	in.PC = 0
+	if got := Disasm(in); !strings.Contains(got, ".+6") {
+		t.Errorf("PC-less branch = %q, want relative form", got)
+	}
+}
+
+func TestDisasmBytesRoundTrip(t *testing.T) {
+	in := &Instr{Op: ADDL3, PC: 0x2000, Specs: []Specifier{
+		{Mode: ModeLiteral, Disp: 7, Index: -1},
+		{Mode: ModeByteDisp, Reg: 1, Disp: 12, Index: -1},
+		{Mode: ModeRegister, Reg: 2, Index: -1},
+	}}
+	buf := Encode(nil, in)
+	text, n, err := DisasmBytes(buf, in.PC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	want := "ADDL3   #7, 12(R1), R2"
+	if text != want {
+		t.Errorf("DisasmBytes = %q, want %q", text, want)
+	}
+	if _, _, err := DisasmBytes([]byte{0xFF}, 0); err == nil {
+		t.Error("bad opcode should fail")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(12) != "AP" || RegName(13) != "FP" || RegName(14) != "SP" || RegName(15) != "PC" {
+		t.Error("special register names wrong")
+	}
+	if RegName(20) != "R?20" {
+		t.Errorf("out of range = %q", RegName(20))
+	}
+}
+
+func TestDisasmNeverEmptyForRandomInstrs(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		in := randomInstr(r)
+		s := Disasm(in)
+		if s == "" {
+			t.Fatalf("empty disassembly for %v", in.Op)
+		}
+		if !strings.HasPrefix(s, in.Op.String()) {
+			t.Fatalf("disassembly %q does not start with mnemonic %s", s, in.Op)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package vax
+
+// opTable maps the one-byte opcode space to static opcode descriptions.
+// Opcode byte values follow the VAX Architecture Reference Manual. Only the
+// subset exercised by the characterization workloads is populated; the
+// two-byte FD-prefixed opcodes (G/H floating) are outside the study's
+// scope.
+var opTable [256]*OpInfo
+
+// Opcode byte values for the modelled subset, usable as vax.Opcode
+// constants by the workload generator and tests.
+const (
+	HALT   Opcode = 0x00
+	NOP    Opcode = 0x01
+	REI    Opcode = 0x02
+	RET    Opcode = 0x04
+	RSB    Opcode = 0x05
+	LDPCTX Opcode = 0x06
+	SVPCTX Opcode = 0x07
+	PROBER Opcode = 0x0C
+	PROBEW Opcode = 0x0D
+	INSQUE Opcode = 0x0E
+	REMQUE Opcode = 0x0F
+
+	BSBB  Opcode = 0x10
+	BRB   Opcode = 0x11
+	BNEQ  Opcode = 0x12
+	BEQL  Opcode = 0x13
+	BGTR  Opcode = 0x14
+	BLEQ  Opcode = 0x15
+	JSB   Opcode = 0x16
+	JMP   Opcode = 0x17
+	BGEQ  Opcode = 0x18
+	BLSS  Opcode = 0x19
+	BGTRU Opcode = 0x1A
+	BLEQU Opcode = 0x1B
+	BVC   Opcode = 0x1C
+	BVS   Opcode = 0x1D
+	BCC   Opcode = 0x1E
+	BCS   Opcode = 0x1F
+
+	ADDP4 Opcode = 0x20
+	ADDP6 Opcode = 0x21
+	SUBP4 Opcode = 0x22
+	SUBP6 Opcode = 0x23
+	CVTPT Opcode = 0x24
+	MULP  Opcode = 0x25
+	CVTTP Opcode = 0x26
+	DIVP  Opcode = 0x27
+
+	MOVC3 Opcode = 0x28
+	CMPC3 Opcode = 0x29
+	SCANC Opcode = 0x2A
+	SPANC Opcode = 0x2B
+	MOVC5 Opcode = 0x2C
+	CMPC5 Opcode = 0x2D
+	MOVTC Opcode = 0x2E
+
+	BSBW   Opcode = 0x30
+	BRW    Opcode = 0x31
+	CVTWL  Opcode = 0x32
+	CVTWB  Opcode = 0x33
+	MOVP   Opcode = 0x34
+	CMPP3  Opcode = 0x35
+	CVTPL  Opcode = 0x36
+	CMPP4  Opcode = 0x37
+	EDITPC Opcode = 0x38
+	MATCHC Opcode = 0x39
+	LOCC   Opcode = 0x3A
+	SKPC   Opcode = 0x3B
+	MOVZWL Opcode = 0x3C
+	ACBW   Opcode = 0x3D
+
+	ADDF2 Opcode = 0x40
+	ADDF3 Opcode = 0x41
+	SUBF2 Opcode = 0x42
+	SUBF3 Opcode = 0x43
+	MULF2 Opcode = 0x44
+	MULF3 Opcode = 0x45
+	DIVF2 Opcode = 0x46
+	DIVF3 Opcode = 0x47
+	CVTFL Opcode = 0x48
+	CVTLF Opcode = 0x4E
+	MOVF  Opcode = 0x50
+	CMPF  Opcode = 0x51
+	TSTF  Opcode = 0x53
+
+	ADDD2 Opcode = 0x60
+	SUBD2 Opcode = 0x62
+	MULD2 Opcode = 0x64
+	DIVD2 Opcode = 0x66
+	MOVD  Opcode = 0x70
+	CMPD  Opcode = 0x71
+
+	ASHL Opcode = 0x78
+	EMUL Opcode = 0x7A
+	EDIV Opcode = 0x7B
+	CLRQ Opcode = 0x7C
+	MOVQ Opcode = 0x7D
+
+	ADDB2  Opcode = 0x80
+	SUBB2  Opcode = 0x82
+	BICB2  Opcode = 0x8A
+	CASEB  Opcode = 0x8F
+	MOVB   Opcode = 0x90
+	CMPB   Opcode = 0x91
+	BITB   Opcode = 0x93
+	CLRB   Opcode = 0x94
+	TSTB   Opcode = 0x95
+	INCB   Opcode = 0x96
+	DECB   Opcode = 0x97
+	CVTBL  Opcode = 0x98
+	MOVZBL Opcode = 0x9A
+	MOVAB  Opcode = 0x9E
+	PUSHAB Opcode = 0x9F
+
+	ADDW2  Opcode = 0xA0
+	SUBW2  Opcode = 0xA2
+	CASEW  Opcode = 0xAF
+	MOVW   Opcode = 0xB0
+	CMPW   Opcode = 0xB1
+	CLRW   Opcode = 0xB4
+	TSTW   Opcode = 0xB5
+	INCW   Opcode = 0xB6
+	DECW   Opcode = 0xB7
+	BISPSW Opcode = 0xB8
+	BICPSW Opcode = 0xB9
+	POPR   Opcode = 0xBA
+	PUSHR  Opcode = 0xBB
+	CHMK   Opcode = 0xBC
+	CHME   Opcode = 0xBD
+
+	ADDL2 Opcode = 0xC0
+	ADDL3 Opcode = 0xC1
+	SUBL2 Opcode = 0xC2
+	SUBL3 Opcode = 0xC3
+	MULL2 Opcode = 0xC4
+	MULL3 Opcode = 0xC5
+	DIVL2 Opcode = 0xC6
+	DIVL3 Opcode = 0xC7
+	BISL2 Opcode = 0xC8
+	BISL3 Opcode = 0xC9
+	BICL2 Opcode = 0xCA
+	BICL3 Opcode = 0xCB
+	XORL2 Opcode = 0xCC
+	XORL3 Opcode = 0xCD
+	MNEGL Opcode = 0xCE
+	CASEL Opcode = 0xCF
+
+	MOVL   Opcode = 0xD0
+	CMPL   Opcode = 0xD1
+	MCOML  Opcode = 0xD2
+	BITL   Opcode = 0xD3
+	CLRL   Opcode = 0xD4
+	TSTL   Opcode = 0xD5
+	INCL   Opcode = 0xD6
+	DECL   Opcode = 0xD7
+	ADWC   Opcode = 0xD8
+	SBWC   Opcode = 0xD9
+	MTPR   Opcode = 0xDA
+	MFPR   Opcode = 0xDB
+	MOVPSL Opcode = 0xDC
+	PUSHL  Opcode = 0xDD
+	MOVAL  Opcode = 0xDE
+	PUSHAL Opcode = 0xDF
+
+	BBS    Opcode = 0xE0
+	BBC    Opcode = 0xE1
+	BBSS   Opcode = 0xE2
+	BBCS   Opcode = 0xE3
+	BBSC   Opcode = 0xE4
+	BBCC   Opcode = 0xE5
+	BLBS   Opcode = 0xE8
+	BLBC   Opcode = 0xE9
+	FFS    Opcode = 0xEA
+	FFC    Opcode = 0xEB
+	CMPV   Opcode = 0xEC
+	CMPZV  Opcode = 0xED
+	EXTV   Opcode = 0xEE
+	EXTZV  Opcode = 0xEF
+	INSV   Opcode = 0xF0
+	ACBL   Opcode = 0xF1
+	AOBLSS Opcode = 0xF2
+	AOBLEQ Opcode = 0xF3
+	SOBGEQ Opcode = 0xF4
+	SOBGTR Opcode = 0xF5
+	CVTLB  Opcode = 0xF6
+	CVTLW  Opcode = 0xF7
+	ASHP   Opcode = 0xF8
+	CVTLP  Opcode = 0xF9
+	CALLG  Opcode = 0xFA
+	CALLS  Opcode = 0xFB
+)
+
+// spec template shorthands used when building the table.
+var (
+	rb = SpecTemplate{AccRead, TypeByte}
+	rw = SpecTemplate{AccRead, TypeWord}
+	rl = SpecTemplate{AccRead, TypeLong}
+	rq = SpecTemplate{AccRead, TypeQuad}
+	rf = SpecTemplate{AccRead, TypeFFloat}
+	rd = SpecTemplate{AccRead, TypeDFloat}
+	wb = SpecTemplate{AccWrite, TypeByte}
+	ww = SpecTemplate{AccWrite, TypeWord}
+	wl = SpecTemplate{AccWrite, TypeLong}
+	wq = SpecTemplate{AccWrite, TypeQuad}
+	wf = SpecTemplate{AccWrite, TypeFFloat}
+	wd = SpecTemplate{AccWrite, TypeDFloat}
+	mb = SpecTemplate{AccModify, TypeByte}
+	mw = SpecTemplate{AccModify, TypeWord}
+	ml = SpecTemplate{AccModify, TypeLong}
+	mf = SpecTemplate{AccModify, TypeFFloat}
+	md = SpecTemplate{AccModify, TypeDFloat}
+	ab = SpecTemplate{AccAddress, TypeByte}
+	al = SpecTemplate{AccAddress, TypeLong}
+	aq = SpecTemplate{AccAddress, TypeQuad}
+	vb = SpecTemplate{AccVField, TypeByte}
+)
+
+func def(op Opcode, name string, g Group, flow ExecFlow, pc PCClass, bdisp int, specs ...SpecTemplate) {
+	if opTable[op] != nil {
+		panic("vax: duplicate opcode definition " + name)
+	}
+	opTable[op] = &OpInfo{
+		Name:           name,
+		Group:          g,
+		Specs:          specs,
+		BranchDispSize: bdisp,
+		PCClass:        pc,
+		Flow:           flow,
+	}
+}
+
+func init() {
+	// --- SIMPLE: moves ---
+	def(MOVB, "MOVB", GroupSimple, FlowMove, PCNone, 0, rb, wb)
+	def(MOVW, "MOVW", GroupSimple, FlowMove, PCNone, 0, rw, ww)
+	def(MOVL, "MOVL", GroupSimple, FlowMove, PCNone, 0, rl, wl)
+	def(MOVQ, "MOVQ", GroupSimple, FlowMove, PCNone, 0, rq, wq)
+	def(CLRB, "CLRB", GroupSimple, FlowMove, PCNone, 0, wb)
+	def(CLRW, "CLRW", GroupSimple, FlowMove, PCNone, 0, ww)
+	def(CLRL, "CLRL", GroupSimple, FlowMove, PCNone, 0, wl)
+	def(CLRQ, "CLRQ", GroupSimple, FlowMove, PCNone, 0, wq)
+	def(MOVZBL, "MOVZBL", GroupSimple, FlowCvt, PCNone, 0, rb, wl)
+	def(MOVZWL, "MOVZWL", GroupSimple, FlowCvt, PCNone, 0, rw, wl)
+	def(CVTBL, "CVTBL", GroupSimple, FlowCvt, PCNone, 0, rb, wl)
+	def(CVTWL, "CVTWL", GroupSimple, FlowCvt, PCNone, 0, rw, wl)
+	def(CVTWB, "CVTWB", GroupSimple, FlowCvt, PCNone, 0, rw, wb)
+	def(CVTLB, "CVTLB", GroupSimple, FlowCvt, PCNone, 0, rl, wb)
+	def(CVTLW, "CVTLW", GroupSimple, FlowCvt, PCNone, 0, rl, ww)
+	def(MOVAB, "MOVAB", GroupSimple, FlowMoveAddr, PCNone, 0, ab, wl)
+	def(MOVAL, "MOVAL", GroupSimple, FlowMoveAddr, PCNone, 0, al, wl)
+	def(PUSHAB, "PUSHAB", GroupSimple, FlowMoveAddr, PCNone, 0, ab)
+	def(PUSHAL, "PUSHAL", GroupSimple, FlowMoveAddr, PCNone, 0, al)
+	def(PUSHL, "PUSHL", GroupSimple, FlowPush, PCNone, 0, rl)
+	def(MOVPSL, "MOVPSL", GroupSimple, FlowPsl, PCNone, 0, wl)
+	def(NOP, "NOP", GroupSimple, FlowNop, PCNone, 0)
+	def(HALT, "HALT", GroupSystem, FlowNop, PCNone, 0)
+
+	// --- SIMPLE: arithmetic (integer add/subtract share microcode; the
+	// ALU control field is set by hardware from the opcode) ---
+	def(ADDB2, "ADDB2", GroupSimple, FlowArith, PCNone, 0, rb, mb)
+	def(ADDW2, "ADDW2", GroupSimple, FlowArith, PCNone, 0, rw, mw)
+	def(ADDL2, "ADDL2", GroupSimple, FlowArith, PCNone, 0, rl, ml)
+	def(ADDL3, "ADDL3", GroupSimple, FlowArith, PCNone, 0, rl, rl, wl)
+	def(SUBB2, "SUBB2", GroupSimple, FlowArith, PCNone, 0, rb, mb)
+	def(SUBW2, "SUBW2", GroupSimple, FlowArith, PCNone, 0, rw, mw)
+	def(SUBL2, "SUBL2", GroupSimple, FlowArith, PCNone, 0, rl, ml)
+	def(SUBL3, "SUBL3", GroupSimple, FlowArith, PCNone, 0, rl, rl, wl)
+	def(INCB, "INCB", GroupSimple, FlowArith, PCNone, 0, mb)
+	def(INCW, "INCW", GroupSimple, FlowArith, PCNone, 0, mw)
+	def(INCL, "INCL", GroupSimple, FlowArith, PCNone, 0, ml)
+	def(DECB, "DECB", GroupSimple, FlowArith, PCNone, 0, mb)
+	def(DECW, "DECW", GroupSimple, FlowArith, PCNone, 0, mw)
+	def(DECL, "DECL", GroupSimple, FlowArith, PCNone, 0, ml)
+	def(MNEGL, "MNEGL", GroupSimple, FlowArith, PCNone, 0, rl, wl)
+	def(ADWC, "ADWC", GroupSimple, FlowExtArith, PCNone, 0, rl, ml)
+	def(SBWC, "SBWC", GroupSimple, FlowExtArith, PCNone, 0, rl, ml)
+	def(ASHL, "ASHL", GroupSimple, FlowExtArith, PCNone, 0, rb, rl, wl)
+
+	// --- SIMPLE: boolean, compare, test ---
+	def(BISL2, "BISL2", GroupSimple, FlowBool, PCNone, 0, rl, ml)
+	def(BISL3, "BISL3", GroupSimple, FlowBool, PCNone, 0, rl, rl, wl)
+	def(BICL2, "BICL2", GroupSimple, FlowBool, PCNone, 0, rl, ml)
+	def(BICL3, "BICL3", GroupSimple, FlowBool, PCNone, 0, rl, rl, wl)
+	def(BICB2, "BICB2", GroupSimple, FlowBool, PCNone, 0, rb, mb)
+	def(XORL2, "XORL2", GroupSimple, FlowBool, PCNone, 0, rl, ml)
+	def(XORL3, "XORL3", GroupSimple, FlowBool, PCNone, 0, rl, rl, wl)
+	def(MCOML, "MCOML", GroupSimple, FlowBool, PCNone, 0, rl, wl)
+	def(BITB, "BITB", GroupSimple, FlowBool, PCNone, 0, rb, rb)
+	def(BITL, "BITL", GroupSimple, FlowBool, PCNone, 0, rl, rl)
+	def(CMPB, "CMPB", GroupSimple, FlowCmpTst, PCNone, 0, rb, rb)
+	def(CMPW, "CMPW", GroupSimple, FlowCmpTst, PCNone, 0, rw, rw)
+	def(CMPL, "CMPL", GroupSimple, FlowCmpTst, PCNone, 0, rl, rl)
+	def(TSTB, "TSTB", GroupSimple, FlowCmpTst, PCNone, 0, rb)
+	def(TSTW, "TSTW", GroupSimple, FlowCmpTst, PCNone, 0, rw)
+	def(TSTL, "TSTL", GroupSimple, FlowCmpTst, PCNone, 0, rl)
+
+	// --- SIMPLE: branches. BRB/BRW share microcode with the simple
+	// conditional branches (paper §3.1), hence the same flow and class. ---
+	for op, name := range map[Opcode]string{
+		BNEQ: "BNEQ", BEQL: "BEQL", BGTR: "BGTR", BLEQ: "BLEQ",
+		BGEQ: "BGEQ", BLSS: "BLSS", BGTRU: "BGTRU", BLEQU: "BLEQU",
+		BVC: "BVC", BVS: "BVS", BCC: "BCC", BCS: "BCS",
+	} {
+		def(op, name, GroupSimple, FlowCondBr, PCSimpleCond, 1)
+	}
+	def(BRB, "BRB", GroupSimple, FlowCondBr, PCSimpleCond, 1)
+	def(BRW, "BRW", GroupSimple, FlowCondBr, PCSimpleCond, 2)
+	def(SOBGEQ, "SOBGEQ", GroupSimple, FlowLoopBr, PCLoop, 1, ml)
+	def(SOBGTR, "SOBGTR", GroupSimple, FlowLoopBr, PCLoop, 1, ml)
+	def(AOBLSS, "AOBLSS", GroupSimple, FlowLoopBr, PCLoop, 1, rl, ml)
+	def(AOBLEQ, "AOBLEQ", GroupSimple, FlowLoopBr, PCLoop, 1, rl, ml)
+	def(ACBW, "ACBW", GroupSimple, FlowLoopBr, PCLoop, 2, rw, rw, mw)
+	def(ACBL, "ACBL", GroupSimple, FlowLoopBr, PCLoop, 2, rl, rl, ml)
+	def(BLBS, "BLBS", GroupSimple, FlowLowBitBr, PCLowBit, 1, rl)
+	def(BLBC, "BLBC", GroupSimple, FlowLowBitBr, PCLowBit, 1, rl)
+	def(BSBB, "BSBB", GroupSimple, FlowBsbRsb, PCSubr, 1)
+	def(BSBW, "BSBW", GroupSimple, FlowBsbRsb, PCSubr, 2)
+	def(JSB, "JSB", GroupSimple, FlowBsbRsb, PCSubr, 0, ab)
+	def(RSB, "RSB", GroupSimple, FlowBsbRsb, PCSubr, 0)
+	def(JMP, "JMP", GroupSimple, FlowJmp, PCUncond, 0, ab)
+	def(CASEB, "CASEB", GroupSimple, FlowCase, PCCase, 0, rb, rb, rb)
+	def(CASEW, "CASEW", GroupSimple, FlowCase, PCCase, 0, rw, rw, rw)
+	def(CASEL, "CASEL", GroupSimple, FlowCase, PCCase, 0, rl, rl, rl)
+
+	// --- FIELD: bit field operations and bit branches ---
+	def(EXTV, "EXTV", GroupField, FlowFieldExt, PCNone, 0, rl, rb, vb, wl)
+	def(EXTZV, "EXTZV", GroupField, FlowFieldExt, PCNone, 0, rl, rb, vb, wl)
+	def(CMPV, "CMPV", GroupField, FlowFieldExt, PCNone, 0, rl, rb, vb, rl)
+	def(CMPZV, "CMPZV", GroupField, FlowFieldExt, PCNone, 0, rl, rb, vb, rl)
+	def(FFS, "FFS", GroupField, FlowFieldExt, PCNone, 0, rl, rb, vb, wl)
+	def(FFC, "FFC", GroupField, FlowFieldExt, PCNone, 0, rl, rb, vb, wl)
+	def(INSV, "INSV", GroupField, FlowFieldIns, PCNone, 0, rl, rl, rb, vb)
+	def(BBS, "BBS", GroupField, FlowBitBr, PCBitBranch, 1, rl, vb)
+	def(BBC, "BBC", GroupField, FlowBitBr, PCBitBranch, 1, rl, vb)
+	def(BBSS, "BBSS", GroupField, FlowBitBr, PCBitBranch, 1, rl, vb)
+	def(BBCS, "BBCS", GroupField, FlowBitBr, PCBitBranch, 1, rl, vb)
+	def(BBSC, "BBSC", GroupField, FlowBitBr, PCBitBranch, 1, rl, vb)
+	def(BBCC, "BBCC", GroupField, FlowBitBr, PCBitBranch, 1, rl, vb)
+
+	// --- FLOAT: floating point, plus integer multiply/divide (Table 1) ---
+	def(ADDF2, "ADDF2", GroupFloat, FlowFloatAdd, PCNone, 0, rf, mf)
+	def(ADDF3, "ADDF3", GroupFloat, FlowFloatAdd, PCNone, 0, rf, rf, wf)
+	def(SUBF2, "SUBF2", GroupFloat, FlowFloatAdd, PCNone, 0, rf, mf)
+	def(SUBF3, "SUBF3", GroupFloat, FlowFloatAdd, PCNone, 0, rf, rf, wf)
+	def(MULF2, "MULF2", GroupFloat, FlowFloatMul, PCNone, 0, rf, mf)
+	def(MULF3, "MULF3", GroupFloat, FlowFloatMul, PCNone, 0, rf, rf, wf)
+	def(DIVF2, "DIVF2", GroupFloat, FlowFloatMul, PCNone, 0, rf, mf)
+	def(DIVF3, "DIVF3", GroupFloat, FlowFloatMul, PCNone, 0, rf, rf, wf)
+	def(MOVF, "MOVF", GroupFloat, FlowFloatAdd, PCNone, 0, rf, wf)
+	def(CMPF, "CMPF", GroupFloat, FlowFloatAdd, PCNone, 0, rf, rf)
+	def(TSTF, "TSTF", GroupFloat, FlowFloatAdd, PCNone, 0, rf)
+	def(CVTFL, "CVTFL", GroupFloat, FlowFloatAdd, PCNone, 0, rf, wl)
+	def(CVTLF, "CVTLF", GroupFloat, FlowFloatAdd, PCNone, 0, rl, wf)
+	def(ADDD2, "ADDD2", GroupFloat, FlowFloatAdd, PCNone, 0, rd, md)
+	def(SUBD2, "SUBD2", GroupFloat, FlowFloatAdd, PCNone, 0, rd, md)
+	def(MULD2, "MULD2", GroupFloat, FlowFloatMul, PCNone, 0, rd, md)
+	def(DIVD2, "DIVD2", GroupFloat, FlowFloatMul, PCNone, 0, rd, md)
+	def(MOVD, "MOVD", GroupFloat, FlowFloatAdd, PCNone, 0, rd, wd)
+	def(CMPD, "CMPD", GroupFloat, FlowFloatAdd, PCNone, 0, rd, rd)
+	def(MULL2, "MULL2", GroupFloat, FlowIntMul, PCNone, 0, rl, ml)
+	def(MULL3, "MULL3", GroupFloat, FlowIntMul, PCNone, 0, rl, rl, wl)
+	def(DIVL2, "DIVL2", GroupFloat, FlowIntDiv, PCNone, 0, rl, ml)
+	def(DIVL3, "DIVL3", GroupFloat, FlowIntDiv, PCNone, 0, rl, rl, wl)
+	def(EMUL, "EMUL", GroupFloat, FlowIntMul, PCNone, 0, rl, rl, rl, wq)
+	def(EDIV, "EDIV", GroupFloat, FlowIntDiv, PCNone, 0, rl, rq, wl, wl)
+
+	// --- CALL/RET: procedure linkage and multi-register push/pop ---
+	def(CALLG, "CALLG", GroupCallRet, FlowCall, PCProc, 0, ab, ab)
+	def(CALLS, "CALLS", GroupCallRet, FlowCall, PCProc, 0, rl, ab)
+	def(RET, "RET", GroupCallRet, FlowRet, PCProc, 0)
+	def(PUSHR, "PUSHR", GroupCallRet, FlowPushr, PCNone, 0, rw)
+	def(POPR, "POPR", GroupCallRet, FlowPopr, PCNone, 0, rw)
+
+	// --- SYSTEM: privileged operations, context switch, system services,
+	// queues, probes ---
+	def(CHMK, "CHMK", GroupSystem, FlowChm, PCSystem, 0, rw)
+	def(CHME, "CHME", GroupSystem, FlowChm, PCSystem, 0, rw)
+	def(REI, "REI", GroupSystem, FlowRei, PCSystem, 0)
+	def(SVPCTX, "SVPCTX", GroupSystem, FlowSvpctx, PCNone, 0)
+	def(LDPCTX, "LDPCTX", GroupSystem, FlowLdpctx, PCNone, 0)
+	def(PROBER, "PROBER", GroupSystem, FlowProbe, PCNone, 0, rb, rw, ab)
+	def(PROBEW, "PROBEW", GroupSystem, FlowProbe, PCNone, 0, rb, rw, ab)
+	def(INSQUE, "INSQUE", GroupSystem, FlowQueue, PCNone, 0, ab, ab)
+	def(REMQUE, "REMQUE", GroupSystem, FlowQueue, PCNone, 0, ab, wl)
+	def(MTPR, "MTPR", GroupSystem, FlowMxpr, PCNone, 0, rl, rl)
+	def(MFPR, "MFPR", GroupSystem, FlowMxpr, PCNone, 0, rl, wl)
+	def(BISPSW, "BISPSW", GroupSimple, FlowPsl, PCNone, 0, rw)
+	def(BICPSW, "BICPSW", GroupSimple, FlowPsl, PCNone, 0, rw)
+
+	// --- CHARACTER: string instructions ---
+	def(MOVC3, "MOVC3", GroupCharacter, FlowMovc, PCNone, 0, rw, ab, ab)
+	def(MOVC5, "MOVC5", GroupCharacter, FlowMovc, PCNone, 0, rw, ab, rb, rw, ab)
+	def(MOVTC, "MOVTC", GroupCharacter, FlowMovc, PCNone, 0, rw, ab, rb, ab, rw, ab)
+	def(CMPC3, "CMPC3", GroupCharacter, FlowCmpc, PCNone, 0, rw, ab, ab)
+	def(CMPC5, "CMPC5", GroupCharacter, FlowCmpc, PCNone, 0, rw, ab, rb, rw, ab)
+	def(MATCHC, "MATCHC", GroupCharacter, FlowCmpc, PCNone, 0, rw, ab, rw, ab)
+	def(LOCC, "LOCC", GroupCharacter, FlowLocc, PCNone, 0, rb, rw, ab)
+	def(SKPC, "SKPC", GroupCharacter, FlowLocc, PCNone, 0, rb, rw, ab)
+	def(SCANC, "SCANC", GroupCharacter, FlowLocc, PCNone, 0, rw, ab, ab, rb)
+	def(SPANC, "SPANC", GroupCharacter, FlowLocc, PCNone, 0, rw, ab, ab, rb)
+
+	// --- DECIMAL: packed decimal instructions ---
+	def(ADDP4, "ADDP4", GroupDecimal, FlowDecAdd, PCNone, 0, rw, ab, rw, ab)
+	def(ADDP6, "ADDP6", GroupDecimal, FlowDecAdd, PCNone, 0, rw, ab, rw, ab, rw, ab)
+	def(SUBP4, "SUBP4", GroupDecimal, FlowDecAdd, PCNone, 0, rw, ab, rw, ab)
+	def(SUBP6, "SUBP6", GroupDecimal, FlowDecAdd, PCNone, 0, rw, ab, rw, ab, rw, ab)
+	def(CMPP3, "CMPP3", GroupDecimal, FlowDecAdd, PCNone, 0, rw, ab, ab)
+	def(CMPP4, "CMPP4", GroupDecimal, FlowDecAdd, PCNone, 0, rw, ab, rw, ab)
+	def(MULP, "MULP", GroupDecimal, FlowDecMul, PCNone, 0, rw, ab, rw, ab, rw, ab)
+	def(DIVP, "DIVP", GroupDecimal, FlowDecMul, PCNone, 0, rw, ab, rw, ab, rw, ab)
+	def(MOVP, "MOVP", GroupDecimal, FlowDecCvt, PCNone, 0, rw, ab, ab)
+	def(CVTLP, "CVTLP", GroupDecimal, FlowDecCvt, PCNone, 0, rl, rw, ab)
+	def(CVTPL, "CVTPL", GroupDecimal, FlowDecCvt, PCNone, 0, rw, ab, wl)
+	def(CVTPT, "CVTPT", GroupDecimal, FlowDecCvt, PCNone, 0, rw, ab, ab, rw, ab)
+	def(CVTTP, "CVTTP", GroupDecimal, FlowDecCvt, PCNone, 0, rw, ab, ab, rw, ab)
+	def(ASHP, "ASHP", GroupDecimal, FlowDecCvt, PCNone, 0, rb, rw, ab, rb, rw, ab)
+	def(EDITPC, "EDITPC", GroupDecimal, FlowDecEdit, PCNone, 0, rw, ab, ab, ab)
+}
+
+// Opcodes returns all defined opcodes in ascending byte order.
+func Opcodes() []Opcode {
+	var ops []Opcode
+	for i := 0; i < 256; i++ {
+		if opTable[i] != nil {
+			ops = append(ops, Opcode(i))
+		}
+	}
+	return ops
+}
+
+// OpcodesInGroup returns the defined opcodes belonging to group g, in
+// ascending byte order.
+func OpcodesInGroup(g Group) []Opcode {
+	var ops []Opcode
+	for i := 0; i < 256; i++ {
+		if opTable[i] != nil && opTable[i].Group == g {
+			ops = append(ops, Opcode(i))
+		}
+	}
+	return ops
+}

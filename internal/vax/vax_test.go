@@ -1,0 +1,281 @@
+package vax
+
+import "testing"
+
+func TestGroupString(t *testing.T) {
+	cases := map[Group]string{
+		GroupSimple:    "SIMPLE",
+		GroupField:     "FIELD",
+		GroupFloat:     "FLOAT",
+		GroupCallRet:   "CALL/RET",
+		GroupSystem:    "SYSTEM",
+		GroupCharacter: "CHARACTER",
+		GroupDecimal:   "DECIMAL",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("Group(%d).String() = %q, want %q", g, got, want)
+		}
+	}
+	if got := Group(99).String(); got != "Group(99)" {
+		t.Errorf("out-of-range group string = %q", got)
+	}
+}
+
+func TestAddrModeIsMemory(t *testing.T) {
+	nonMemory := []AddrMode{ModeLiteral, ModeRegister, ModeImmediate}
+	for _, m := range nonMemory {
+		if m.IsMemory() {
+			t.Errorf("%v.IsMemory() = true, want false", m)
+		}
+	}
+	memory := []AddrMode{
+		ModeRegDeferred, ModeAutoDecrement, ModeAutoIncrement,
+		ModeAutoIncDeferred, ModeAbsolute, ModeByteDisp,
+		ModeByteDispDeferred, ModeWordDisp, ModeWordDispDeferred,
+		ModeLongDisp, ModeLongDispDeferred,
+	}
+	for _, m := range memory {
+		if !m.IsMemory() {
+			t.Errorf("%v.IsMemory() = false, want true", m)
+		}
+	}
+}
+
+func TestAddrModeIsDeferred(t *testing.T) {
+	deferred := map[AddrMode]bool{
+		ModeAutoIncDeferred:  true,
+		ModeAbsolute:         true,
+		ModeByteDispDeferred: true,
+		ModeWordDispDeferred: true,
+		ModeLongDispDeferred: true,
+		ModeRegister:         false,
+		ModeByteDisp:         false,
+		ModeAutoIncrement:    false,
+		ModeLiteral:          false,
+	}
+	for m, want := range deferred {
+		if got := m.IsDeferred(); got != want {
+			t.Errorf("%v.IsDeferred() = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestDataTypeSize(t *testing.T) {
+	sizes := map[DataType]int{
+		TypeByte: 1, TypeWord: 2, TypeLong: 4,
+		TypeQuad: 8, TypeFFloat: 4, TypeDFloat: 8,
+	}
+	for dt, want := range sizes {
+		if got := dt.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", dt, got, want)
+		}
+	}
+}
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	ops := Opcodes()
+	if len(ops) < 80 {
+		t.Fatalf("only %d opcodes defined; expected a substantial subset (>=80)", len(ops))
+	}
+	for _, op := range ops {
+		info := op.Info()
+		if info == nil {
+			t.Fatalf("Opcodes() returned undefined opcode %02X", byte(op))
+		}
+		if info.Name == "" {
+			t.Errorf("opcode %02X has empty name", byte(op))
+		}
+		if info.Group < 0 || info.Group >= NumGroups {
+			t.Errorf("%s: bad group %d", info.Name, info.Group)
+		}
+		if info.BranchDispSize < 0 || info.BranchDispSize > 2 {
+			t.Errorf("%s: bad branch displacement size %d", info.Name, info.BranchDispSize)
+		}
+		if len(info.Specs) > 6 {
+			t.Errorf("%s: %d specifiers; VAX instructions have at most 6", info.Name, len(info.Specs))
+		}
+		// PC-changing instructions must be branch-displacement carriers or
+		// have an implicit/specifier-determined target.
+		if info.PCClass != PCNone && info.BranchDispSize == 0 {
+			switch info.PCClass {
+			case PCSubr, PCUncond, PCCase, PCProc, PCSystem:
+				// targets via specifier or implicit: fine
+			default:
+				t.Errorf("%s: PC class %v but no branch displacement", info.Name, info.PCClass)
+			}
+		}
+	}
+}
+
+func TestEveryGroupPopulated(t *testing.T) {
+	for g := Group(0); g < NumGroups; g++ {
+		if len(OpcodesInGroup(g)) == 0 {
+			t.Errorf("group %v has no opcodes", g)
+		}
+	}
+}
+
+func TestPCClassMembership(t *testing.T) {
+	cases := map[Opcode]PCClass{
+		BEQL:   PCSimpleCond,
+		BRB:    PCSimpleCond, // grouped with conditionals due to microcode sharing
+		BRW:    PCSimpleCond,
+		SOBGTR: PCLoop,
+		AOBLSS: PCLoop,
+		ACBL:   PCLoop,
+		BLBS:   PCLowBit,
+		BSBB:   PCSubr,
+		RSB:    PCSubr,
+		JMP:    PCUncond,
+		CASEL:  PCCase,
+		BBS:    PCBitBranch,
+		CALLS:  PCProc,
+		RET:    PCProc,
+		CHMK:   PCSystem,
+		REI:    PCSystem,
+		MOVL:   PCNone,
+		PUSHR:  PCNone,
+	}
+	for op, want := range cases {
+		if got := op.Info().PCClass; got != want {
+			t.Errorf("%s: PCClass = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestMicrocodeSharing(t *testing.T) {
+	// The paper's central measurement limitation: integer add and subtract
+	// share microcode; BRB/BRW share with conditional branches.
+	if ADDL2.Info().Flow != SUBL2.Info().Flow {
+		t.Error("ADDL2 and SUBL2 should share an execute flow")
+	}
+	if BRB.Info().Flow != BEQL.Info().Flow {
+		t.Error("BRB and BEQL should share an execute flow")
+	}
+	if MOVC3.Info().Flow != MOVC5.Info().Flow {
+		t.Error("MOVC3 and MOVC5 should share an execute flow")
+	}
+	// And groups that must NOT share.
+	if CALLS.Info().Flow == RET.Info().Flow {
+		t.Error("CALLS and RET must have distinct flows")
+	}
+}
+
+func TestGroupAssignmentsMatchTable1(t *testing.T) {
+	cases := map[Opcode]Group{
+		MOVL:   GroupSimple,
+		ADDL2:  GroupSimple,
+		BEQL:   GroupSimple,
+		BSBB:   GroupSimple, // subroutine call/return is SIMPLE per Table 1
+		RSB:    GroupSimple,
+		EXTV:   GroupField,
+		BBS:    GroupField, // bit branches are FIELD per Table 2
+		ADDF2:  GroupFloat,
+		MULL2:  GroupFloat, // integer multiply/divide is FLOAT per Table 1
+		DIVL3:  GroupFloat,
+		CALLS:  GroupCallRet,
+		PUSHR:  GroupCallRet, // multi-register push/pop per Table 1
+		CHMK:   GroupSystem,
+		SVPCTX: GroupSystem,
+		INSQUE: GroupSystem, // queue manipulation per Table 1
+		PROBER: GroupSystem, // protection probes per Table 1
+		MOVC3:  GroupCharacter,
+		ADDP4:  GroupDecimal,
+	}
+	for op, want := range cases {
+		if got := op.Info().Group; got != want {
+			t.Errorf("%s: group = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestInstrSizeAndNextPC(t *testing.T) {
+	// MOVL R1, 4(R2): opcode + reg spec (1) + bytedisp spec (2) = 4 bytes.
+	in := &Instr{
+		Op: MOVL,
+		Specs: []Specifier{
+			{Mode: ModeRegister, Reg: 1, Index: -1},
+			{Mode: ModeByteDisp, Reg: 2, Disp: 4, Index: -1},
+		},
+		PC: 0x1000,
+	}
+	if got := in.Size(); got != 4 {
+		t.Errorf("MOVL R1,4(R2) size = %d, want 4", got)
+	}
+	if got := in.NextPC(); got != 0x1004 {
+		t.Errorf("NextPC = %#x, want 0x1004", got)
+	}
+	in.Taken = true
+	in.Target = 0x2000
+	if got := in.NextPC(); got != 0x2000 {
+		t.Errorf("taken NextPC = %#x, want 0x2000", got)
+	}
+}
+
+func TestInstrSizeBranch(t *testing.T) {
+	// BEQL with a byte displacement: opcode + 1 disp byte = 2 bytes.
+	in := &Instr{Op: BEQL, BranchDisp: -6, PC: 0x1000}
+	if got := in.Size(); got != 2 {
+		t.Errorf("BEQL size = %d, want 2", got)
+	}
+	// BRW: opcode + 2 disp bytes = 3.
+	in = &Instr{Op: BRW, BranchDisp: 300}
+	if got := in.Size(); got != 3 {
+		t.Errorf("BRW size = %d, want 3", got)
+	}
+}
+
+func TestInstrSizeIndexed(t *testing.T) {
+	// MOVL 8(R3)[R4], R5 : opcode + (index byte + bytedisp 2) + reg 1 = 5.
+	in := &Instr{
+		Op: MOVL,
+		Specs: []Specifier{
+			{Mode: ModeByteDisp, Reg: 3, Disp: 8, Index: 4},
+			{Mode: ModeRegister, Reg: 5, Index: -1},
+		},
+	}
+	if got := in.Size(); got != 5 {
+		t.Errorf("indexed MOVL size = %d, want 5", got)
+	}
+}
+
+func TestInstrSizeImmediate(t *testing.T) {
+	// MOVL #imm32, R1: opcode + (8F + 4 bytes) + 1 = 7.
+	in := &Instr{
+		Op: MOVL,
+		Specs: []Specifier{
+			{Mode: ModeImmediate, Disp: 123456, Index: -1},
+			{Mode: ModeRegister, Reg: 1, Index: -1},
+		},
+	}
+	if got := in.Size(); got != 7 {
+		t.Errorf("immediate MOVL size = %d, want 7", got)
+	}
+	// MOVB #imm8, R1: immediate data is 1 byte → opcode + 2 + 1 = 4.
+	in = &Instr{
+		Op: MOVB,
+		Specs: []Specifier{
+			{Mode: ModeImmediate, Disp: 7, Index: -1},
+			{Mode: ModeRegister, Reg: 1, Index: -1},
+		},
+	}
+	if got := in.Size(); got != 4 {
+		t.Errorf("immediate MOVB size = %d, want 4", got)
+	}
+}
+
+func TestOpcodeStringAndValid(t *testing.T) {
+	if MOVL.String() != "MOVL" {
+		t.Errorf("MOVL.String() = %q", MOVL.String())
+	}
+	if !MOVL.Valid() {
+		t.Error("MOVL should be valid")
+	}
+	if Opcode(0xFF).Valid() {
+		t.Error("0xFF should not be valid")
+	}
+	if got := Opcode(0xFF).String(); got != "opFF" {
+		t.Errorf("invalid opcode string = %q", got)
+	}
+}

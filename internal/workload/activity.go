@@ -1,0 +1,92 @@
+package workload
+
+// Activity is one phase of a simulated user's session script. The
+// paper's RTE drove the measured VAXes with canned user scripts —
+// sequences of editing, compiling, computing, querying — and each phase
+// has a characteristic instruction mix. An Activity scales the profile's
+// base fragment and scalar weights while it is active.
+type Activity struct {
+	Name string
+	// MeanLen is the average activity duration in instructions.
+	MeanLen int
+	// Scale factors on the base weights; zero fields mean 1.0.
+	Frag   FragWeights
+	Scalar ScalarWeights
+}
+
+// scaled returns base weights multiplied by the activity's factors
+// (zero factor = unchanged).
+func scaledFrag(base, f FragWeights) FragWeights {
+	m := func(b, s float64) float64 {
+		if s == 0 {
+			return b
+		}
+		return b * s
+	}
+	return FragWeights{
+		Straight: m(base.Straight, f.Straight),
+		Cond:     m(base.Cond, f.Cond),
+		Loop:     m(base.Loop, f.Loop),
+		BitBr:    m(base.BitBr, f.BitBr),
+		LowBit:   m(base.LowBit, f.LowBit),
+		Sub:      m(base.Sub, f.Sub),
+		Proc:     m(base.Proc, f.Proc),
+		Jmp:      m(base.Jmp, f.Jmp),
+		Case:     m(base.Case, f.Case),
+		Char:     m(base.Char, f.Char),
+		Decimal:  m(base.Decimal, f.Decimal),
+		Syscall:  m(base.Syscall, f.Syscall),
+	}
+}
+
+func scaledScalar(base, s ScalarWeights) ScalarWeights {
+	m := func(b, f float64) float64 {
+		if f == 0 {
+			return b
+		}
+		return b * f
+	}
+	return ScalarWeights{
+		Moves:     m(base.Moves, s.Moves),
+		Arith:     m(base.Arith, s.Arith),
+		Bool:      m(base.Bool, s.Bool),
+		Cmp:       m(base.Cmp, s.Cmp),
+		Cvt:       m(base.Cvt, s.Cvt),
+		Push:      m(base.Push, s.Push),
+		MoveAddr:  m(base.MoveAddr, s.MoveAddr),
+		Field:     m(base.Field, s.Field),
+		Float:     m(base.Float, s.Float),
+		FloatMul:  m(base.FloatMul, s.FloatMul),
+		IntMulDiv: m(base.IntMulDiv, s.IntMulDiv),
+	}
+}
+
+// SessionScript returns the standard activity rotation of a timesharing
+// user: editing (string-heavy), compiling (procedure/field-heavy),
+// running computations (float/loop-heavy), and file/database work
+// (syscall/decimal-leaning). The scale factors are balanced so a full
+// rotation averages out near the base mix.
+func SessionScript() []Activity {
+	return []Activity{
+		{
+			Name: "edit", MeanLen: 3000,
+			Frag:   FragWeights{Char: 2.5, Proc: 0.7, Decimal: 0.5},
+			Scalar: ScalarWeights{Float: 0.25, FloatMul: 0.25, Moves: 1.3},
+		},
+		{
+			Name: "compile", MeanLen: 4000,
+			Frag:   FragWeights{Proc: 1.8, Sub: 1.4, Case: 1.5, Char: 0.8},
+			Scalar: ScalarWeights{Field: 1.6, Float: 0.3, FloatMul: 0.3, Cmp: 1.2},
+		},
+		{
+			Name: "compute", MeanLen: 3500,
+			Frag:   FragWeights{Loop: 1.6, Char: 0.3, Proc: 0.7},
+			Scalar: ScalarWeights{Float: 2.8, FloatMul: 2.8, IntMulDiv: 2.0, Arith: 1.2},
+		},
+		{
+			Name: "files", MeanLen: 2000,
+			Frag:   FragWeights{Syscall: 2.0, Char: 1.5, Decimal: 2.0},
+			Scalar: ScalarWeights{Moves: 1.2, Field: 1.1},
+		},
+	}
+}

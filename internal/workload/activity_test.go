@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"vax780/internal/vax"
+)
+
+func TestScaledWeights(t *testing.T) {
+	base := FragWeights{Char: 10, Proc: 4, Cond: 100}
+	out := scaledFrag(base, FragWeights{Char: 2, Proc: 0.5})
+	if out.Char != 20 || out.Proc != 2 {
+		t.Errorf("scaled: %+v", out)
+	}
+	if out.Cond != 100 {
+		t.Error("zero factor must mean unchanged")
+	}
+	sb := ScalarWeights{Float: 8, Moves: 100}
+	so := scaledScalar(sb, ScalarWeights{Float: 3})
+	if so.Float != 24 || so.Moves != 100 {
+		t.Errorf("scaled scalar: %+v", so)
+	}
+}
+
+// TestActivitiesChangeMixOverTime verifies the session script produces
+// measurably different phases: a compute phase must be more FLOAT-heavy
+// than an edit phase within the same trace.
+func TestActivitiesChangeMixOverTime(t *testing.T) {
+	p := TimesharingA(40000)
+	p.Users = 1 // a single user walks the script sequentially
+	p.Activities = SessionScript()
+	p.CtxSwitchHeadway = 1 << 30
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPCChain(t, tr)
+
+	// Split the trace into windows and measure FLOAT share per window;
+	// script rotation must produce high-contrast windows.
+	const window = 2500
+	var floats []float64
+	count, fl := 0, 0
+	for _, it := range tr.Items {
+		if it.Kind != KindInstr {
+			continue
+		}
+		count++
+		if it.In.Info().Group == vax.GroupFloat {
+			fl++
+		}
+		if count == window {
+			floats = append(floats, 100*float64(fl)/float64(count))
+			count, fl = 0, 0
+		}
+	}
+	if len(floats) < 6 {
+		t.Fatalf("only %d windows", len(floats))
+	}
+	lo, hi := floats[0], floats[0]
+	for _, f := range floats {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi < 2*lo+1 {
+		t.Errorf("no phase contrast: FLOAT%% windows range [%.1f, %.1f]", lo, hi)
+	}
+}
+
+func TestSessionScriptDefaultsSane(t *testing.T) {
+	acts := SessionScript()
+	if len(acts) < 3 {
+		t.Fatal("script too short")
+	}
+	for _, a := range acts {
+		if a.Name == "" || a.MeanLen <= 0 {
+			t.Errorf("bad activity %+v", a)
+		}
+	}
+}
+
+func TestCustomProfileScales(t *testing.T) {
+	c := Custom(CustomConfig{
+		Name: "X", Seed: 1, Instructions: 1000,
+		DecimalScale: 10, HotPages: 3, InterruptHeadway: 99,
+	})
+	if c.Name != "X" || c.Frag.Decimal != baseProfile().Frag.Decimal*10 {
+		t.Errorf("custom: %+v", c.Frag)
+	}
+	if c.Data.HotPages != 3 || c.InterruptHeadway != 99 {
+		t.Error("overrides not applied")
+	}
+	d := Custom(CustomConfig{})
+	if d.Name != "CUSTOM" {
+		t.Errorf("default name %q", d.Name)
+	}
+}

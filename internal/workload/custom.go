@@ -1,0 +1,81 @@
+package workload
+
+// CustomConfig scales the base (composite-calibrated) profile to build a
+// user-defined workload: a downstream user's own "experiment" in the
+// paper's methodology.
+type CustomConfig struct {
+	Name         string
+	Seed         int64
+	Instructions int
+	Users        int
+
+	// Multipliers on the base workload's content (1.0 or 0 = unchanged).
+	FloatScale   float64 // floating point and integer multiply/divide
+	CharScale    float64 // character string instructions
+	DecimalScale float64 // packed decimal instructions
+	ProcScale    float64 // CALLS/RET procedure linkage
+	SyscallScale float64 // CHMK system services
+	LoopScale    float64 // counted loops
+
+	// IdleFraction injects the VMS Null process the paper deliberately
+	// EXCLUDED (§2.2): branch-to-self idle loops awaiting an interrupt.
+	// Nonzero values demonstrate the bias the exclusion avoids: idle
+	// instructions are trivially cheap and flood the per-instruction
+	// statistics in proportion to system idleness.
+	IdleFraction float64
+
+	// Locality overrides (0 = calibrated defaults).
+	HotPages  int
+	ColdPages int
+	ColdFrac  float64
+
+	// Event headway overrides in instructions (0 = Table 7 values).
+	InterruptHeadway int
+	CtxSwitchHeadway int
+}
+
+// scale applies a multiplier, treating 0 as "unchanged".
+func scale(v *float64, s float64) {
+	if s > 0 {
+		*v *= s
+	}
+}
+
+// Custom builds a Profile from the calibrated base and the given scales.
+func Custom(c CustomConfig) Profile {
+	p := baseProfile()
+	p.Name = c.Name
+	if p.Name == "" {
+		p.Name = "CUSTOM"
+	}
+	p.Seed = c.Seed
+	p.Instructions = c.Instructions
+	if c.Users > 0 {
+		p.Users = c.Users
+	}
+	scale(&p.Scalar.Float, c.FloatScale)
+	scale(&p.Scalar.FloatMul, c.FloatScale)
+	scale(&p.Scalar.IntMulDiv, c.FloatScale)
+	scale(&p.Frag.Char, c.CharScale)
+	scale(&p.Frag.Decimal, c.DecimalScale)
+	scale(&p.Frag.Proc, c.ProcScale)
+	scale(&p.Frag.Syscall, c.SyscallScale)
+	scale(&p.Frag.Loop, c.LoopScale)
+	p.IdleFraction = c.IdleFraction
+	if c.HotPages > 0 {
+		p.Data.HotPages = c.HotPages
+	}
+	if c.ColdPages > 0 {
+		p.Data.ColdPages = c.ColdPages
+	}
+	if c.ColdFrac > 0 {
+		p.Data.ColdFrac = c.ColdFrac
+	}
+	if c.InterruptHeadway > 0 {
+		p.InterruptHeadway = c.InterruptHeadway
+	}
+	if c.CtxSwitchHeadway > 0 {
+		p.CtxSwitchHeadway = c.CtxSwitchHeadway
+	}
+	return p
+}

@@ -1,0 +1,6 @@
+package workload
+
+import "math/rand"
+
+// newTestRand returns a deterministic rand for tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(7)) }

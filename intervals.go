@@ -1,0 +1,72 @@
+package vax780
+
+import (
+	"fmt"
+
+	"vax780/internal/analysis"
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+	"vax780/internal/workload"
+)
+
+// IntervalPoint is one measurement interval of an interval run.
+type IntervalPoint struct {
+	Instructions uint64
+	Cycles       uint64
+	CPI          float64
+	SimplePct    float64
+}
+
+// IntervalSeries reports how the statistics vary during a measurement —
+// the extension the paper's §2.2 lists as a limitation of its
+// averages-only analysis ("no measures of the variation of the
+// statistics during the measurement are collected").
+type IntervalSeries struct {
+	Workload  WorkloadID
+	Points    []IntervalPoint
+	MeanCPI   float64
+	StdDevCPI float64
+	MinCPI    float64
+	MaxCPI    float64
+}
+
+// RunIntervals runs one workload, snapshotting the UPC histogram every
+// interval instructions, and returns the per-interval variation series.
+func RunIntervals(id WorkloadID, instructions, interval int) (*IntervalSeries, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("vax780: interval must be positive")
+	}
+	p, err := id.profile(instructions)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon}, tr.Program)
+	hists, err := m.RunIntervals(tr.Stream(), uint64(interval))
+	if err != nil {
+		return nil, err
+	}
+	s := analysis.Intervals(machine.ROM(), hists)
+	out := &IntervalSeries{
+		Workload:  id,
+		MeanCPI:   s.MeanCPI,
+		StdDevCPI: s.StdDevCPI,
+		MinCPI:    s.MinCPI,
+		MaxCPI:    s.MaxCPI,
+	}
+	for _, pt := range s.Points {
+		out.Points = append(out.Points, IntervalPoint{
+			Instructions: pt.Instructions,
+			Cycles:       pt.Cycles,
+			CPI:          pt.CPI,
+			SimplePct:    pt.SimplePct,
+		})
+	}
+	return out, nil
+}

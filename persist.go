@@ -1,0 +1,52 @@
+package vax780
+
+import (
+	"io"
+
+	"vax780/internal/analysis"
+	"vax780/internal/machine"
+	"vax780/internal/upc"
+)
+
+// SaveHistogram writes the composite histogram dump — the artifact the
+// measurement procedure of §2.2 produced by reading the board over the
+// Unibus after each experiment. Dumps from separate runs can be reloaded
+// and summed offline, exactly as the paper built its composite.
+func (r *Results) SaveHistogram(w io.Writer) error {
+	_, err := r.hist.WriteTo(w)
+	return err
+}
+
+// LoadHistogram reads a histogram dump and returns Results backed by it.
+// Hardware-counter analyses (the §4 cache study) are unavailable: a dump
+// holds only what the board counted, which is the point of the paper's
+// method boundary.
+func LoadHistogram(rd io.Reader) (*Results, error) {
+	h, err := upc.ReadHistogram(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{
+		analysis: analysis.New(machine.ROM(), h),
+		hist:     h,
+		describe: BlockDiagram(),
+	}, nil
+}
+
+// MergeHistograms loads several dumps and sums them into one composite
+// Results (the five-experiment workflow, offline).
+func MergeHistograms(readers ...io.Reader) (*Results, error) {
+	sum := &upc.Histogram{}
+	for _, rd := range readers {
+		h, err := upc.ReadHistogram(rd)
+		if err != nil {
+			return nil, err
+		}
+		sum.Add(h)
+	}
+	return &Results{
+		analysis: analysis.New(machine.ROM(), sum),
+		hist:     sum,
+		describe: BlockDiagram(),
+	}, nil
+}

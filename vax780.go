@@ -1,0 +1,250 @@
+package vax780
+
+import (
+	"fmt"
+
+	"vax780/internal/analysis"
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/tracesim"
+	"vax780/internal/upc"
+	"vax780/internal/workload"
+)
+
+// WorkloadID selects one of the paper's five measurement experiments.
+type WorkloadID int
+
+// The five experiments of §2.2.
+const (
+	TimesharingA   WorkloadID = iota // research-group machine, ~15 users
+	TimesharingB                     // CPU-development machine, ~30 users
+	RTEEducational                   // RTE script: program development, 40 users
+	RTEScientific                    // RTE script: scientific computation, 40 users
+	RTECommercial                    // RTE script: transaction processing, 32 users
+	NumWorkloads
+)
+
+var workloadNames = [...]string{
+	"TIMESHARING-A", "TIMESHARING-B", "RTE-EDU", "RTE-SCI", "RTE-COM",
+}
+
+func (w WorkloadID) String() string {
+	if w < 0 || int(w) >= len(workloadNames) {
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+	return workloadNames[w]
+}
+
+// WorkloadByName resolves a workload name (as printed by String).
+func WorkloadByName(name string) (WorkloadID, error) {
+	for i, n := range workloadNames {
+		if n == name {
+			return WorkloadID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("vax780: unknown workload %q", name)
+}
+
+// AllWorkloads lists the five experiments in paper order.
+func AllWorkloads() []WorkloadID {
+	ids := make([]WorkloadID, NumWorkloads)
+	for i := range ids {
+		ids[i] = WorkloadID(i)
+	}
+	return ids
+}
+
+func (w WorkloadID) profile(instructions int) (workload.Profile, error) {
+	switch w {
+	case TimesharingA:
+		return workload.TimesharingA(instructions), nil
+	case TimesharingB:
+		return workload.TimesharingB(instructions), nil
+	case RTEEducational:
+		return workload.RTEEducational(instructions), nil
+	case RTEScientific:
+		return workload.RTEScientific(instructions), nil
+	case RTECommercial:
+		return workload.RTECommercial(instructions), nil
+	}
+	return workload.Profile{}, fmt.Errorf("vax780: unknown workload %d", int(w))
+}
+
+// RunConfig configures a measurement run. The zero value runs all five
+// experiments at a moderate length on the stock 11/780 configuration.
+type RunConfig struct {
+	// Instructions per experiment (default 50,000).
+	Instructions int
+
+	// Workloads to run and sum into the composite histogram (default:
+	// all five, as the paper's composite).
+	Workloads []WorkloadID
+
+	// Hardware overrides; zero values select the 11/780 parameters.
+	CacheBytes  int // data cache size (8 KB)
+	CacheWays   int // associativity (2)
+	TBEntries   int // translation buffer entries (128)
+	MissLatency int // SBI read latency in cycles (6)
+	WriteBusy   int // write-buffer occupancy per write (6)
+
+	// CtxSwitchHeadway overrides the context-switch interval in
+	// instructions (0 = the measured 6418); the TB flush-interval study
+	// sweeps this.
+	CtxSwitchHeadway int
+
+	// Strict verifies every IB decode against the trace (slower; on by
+	// default in tests, off by default here).
+	Strict bool
+
+	// OverlapDecode enables the 11/750-style overlapped I-Decode cycle —
+	// the improvement the paper names in §5 ("saving the non-overlapped
+	// I-Decode cycle could save one cycle on each non-PC-changing
+	// instruction. The later VAX model 11/750 did [this].") Note that the
+	// histogram's IRD-based instruction count no longer sees overlapped
+	// decodes; judge the effect by the per-workload CPI, which uses the
+	// machine's own instruction counter.
+	OverlapDecode bool
+}
+
+func (c *RunConfig) fill() {
+	if c.Instructions <= 0 {
+		c.Instructions = 50_000
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = AllWorkloads()
+	}
+}
+
+func (c *RunConfig) memConfig() mem.Config {
+	return mem.Config{
+		CacheBytes:  c.CacheBytes,
+		CacheWays:   c.CacheWays,
+		TBEntries:   c.TBEntries,
+		MissLatency: c.MissLatency,
+		WriteBusy:   c.WriteBusy,
+	}
+}
+
+// Run executes the configured experiments on fresh machines, sums their
+// UPC histograms into the composite, and returns the reduced results.
+func Run(cfg RunConfig) (*Results, error) {
+	cfg.fill()
+	composite := &upc.Histogram{}
+	var hw analysis.HWCounters
+	res := &Results{cfg: cfg}
+
+	for _, id := range cfg.Workloads {
+		p, err := id.profile(cfg.Instructions)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CtxSwitchHeadway > 0 {
+			p.CtxSwitchHeadway = cfg.CtxSwitchHeadway
+		}
+		one, err := runOne(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("vax780: %s: %w", id, err)
+		}
+		composite.Add(one.hist)
+		addStats(&hw.Mem, &one.machine.Mem.Stats)
+		hw.IBConsumed += one.machine.IB.Consumed
+		res.PerWorkload = append(res.PerWorkload, WorkloadResult{
+			Workload:     id,
+			Instructions: one.machine.Stats.Instrs,
+			Cycles:       one.machine.E.Now,
+			CPI:          one.machine.CPI(),
+		})
+		res.perHist = append(res.perHist, one.hist)
+		res.describe = one.machine.Describe()
+	}
+
+	res.analysis = analysis.New(machine.ROM(), composite).WithHardwareCounters(hw)
+	res.hist = composite
+	return res, nil
+}
+
+type oneRun struct {
+	machine *machine.Machine
+	hist    *upc.Histogram
+}
+
+func runOne(p workload.Profile, cfg RunConfig) (*oneRun, error) {
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{
+		Mem:           cfg.memConfig(),
+		Monitor:       mon,
+		Strict:        cfg.Strict,
+		OverlapDecode: cfg.OverlapDecode,
+	}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		return nil, err
+	}
+	mon.Stop()
+	if mon.Saturated() {
+		return nil, fmt.Errorf("histogram counters saturated")
+	}
+	return &oneRun{machine: m, hist: mon.Snapshot()}, nil
+}
+
+func addStats(dst, src *mem.Stats) {
+	dst.DReads += src.DReads
+	dst.DWrites += src.DWrites
+	dst.DReadMisses += src.DReadMisses
+	dst.IReads += src.IReads
+	dst.IReadMisses += src.IReadMisses
+	dst.IBytes += src.IBytes
+	dst.DTBMisses += src.DTBMisses
+	dst.ITBMisses += src.ITBMisses
+	dst.PTEReads += src.PTEReads
+	dst.PTEReadMisses += src.PTEReadMisses
+	dst.ReadStall += src.ReadStall
+	dst.WriteStall += src.WriteStall
+	dst.SBIBusy += src.SBIBusy
+	dst.Unaligned += src.Unaligned
+}
+
+// TraceDrivenComparison is the A1 ablation: what a trace-driven timing
+// model (the methodology the paper's introduction critiques) estimates
+// for the same workload, versus what the UPC monitor measures.
+type TraceDrivenComparison struct {
+	Workload     WorkloadID
+	EstimatedCPI float64 // trace-driven nominal estimate
+	MeasuredCPI  float64 // UPC-measured, including stalls and overhead
+	// InvisibleFraction is the share of real processor time the
+	// trace-driven model cannot see.
+	InvisibleFraction float64
+	SkippedEvents     uint64 // interrupt deliveries absent from the user trace
+}
+
+// CompareTraceDriven runs one workload under both methodologies.
+func CompareTraceDriven(id WorkloadID, instructions int) (*TraceDrivenComparison, error) {
+	p, err := id.profile(instructions)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(machine.Config{Mem: mem.Config{}}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		return nil, err
+	}
+	est, err := tracesim.NewModel(machine.ROM()).EstimateTrace(tr.Items)
+	if err != nil {
+		return nil, err
+	}
+	cmp := tracesim.Compare(est, m.CPI())
+	return &TraceDrivenComparison{
+		Workload:          id,
+		EstimatedCPI:      cmp.EstimatedCPI,
+		MeasuredCPI:       cmp.MeasuredCPI,
+		InvisibleFraction: cmp.UnderestimateFraction,
+		SkippedEvents:     est.SkippedEvents,
+	}, nil
+}

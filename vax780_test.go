@@ -1,0 +1,215 @@
+package vax780
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(RunConfig{Instructions: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorkload) != int(NumWorkloads) {
+		t.Errorf("ran %d workloads, want %d", len(res.PerWorkload), NumWorkloads)
+	}
+	if res.Instructions() < 5*6000 {
+		t.Errorf("composite instructions = %d", res.Instructions())
+	}
+	if cpi := res.CPI(); cpi < 7 || cpi > 15 {
+		t.Errorf("CPI = %.2f", cpi)
+	}
+	if !strings.Contains(res.Report(), "Table 8") {
+		t.Error("report missing Table 8")
+	}
+	if !strings.Contains(res.BlockDiagram(), "EBOX") {
+		t.Error("block diagram missing EBOX")
+	}
+}
+
+func TestRunSingleWorkload(t *testing.T) {
+	res, err := Run(RunConfig{
+		Instructions: 25000,
+		Workloads:    []WorkloadID{RTEScientific},
+		Strict:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorkload) != 1 || res.PerWorkload[0].Workload != RTEScientific {
+		t.Errorf("per-workload results wrong: %+v", res.PerWorkload)
+	}
+	groups := res.OpcodeGroups()
+	if len(groups) == 0 {
+		t.Fatal("no group frequencies")
+	}
+	var float float64
+	for _, g := range groups {
+		if g.Group == "FLOAT" {
+			float = g.Percent
+		}
+	}
+	if float < 3 {
+		t.Errorf("scientific workload FLOAT = %.1f%%, expected elevated", float)
+	}
+}
+
+func TestRunAccessors(t *testing.T) {
+	res, err := Run(RunConfig{Instructions: 5000, Workloads: []WorkloadID{TimesharingA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := res.CPIRows(); len(rows) != 14 {
+		t.Errorf("CPI rows = %d, want 14", len(rows))
+	}
+	if cols := res.CycleClasses(); len(cols) != 6 {
+		t.Errorf("cycle classes = %d, want 6", len(cols))
+	}
+	tb := res.TBMiss()
+	if tb.MissesPerInstr <= 0 || tb.CyclesPerMiss <= 0 {
+		t.Errorf("TB stats empty: %+v", tb)
+	}
+	cs := res.CacheStudy()
+	if cs.IBRefsPerInstr <= 0 {
+		t.Errorf("cache study empty: %+v", cs)
+	}
+	pct, taken := res.PCChangingPercent()
+	if pct < 25 || pct > 50 || taken < 50 || taken > 85 {
+		t.Errorf("PC-changing %.1f%%/%.1f%%", pct, taken)
+	}
+	if b := res.AverageInstructionBytes(); b < 3 || b > 5 {
+		t.Errorf("avg instruction bytes = %.2f", b)
+	}
+	if _, ints, _ := res.Headways(); ints < 300 || ints > 1500 {
+		t.Errorf("interrupt headway = %.0f", ints)
+	}
+	if pg := res.PerGroupCycles(); pg["CALL/RET"] < 15 {
+		t.Errorf("per-group CALL/RET = %.1f", pg["CALL/RET"])
+	}
+	if res.Histogram().TotalCycles() == 0 {
+		t.Error("histogram empty")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	for _, id := range AllWorkloads() {
+		got, err := WorkloadByName(id.String())
+		if err != nil || got != id {
+			t.Errorf("round trip %v: %v %v", id, got, err)
+		}
+	}
+	if _, err := WorkloadByName("NOPE"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if WorkloadID(99).String() == "" {
+		t.Error("out-of-range name empty")
+	}
+}
+
+func TestHardwareOverrides(t *testing.T) {
+	// A tiny cache must increase CPI.
+	big, err := Run(RunConfig{Instructions: 8000, Workloads: []WorkloadID{TimesharingA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(RunConfig{
+		Instructions: 8000,
+		Workloads:    []WorkloadID{TimesharingA},
+		CacheBytes:   1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.CPI() <= big.CPI() {
+		t.Errorf("1KB cache CPI %.2f should exceed 8KB cache CPI %.2f",
+			small.CPI(), big.CPI())
+	}
+}
+
+func TestCtxSwitchHeadwaySweepChangesTBMisses(t *testing.T) {
+	frequent, err := Run(RunConfig{
+		Instructions: 40000, Workloads: []WorkloadID{TimesharingA},
+		CtxSwitchHeadway: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare, err := Run(RunConfig{
+		Instructions: 40000, Workloads: []WorkloadID{TimesharingA},
+		CtxSwitchHeadway: 400000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frequent.TBMiss().MissesPerInstr <= rare.TBMiss().MissesPerInstr {
+		t.Errorf("frequent switching TB misses %.4f should exceed rare %.4f",
+			frequent.TBMiss().MissesPerInstr, rare.TBMiss().MissesPerInstr)
+	}
+}
+
+func TestCompareTraceDriven(t *testing.T) {
+	cmp, err := CompareTraceDriven(TimesharingA, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EstimatedCPI >= cmp.MeasuredCPI {
+		t.Errorf("trace-driven %.2f should underestimate measured %.2f",
+			cmp.EstimatedCPI, cmp.MeasuredCPI)
+	}
+	if cmp.InvisibleFraction < 0.1 {
+		t.Errorf("invisible fraction %.2f suspiciously small", cmp.InvisibleFraction)
+	}
+	if cmp.SkippedEvents == 0 {
+		t.Error("no skipped interrupt deliveries")
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	if !strings.Contains(BlockDiagram(), "Translation Buffer") {
+		t.Error("block diagram incomplete")
+	}
+	l := ControlStoreListing()
+	if !strings.Contains(l, "ird") || !strings.Contains(l, "tbmiss") {
+		t.Error("control store listing incomplete")
+	}
+	s := ControlStoreSummary()
+	for _, want := range []string{"Decode", "Spec1", "Mem Mgmt", "microwords"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestGroupNames(t *testing.T) {
+	names := GroupNames()
+	if len(names) != 7 || names[0] != "SIMPLE" || names[6] != "DECIMAL" {
+		t.Errorf("GroupNames = %v", names)
+	}
+}
+
+func TestWorkloadComparison(t *testing.T) {
+	res, err := Run(RunConfig{Instructions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := res.WorkloadComparison()
+	for _, want := range []string{"TIMESHARING-A", "RTE-COM", "CPI", "FLOAT %", "TB miss/instr"} {
+		if !strings.Contains(cmp, want) {
+			t.Errorf("comparison missing %q", want)
+		}
+	}
+	// A custom run (no per-workload histograms) renders empty.
+	cres, err := RunCustom(CustomWorkload{Seed: 2}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.WorkloadComparison() != "" {
+		t.Error("custom run should have no comparison")
+	}
+}
+
+func TestVerifyMicrocodeClean(t *testing.T) {
+	if issues := VerifyMicrocode(); len(issues) != 0 {
+		t.Errorf("microcode verifier found issues: %v", issues)
+	}
+}
