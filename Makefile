@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all fmt fmt-check vet build test race bench bench-telemetry experiments clean
+
+all: fmt-check vet build test
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# The telemetry-overhead gate; compare against BENCH_telemetry.json.
+bench-telemetry:
+	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 20x -count 3 .
+
+experiments:
+	$(GO) run ./cmd/vaxtables -n 200000 -o EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

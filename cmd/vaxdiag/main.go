@@ -1,6 +1,8 @@
 // Command vaxdiag prints the simulated system's structure: the Figure 1
 // block diagram, the control-store region summary, the static microcode
 // verifier's verdict, and (with -listing) the full microprogram listing.
+// -probes adds the telemetry layer's probe-point map: where each live
+// observation is tapped and what consumes it.
 package main
 
 import (
@@ -13,9 +15,14 @@ import (
 
 func main() {
 	listing := flag.Bool("listing", false, "print the full control store listing")
+	probes := flag.Bool("probes", false, "print the telemetry probe-point map")
 	flag.Parse()
 
 	fmt.Println(vax780.BlockDiagram())
+	if *probes {
+		fmt.Println(vax780.DescribeTelemetryProbes())
+		fmt.Println()
+	}
 	fmt.Println(vax780.ControlStoreSummary())
 
 	issues := vax780.VerifyMicrocode()

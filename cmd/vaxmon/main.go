@@ -6,16 +6,27 @@
 //
 //	vaxmon [-workload NAME] [-n INSTRUCTIONS] [-strict] [-hot N]
 //	       [-save FILE] [-load FILE] [-compare]
+//	       [-serve ADDR] [-interval-cycles N] [-trace FILE]
+//	       [-intervals-csv FILE] [-intervals-json FILE]
 //
 // With no -workload, all five experiments run and their histograms are
 // summed into the composite, as in the paper. -save dumps the composite
 // histogram (the board readout); -load re-analyzes a saved dump without
 // re-simulating; -compare prints the per-workload comparison matrix.
+//
+// -serve starts the live monitor before the run: Prometheus-text
+// /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/, and the
+// histogram board's Unibus register mirror at /board/{start,stop,clear,
+// csr,read}. -trace writes a Chrome trace-event JSON of the run
+// (chrome://tracing, Perfetto); -intervals-csv / -intervals-json export
+// the per-interval CPI-decomposition time series.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"vax780"
@@ -31,8 +42,29 @@ func main() {
 		load      = flag.String("load", "", "analyze a saved histogram dump instead of simulating")
 		compare   = flag.Bool("compare", false, "print the per-workload comparison")
 		intervals = flag.Int("intervals", 0, "also run an interval-variation study with this snapshot interval")
+
+		serve    = flag.String("serve", "", "serve the live monitor (/metrics, /debug/pprof/, /board/*) on ADDR, e.g. :8780")
+		interval = flag.Uint64("interval-cycles", 0, "record the interval time series every N cycles (default 100000 when an interval export or -serve is active)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to FILE")
+		traceMax = flag.Int("trace-max", 2_000_000, "cap on retained trace events (-1 = unlimited)")
+		csvOut   = flag.String("intervals-csv", "", "write the interval time series as CSV to FILE")
+		jsonOut  = flag.String("intervals-json", "", "write the interval time series as JSON to FILE")
 	)
 	flag.Parse()
+
+	tel := buildTelemetry(*serve, *interval, *traceOut, *traceMax, *csvOut, *jsonOut)
+	if tel != nil && *load != "" {
+		fmt.Fprintln(os.Stderr, "vaxmon: telemetry flags need a live run, not -load")
+		os.Exit(2)
+	}
+	if *serve != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "vaxmon: live monitor on http://%s/metrics\n", *serve)
+			if err := http.ListenAndServe(*serve, tel.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "vaxmon: monitor:", err)
+			}
+		}()
+	}
 
 	var res *vax780.Results
 	if *load != "" {
@@ -49,7 +81,7 @@ func main() {
 		}
 		fmt.Printf("Analyzing saved histogram %s\n\n", *load)
 	} else {
-		cfg := vax780.RunConfig{Instructions: *n, Strict: *strict}
+		cfg := vax780.RunConfig{Instructions: *n, Strict: *strict, Telemetry: tel}
 		if *name != "" {
 			id, err := vax780.WorkloadByName(*name)
 			if err != nil {
@@ -114,6 +146,56 @@ func main() {
 		}
 		fmt.Println("histogram dump saved to", *save)
 	}
+
+	if tel != nil {
+		exportTelemetry(tel, *traceOut, *csvOut, *jsonOut)
+		if *serve != "" {
+			fmt.Fprintf(os.Stderr, "vaxmon: run complete; monitor still serving on %s (interrupt to exit)\n", *serve)
+			select {}
+		}
+	}
+}
+
+// buildTelemetry assembles the telemetry layer the requested outputs
+// need; it returns nil when no telemetry flag is active so the run
+// takes the uninstrumented path.
+func buildTelemetry(serve string, interval uint64, traceOut string, traceMax int, csvOut, jsonOut string) *vax780.Telemetry {
+	if serve == "" && traceOut == "" && csvOut == "" && jsonOut == "" && interval == 0 {
+		return nil
+	}
+	if interval == 0 {
+		interval = 100_000
+	}
+	max := 0
+	if traceOut != "" {
+		max = traceMax
+	}
+	return vax780.NewTelemetry(interval, max)
+}
+
+func exportTelemetry(tel *vax780.Telemetry, traceOut, csvOut, jsonOut string) {
+	write := func(path, what string, f func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		if err := f(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	write(traceOut, "Chrome trace (chrome://tracing, Perfetto)", tel.WriteTrace)
+	write(csvOut, "interval time series (CSV)", tel.WriteIntervalsCSV)
+	write(jsonOut, "interval time series (JSON)", tel.WriteIntervalsJSON)
 }
 
 func printHotBuckets(res *vax780.Results, n int) {

@@ -8,11 +8,12 @@ import (
 )
 
 func TestMarkdownSections(t *testing.T) {
-	res, err := vax780.Run(vax780.RunConfig{Instructions: 5000})
+	tel := vax780.NewTelemetry(intervalCyclesFor(5000), 0)
+	res, err := vax780.Run(vax780.RunConfig{Instructions: 5000, Telemetry: tel})
 	if err != nil {
 		t.Fatal(err)
 	}
-	md := Markdown(res, 5000)
+	md := Markdown(res, tel, 5000)
 	wants := []string{
 		"# EXPERIMENTS — paper vs. measured",
 		"## Headline",
@@ -29,6 +30,8 @@ func TestMarkdownSections(t *testing.T) {
 		"## Table 9 — cycles per instruction within each group",
 		"## Section 4 — implementation events",
 		"## Ablation A1",
+		"## Interval time series",
+		"recomposes exactly",
 		"10.593",        // the paper CPI appears
 		"TIMESHARING-A", // all five experiments listed
 		"RTE-COM",

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	vaxtrace [-workload NAME] [-n INSTRUCTIONS] [-head N]
-//	         [-save FILE] [-load FILE]
+//	         [-save FILE] [-load FILE] [-sim-trace FILE]
 //
 // -save archives the generated trace (program image + items) for
 // bit-identical replay; -load dumps a previously saved trace instead of
-// generating one.
+// generating one. -sim-trace additionally executes the trace on an
+// instrumented machine and writes a Chrome trace-event JSON of the
+// microcode activity, loadable in chrome://tracing or Perfetto.
 package main
 
 import (
@@ -17,17 +19,23 @@ import (
 	"fmt"
 	"os"
 
+	"vax780/internal/machine"
+	"vax780/internal/mem"
+	"vax780/internal/telemetry"
+	"vax780/internal/upc"
 	"vax780/internal/vax"
 	"vax780/internal/workload"
 )
 
 func main() {
 	var (
-		name = flag.String("workload", "TIMESHARING-A", "workload name")
-		n    = flag.Int("n", 5_000, "instructions to generate")
-		head = flag.Int("head", 120, "trace items to print")
-		save = flag.String("save", "", "archive the trace to FILE")
-		load = flag.String("load", "", "dump a previously saved trace instead of generating")
+		name     = flag.String("workload", "TIMESHARING-A", "workload name")
+		n        = flag.Int("n", 5_000, "instructions to generate")
+		head     = flag.Int("head", 120, "trace items to print")
+		save     = flag.String("save", "", "archive the trace to FILE")
+		load     = flag.String("load", "", "dump a previously saved trace instead of generating")
+		simTrace = flag.String("sim-trace", "", "execute the trace and write a Chrome trace-event JSON to FILE")
+		traceMax = flag.Int("trace-max", 2_000_000, "cap on retained trace events (-1 = unlimited)")
 	)
 	flag.Parse()
 
@@ -104,6 +112,40 @@ func main() {
 
 	fmt.Printf("\n(%d more items)\n", len(tr.Items)-printed)
 	printSummary(tr)
+
+	if *simTrace != "" {
+		if err := writeSimTrace(tr, *simTrace, *traceMax); err != nil {
+			fmt.Fprintln(os.Stderr, "vaxtrace:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSimTrace executes the trace on an instrumented machine and
+// exports the collected Chrome trace-event JSON.
+func writeSimTrace(tr *workload.Trace, path string, maxEvents int) error {
+	tel := telemetry.New(telemetry.Options{ROM: machine.ROM(), TraceMaxEvents: maxEvents})
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon, Telemetry: tel}, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		return err
+	}
+	tel.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "Chrome trace of %d instructions (%d cycles) written to %s\n",
+		m.Stats.Instrs, m.E.Now, path)
+	return nil
 }
 
 func profileByName(name string, n int) (workload.Profile, error) {

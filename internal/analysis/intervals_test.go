@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"math"
 	"testing"
 
 	"vax780/internal/machine"
@@ -59,6 +60,67 @@ func TestIntervalsOverRealRun(t *testing.T) {
 		if p.SimplePct < 50 || p.SimplePct > 95 {
 			t.Errorf("interval %d SIMPLE%% = %.1f", i, p.SimplePct)
 		}
+	}
+}
+
+func TestDecomposeIntervals(t *testing.T) {
+	tr, err := workload.Generate(workload.TimesharingA(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := upc.New()
+	mon.Start()
+	m := machine.New(machine.Config{Mem: mem.Config{}, Monitor: mon}, tr.Program)
+	hists, err := m.RunIntervals(tr.Stream(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decomp := DecomposeIntervals(machine.ROM(), hists)
+	if len(decomp) != len(hists) {
+		t.Fatalf("decompositions %d != hists %d", len(decomp), len(hists))
+	}
+	var cycles, instrs uint64
+	for i, d := range decomp {
+		cycles += d.Cycles
+		instrs += d.Instructions
+		if d.Cycles != hists[i].TotalCycles() {
+			t.Errorf("interval %d cycles %d != histogram %d", i, d.Cycles, hists[i].TotalCycles())
+		}
+		// The per-class columns must sum to the interval CPI — the
+		// Table 8 row-sum identity holds per interval, not just on the
+		// composite.
+		var perClass float64
+		for _, v := range d.PerClass {
+			perClass += v
+		}
+		if d.CPI > 0 && math.Abs(perClass-d.CPI) > 1e-9*d.CPI {
+			t.Errorf("interval %d: per-class sum %.6f != CPI %.6f", i, perClass, d.CPI)
+		}
+		if d.Compute() <= 0 || d.IBStall() < 0 {
+			t.Errorf("interval %d: implausible classes %+v", i, d.PerClass)
+		}
+	}
+	if cycles != m.E.Now {
+		t.Errorf("decomposed cycles %d != run cycles %d", cycles, m.E.Now)
+	}
+	if instrs != m.Stats.Instrs {
+		t.Errorf("decomposed instructions %d != run %d", instrs, m.Stats.Instrs)
+	}
+
+	// Decomposing the summed histogram gives the instruction-weighted
+	// combination of the per-interval decompositions.
+	sum := &upc.Histogram{}
+	for _, h := range hists {
+		sum.Add(h)
+	}
+	whole := DecomposeIntervals(machine.ROM(), []*upc.Histogram{sum})[0]
+	var weighted float64
+	for _, d := range decomp {
+		weighted += d.CPI * float64(d.Instructions)
+	}
+	weighted /= float64(whole.Instructions)
+	if math.Abs(weighted-whole.CPI) > 1e-9*whole.CPI {
+		t.Errorf("weighted interval CPI %.6f != composite CPI %.6f", weighted, whole.CPI)
 	}
 }
 

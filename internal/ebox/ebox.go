@@ -23,6 +23,18 @@ type Monitor interface {
 	Tick(addr uint16, stalled bool)
 }
 
+// Probe is the telemetry layer's cycle-resolution hook. Unlike Monitor
+// it carries the cycle number, so consumers can build timelines without
+// keeping their own clock. It is nil on an uninstrumented machine; the
+// fast path is a single nil check per cycle.
+type Probe interface {
+	// Cycle observes one 200 ns EBOX cycle — the same observation point
+	// as the UPC board's count pulse.
+	Cycle(now uint64, addr uint16, stalled bool)
+	// TBMiss observes a D-stream translation-buffer microtrap.
+	TBMiss(now uint64, istream bool, va uint32)
+}
+
 // nopMonitor lets the EBOX run unmonitored (the baseline configuration of
 // a machine without the histogram board attached).
 type nopMonitor struct{}
@@ -62,6 +74,10 @@ type EBOX struct {
 	Mem *mem.System
 	IB  *ibox.IBox
 	Mon Monitor
+
+	// Probe, when non-nil, receives telemetry events (cycle stream and
+	// D-stream TB misses).
+	Probe Probe
 
 	// Now is the cycle counter (200 ns units).
 	Now uint64
@@ -115,6 +131,9 @@ func New(rom *urom.ROM, m *mem.System, ib *ibox.IBox, mon Monitor) *EBOX {
 // free), and time moves.
 func (e *EBOX) tick(addr uint16, stalled, portBusy bool) {
 	e.Mon.Tick(addr, stalled)
+	if e.Probe != nil {
+		e.Probe.Cycle(e.Now, addr, stalled)
+	}
 	e.IB.Tick(e.Now, !portBusy)
 	e.Now++
 }
@@ -313,6 +332,9 @@ func (e *EBOX) doMem(mi *ucode.MicroInst, trapBase uint32) (bool, error) {
 	pa, hit := e.Mem.Translate(va)
 	if !hit {
 		e.Mem.NoteTBMiss(false)
+		if e.Probe != nil {
+			e.Probe.TBMiss(e.Now, false, va)
+		}
 		if err := e.trap(e.ROM.TBMiss, va); err != nil {
 			return false, err
 		}

@@ -24,10 +24,22 @@ const Capacity = 8
 // decode path never consumes.
 type ByteSource func(va uint32) (b byte, ok bool)
 
+// Probe is the passive telemetry hook of the I-Fetch stage; nil on an
+// uninstrumented machine (the fast path).
+type Probe interface {
+	// Refill observes an IB refill reference and its arrival latency.
+	Refill(now uint64, va uint32, latency int, miss bool)
+	// TBMiss observes the I-stream miss flag being raised.
+	TBMiss(now uint64, istream bool, va uint32)
+}
+
 // IBox is the I-Fetch stage.
 type IBox struct {
 	mem *mem.System
 	src ByteSource
+
+	// Probe, when non-nil, observes refills and I-stream TB misses.
+	Probe Probe
 
 	buf     [Capacity]byte
 	bufLen  int
@@ -105,10 +117,16 @@ func (ib *IBox) Tick(now uint64, portFree bool) {
 		ib.itbMiss = true
 		ib.itbMissVA = va
 		ib.mem.NoteTBMiss(true)
+		if ib.Probe != nil {
+			ib.Probe.TBMiss(now, true, va)
+		}
 		return
 	}
-	latency, _ := ib.mem.IRead(pa&^3, now)
+	latency, miss := ib.mem.IRead(pa&^3, now)
 	ib.Refs++
+	if ib.Probe != nil {
+		ib.Probe.Refill(now, va, latency, miss)
+	}
 	ib.pending = true
 	// Data is usable the cycle after a hit, later on a miss.
 	ib.pendingArrive = now + 1 + uint64(latency)

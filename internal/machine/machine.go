@@ -19,6 +19,26 @@ import (
 	"vax780/internal/workload"
 )
 
+// Telemetry is the machine's view of the live telemetry layer (the
+// concrete implementation lives in internal/telemetry; the machine, like
+// the ebox with its Monitor, only knows the observation points). It
+// combines the per-layer probes with the machine-level events.
+type Telemetry interface {
+	ebox.Probe
+	ibox.Probe
+	mem.Probe
+
+	// Bind attaches this machine's monitor and hardware counters; the
+	// telemetry timeline continues across machines of a composite run.
+	Bind(mon *upc.Monitor, stats *mem.Stats)
+	// Instr observes an instruction decode.
+	Instr(now uint64, pc uint32, op vax.Opcode)
+	// Interrupt observes an interrupt delivery.
+	Interrupt(now uint64, handler uint32)
+	// CtxSwitch observes a context switch.
+	CtxSwitch(now uint64, from, to uint32)
+}
+
 // Stack layout constants: each process gets a 64 KB stack region; the
 // interrupt stack lives in system space.
 const (
@@ -37,6 +57,11 @@ type Config struct {
 	Mem     mem.Config
 	Monitor *upc.Monitor // nil: run unmonitored
 	Strict  bool         // verify IB decode against the trace
+
+	// Telemetry, when non-nil, attaches the live telemetry layer: its
+	// probes are threaded through the EBOX, IB, and memory subsystem,
+	// and it is bound to this machine's monitor and hardware counters.
+	Telemetry Telemetry
 
 	// OverlapDecode enables the 11/750-style overlapped I-Decode (§5 of
 	// the paper: saves one cycle on each non-PC-changing instruction).
@@ -59,6 +84,9 @@ type Machine struct {
 	Mon *upc.Monitor
 
 	Stats RunStats
+
+	// tel is the attached telemetry layer (nil: uninstrumented).
+	tel Telemetry
 
 	prog    *workload.Program
 	started bool
@@ -113,6 +141,13 @@ func New(cfg Config, prog *workload.Program) *Machine {
 	m.E = ebox.New(m.ROM, m.Mem, m.IB, mon)
 	m.E.Strict = cfg.Strict
 	m.E.OverlapDecode = cfg.OverlapDecode
+	if cfg.Telemetry != nil {
+		m.tel = cfg.Telemetry
+		m.tel.Bind(cfg.Monitor, &m.Mem.Stats)
+		m.E.Probe = m.tel
+		m.IB.Probe = m.tel
+		m.Mem.SetProbe(m.tel)
+	}
 	m.setProcess(1)
 	return m
 }
@@ -197,6 +232,9 @@ func (m *Machine) Step(it *workload.Item) error {
 // stack, push PC/PSL, redirect to the handler.
 func (m *Machine) deliverInterrupt(it *workload.Item) error {
 	m.Stats.Interrupts++
+	if m.tel != nil {
+		m.tel.Interrupt(m.E.Now, it.HandlerPC)
+	}
 	if !m.inInt {
 		m.savedSP = m.E.SP
 		m.E.SP, m.E.StackLo, m.E.StackHi = intStackHi-8, intStackLo, intStackHi
@@ -225,6 +263,9 @@ func (m *Machine) runInstr(it *workload.Item) error {
 		m.Stats.Resyncs++
 	}
 
+	if m.tel != nil {
+		m.tel.Instr(m.E.Now, in.PC, in.Op)
+	}
 	ctx := m.buildCtx(in)
 	if err := m.E.RunInstr(ctx); err != nil {
 		return err
@@ -238,6 +279,9 @@ func (m *Machine) runInstr(it *workload.Item) error {
 		// LDPCTX's microcode flushed the process half of the TB; the
 		// machine-level effect is the context change itself.
 		m.Mem.FlushProcessTB()
+		if m.tel != nil {
+			m.tel.CtxSwitch(m.E.Now, m.curASID, it.SwitchTo)
+		}
 		if m.inInt {
 			// The scheduler runs on the interrupt stack. The outgoing
 			// process's SP was parked at interrupt entry; bank it, and

@@ -78,6 +78,15 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Probe is the passive telemetry hook of the memory subsystem: like the
+// UPC board, attaching one changes nothing about the measured system.
+// It is nil on an uninstrumented machine (the fast path).
+type Probe interface {
+	// CacheMiss observes a cache read miss (D-stream, PTE, or I-stream)
+	// and the stall/latency cycles it cost.
+	CacheMiss(now uint64, istream bool, pa uint32, stall int)
+}
+
 // Stats are the hardware event counters: the numbers the paper's Section 4
 // takes from the earlier cache study rather than from the UPC histogram.
 type Stats struct {
@@ -97,6 +106,44 @@ type Stats struct {
 	Unaligned     uint64 // unaligned D-stream references (extra physical refs)
 }
 
+// Add accumulates other into st — the counter summing behind the
+// paper's composite workload and the telemetry interval totals.
+func (st *Stats) Add(other *Stats) {
+	st.DReads += other.DReads
+	st.DWrites += other.DWrites
+	st.DReadMisses += other.DReadMisses
+	st.IReads += other.IReads
+	st.IReadMisses += other.IReadMisses
+	st.IBytes += other.IBytes
+	st.DTBMisses += other.DTBMisses
+	st.ITBMisses += other.ITBMisses
+	st.PTEReads += other.PTEReads
+	st.PTEReadMisses += other.PTEReadMisses
+	st.ReadStall += other.ReadStall
+	st.WriteStall += other.WriteStall
+	st.SBIBusy += other.SBIBusy
+	st.Unaligned += other.Unaligned
+}
+
+// Sub subtracts other from st: the delta between two counter snapshots,
+// the unit of the telemetry layer's interval time series.
+func (st *Stats) Sub(other *Stats) {
+	st.DReads -= other.DReads
+	st.DWrites -= other.DWrites
+	st.DReadMisses -= other.DReadMisses
+	st.IReads -= other.IReads
+	st.IReadMisses -= other.IReadMisses
+	st.IBytes -= other.IBytes
+	st.DTBMisses -= other.DTBMisses
+	st.ITBMisses -= other.ITBMisses
+	st.PTEReads -= other.PTEReads
+	st.PTEReadMisses -= other.PTEReadMisses
+	st.ReadStall -= other.ReadStall
+	st.WriteStall -= other.WriteStall
+	st.SBIBusy -= other.SBIBusy
+	st.Unaligned -= other.Unaligned
+}
+
 // System is the memory subsystem.
 type System struct {
 	cfg   Config
@@ -111,6 +158,9 @@ type System struct {
 	// VTrace, when non-nil, captures every TB probe and flush for the
 	// companion TB-study workflow (see VATrace).
 	VTrace *VATrace
+
+	// probe, when non-nil, observes cache misses for the telemetry layer.
+	probe Probe
 
 	asid uint32 // current process context for process-space translation
 
@@ -132,6 +182,9 @@ func New(cfg Config) *System {
 
 // Config returns the active configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetProbe attaches a telemetry probe (nil detaches it).
+func (s *System) SetProbe(p Probe) { s.probe = p }
 
 // SetASID switches the process context used for process-space address
 // translation. It does NOT flush the TB: the LDPCTX microcode flow is
@@ -227,6 +280,9 @@ func (s *System) DRead(pa uint32, now uint64) (stall int) {
 	dataAt := s.sbiAcquire(now, s.cfg.MissLatency)
 	stall = int(dataAt - now)
 	s.Stats.ReadStall += uint64(stall)
+	if s.probe != nil {
+		s.probe.CacheMiss(now, false, pa, stall)
+	}
 	return stall
 }
 
@@ -243,6 +299,9 @@ func (s *System) PTERead(pa uint32, now uint64) (stall int) {
 	dataAt := s.sbiAcquire(now, s.cfg.MissLatency)
 	stall = int(dataAt - now)
 	s.Stats.ReadStall += uint64(stall)
+	if s.probe != nil {
+		s.probe.CacheMiss(now, false, pa, stall)
+	}
 	return stall
 }
 
@@ -276,6 +335,9 @@ func (s *System) IRead(pa uint32, now uint64) (latency int, miss bool) {
 	}
 	s.Stats.IReadMisses++
 	dataAt := s.sbiAcquire(now, s.cfg.MissLatency)
+	if s.probe != nil {
+		s.probe.CacheMiss(now, true, pa, int(dataAt-now))
+	}
 	return int(dataAt - now), true
 }
 

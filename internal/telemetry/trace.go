@@ -1,0 +1,272 @@
+// Chrome trace-event exporter: renders the simulated machine's per-cycle
+// activity — microcode flows by control-store region, read/write stalls,
+// instruction decode slices, interrupts, and context switches — as a
+// trace_event JSON timeline loadable in chrome://tracing or Perfetto.
+// One EBOX cycle is 200 ns = 0.2 µs of trace time.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// Trace track (tid) assignment within the single simulated process.
+const (
+	tidInstr  = 1 // instruction decode slices
+	tidRegion = 2 // microcode flow slices by control-store region
+	tidStall  = 3 // read/write stall slices
+	tidEvents = 4 // interrupts, context switches, TB misses
+)
+
+// cycleMicros converts an absolute cycle number to trace microseconds.
+func cycleMicros(cycle uint64) float64 { return float64(cycle) * 0.2 }
+
+// traceEvent is one trace_event record (the subset Perfetto consumes).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of the trace_event spec.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Tracer collects trace events from the probe stream. It coalesces
+// consecutive cycles of the same control-store region into one slice,
+// and consecutive stalled cycles into stall slices, so the event volume
+// scales with activity changes rather than raw cycles.
+type Tracer struct {
+	max    int // retained-event cap (<0: unlimited)
+	events []traceEvent
+
+	region []ucode.Region // control-store address -> region
+	label  []string       // control-store address -> flow entry label
+
+	// open slices
+	curRegion   ucode.Region
+	regionStart uint64
+	regionLabel string
+	haveRegion  bool
+
+	stallStart uint64
+	inStall    bool
+
+	instrName  string
+	instrPC    uint32
+	instrStart uint64
+	haveInstr  bool
+
+	truncated bool
+	finished  bool
+}
+
+func newTracer(rom *urom.ROM, maxEvents int) *Tracer {
+	size := rom.Image.Size()
+	tr := &Tracer{
+		max:    maxEvents,
+		region: make([]ucode.Region, size),
+		label:  make([]string, size),
+	}
+	var lastLabel string
+	for addr := 0; addr < size; addr++ {
+		mi := rom.Image.At(uint16(addr))
+		tr.region[addr] = mi.Region
+		if mi.Label != "" {
+			lastLabel = mi.Label
+		}
+		tr.label[addr] = lastLabel
+	}
+	tr.meta()
+	return tr
+}
+
+// meta emits the process/thread naming metadata events.
+func (tr *Tracer) meta() {
+	names := []struct {
+		tid  int
+		name string
+	}{
+		{tidInstr, "VAX instructions"},
+		{tidRegion, "microcode region"},
+		{tidStall, "memory stalls"},
+		{tidEvents, "system events"},
+	}
+	tr.events = append(tr.events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "VAX-11/780 (simulated)"},
+	})
+	for _, n := range names {
+		tr.events = append(tr.events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: n.tid,
+			Args: map[string]any{"name": n.name},
+		})
+		tr.events = append(tr.events, traceEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: n.tid,
+			Args: map[string]any{"sort_index": n.tid},
+		})
+	}
+}
+
+// emit appends an event unless the cap is reached.
+func (tr *Tracer) emit(ev traceEvent) {
+	if tr.max >= 0 && len(tr.events) >= tr.max {
+		tr.truncated = true
+		return
+	}
+	tr.events = append(tr.events, ev)
+}
+
+// slice emits a complete ("X") event spanning [start, end) cycles.
+func (tr *Tracer) slice(name string, tid int, start, end uint64, args map[string]any) {
+	if end <= start {
+		end = start + 1
+	}
+	tr.emit(traceEvent{
+		Name: name, Ph: "X", Pid: 1, Tid: tid,
+		Ts:   cycleMicros(start),
+		Dur:  cycleMicros(end) - cycleMicros(start),
+		Args: args,
+	})
+}
+
+// instant emits an instant ("i") event at the given cycle.
+func (tr *Tracer) instant(name string, tid int, at uint64, args map[string]any) {
+	tr.emit(traceEvent{
+		Name: name, Ph: "i", S: "t", Pid: 1, Tid: tid,
+		Ts: cycleMicros(at), Args: args,
+	})
+}
+
+// cycle observes one EBOX cycle at the given control-store address.
+func (tr *Tracer) cycle(abs uint64, addr uint16, stalled bool) {
+	tr.finished = false
+	r := ucode.RegNone
+	lbl := ""
+	if int(addr) < len(tr.region) {
+		r = tr.region[addr]
+		lbl = tr.label[addr]
+	}
+	if !tr.haveRegion {
+		tr.curRegion, tr.regionStart, tr.regionLabel, tr.haveRegion = r, abs, lbl, true
+	} else if r != tr.curRegion {
+		tr.closeRegion(abs)
+		tr.curRegion, tr.regionStart, tr.regionLabel = r, abs, lbl
+	}
+
+	if stalled && !tr.inStall {
+		tr.inStall, tr.stallStart = true, abs
+	} else if !stalled && tr.inStall {
+		tr.slice("stall", tidStall, tr.stallStart, abs, nil)
+		tr.inStall = false
+	}
+}
+
+func (tr *Tracer) closeRegion(end uint64) {
+	args := map[string]any{"entry": tr.regionLabel}
+	tr.slice(tr.curRegion.String(), tidRegion, tr.regionStart, end, args)
+}
+
+// instr observes an instruction decode: the previous instruction's
+// slice is closed and a new one opened.
+func (tr *Tracer) instr(abs uint64, pc uint32, op vax.Opcode) {
+	if tr.haveInstr {
+		tr.slice(tr.instrName, tidInstr, tr.instrStart, abs,
+			map[string]any{"pc": tr.instrPC})
+	}
+	tr.instrName, tr.instrPC, tr.instrStart, tr.haveInstr = op.String(), pc, abs, true
+}
+
+func (tr *Tracer) interrupt(abs uint64, handler uint32) {
+	tr.instant("interrupt", tidEvents, abs, map[string]any{"handler_pc": handler})
+}
+
+func (tr *Tracer) ctxSwitch(abs uint64, from, to uint32) {
+	tr.instant("context switch", tidEvents, abs,
+		map[string]any{"from": from, "to": to})
+}
+
+func (tr *Tracer) tbMiss(abs uint64, istream bool, va uint32) {
+	name := "TB miss (D)"
+	if istream {
+		name = "TB miss (I)"
+	}
+	tr.instant(name, tidEvents, abs, map[string]any{"va": va})
+}
+
+// phase marks a workload-experiment boundary.
+func (tr *Tracer) phase(abs uint64, name string) {
+	tr.emit(traceEvent{
+		Name: "phase: " + name, Ph: "i", S: "g", Pid: 1, Tid: tidEvents,
+		Ts: cycleMicros(abs),
+	})
+}
+
+// finish closes every open slice at the given end cycle.
+func (tr *Tracer) finish(end uint64) {
+	if tr.finished {
+		return
+	}
+	tr.finished = true
+	if tr.haveRegion && end > tr.regionStart {
+		tr.closeRegion(end)
+		tr.haveRegion = false
+	}
+	if tr.inStall {
+		tr.slice("stall", tidStall, tr.stallStart, end, nil)
+		tr.inStall = false
+	}
+	if tr.haveInstr {
+		tr.slice(tr.instrName, tidInstr, tr.instrStart, end,
+			map[string]any{"pc": tr.instrPC})
+		tr.haveInstr = false
+	}
+}
+
+// Truncated reports whether the event cap dropped events.
+func (tr *Tracer) Truncated() bool { return tr.truncated }
+
+// Events returns the number of collected events.
+func (tr *Tracer) Events() int { return len(tr.events) }
+
+// WriteTrace writes the collected timeline as trace_event JSON. The
+// telemetry layer's Finish must have closed the open slices first
+// (Telemetry.WriteTrace does this).
+func (tr *Tracer) WriteTrace(w io.Writer) error {
+	f := traceFile{
+		TraceEvents:     tr.events,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"source":      "vax780 telemetry layer",
+			"cycle_ns":    200,
+			"truncated":   tr.truncated,
+			"event_count": len(tr.events),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WriteTrace exports the Chrome trace; it returns an error when tracing
+// was not enabled.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	if t.tr == nil {
+		return errTraceDisabled
+	}
+	t.Finish()
+	return t.tr.WriteTrace(w)
+}

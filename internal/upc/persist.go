@@ -2,10 +2,37 @@ package upc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 )
+
+// Dump-reader sentinel errors. Structural damage to a dump — bad magic,
+// a truncated file, a checksum mismatch, the wrong bucket count — wraps
+// ErrCorrupt; a dump written by a newer format wraps
+// ErrUnsupportedVersion. True I/O failures from the underlying reader
+// pass through unwrapped, so errors.Is(err, ErrCorrupt) cleanly
+// separates "this file is damaged" from "I could not read it".
+var (
+	ErrCorrupt            = errors.New("upc: corrupt histogram dump")
+	ErrUnsupportedVersion = errors.New("upc: unsupported dump version")
+)
+
+// corruptErr wraps a structural-damage error with ErrCorrupt. Short
+// reads from io.ReadFull (io.EOF / io.ErrUnexpectedEOF) are truncation,
+// which is corruption; any other read error is the reader's own failure
+// and is returned as-is.
+func corruptErr(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+func readErr(what string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return corruptErr("truncated while reading %s: %v", what, err)
+	}
+	return fmt.Errorf("upc: reading %s: %w", what, err)
+}
 
 // Histogram dump format. The measurement procedure of §2.2 read the
 // board's counts over the Unibus and saved them for offline reduction;
@@ -59,23 +86,24 @@ func ReadHistogram(r io.Reader) (*Histogram, error) {
 
 	head := make([]byte, 10)
 	if _, err := io.ReadFull(tr, head); err != nil {
-		return nil, fmt.Errorf("upc: reading header: %w", err)
+		return nil, readErr("header", err)
 	}
 	if string(head[:4]) != dumpMagic {
-		return nil, fmt.Errorf("upc: bad magic %q", head[:4])
+		return nil, corruptErr("bad magic %q", head[:4])
 	}
 	if v := binary.LittleEndian.Uint16(head[4:]); v != dumpVersion {
-		return nil, fmt.Errorf("upc: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: version %d, reader supports %d",
+			ErrUnsupportedVersion, v, dumpVersion)
 	}
 	if b := binary.LittleEndian.Uint32(head[6:]); b != Buckets {
-		return nil, fmt.Errorf("upc: bucket count %d, want %d", b, Buckets)
+		return nil, corruptErr("bucket count %d, want %d", b, Buckets)
 	}
 
 	h := &Histogram{}
 	buf := make([]byte, 8*Buckets)
 	for _, set := range []*[Buckets]uint64{&h.Normal, &h.Stalled} {
 		if _, err := io.ReadFull(tr, buf); err != nil {
-			return nil, fmt.Errorf("upc: reading counts: %w", err)
+			return nil, readErr("counts", err)
 		}
 		for i := range set {
 			set[i] = binary.LittleEndian.Uint64(buf[8*i:])
@@ -84,10 +112,10 @@ func ReadHistogram(r io.Reader) (*Histogram, error) {
 	want := crc.Sum32()
 	sum := make([]byte, 4)
 	if _, err := io.ReadFull(r, sum); err != nil {
-		return nil, fmt.Errorf("upc: reading checksum: %w", err)
+		return nil, readErr("checksum", err)
 	}
 	if got := binary.LittleEndian.Uint32(sum); got != want {
-		return nil, fmt.Errorf("upc: checksum mismatch: file %08x, computed %08x", got, want)
+		return nil, corruptErr("checksum mismatch: file %08x, computed %08x", got, want)
 	}
 	return h, nil
 }

@@ -2,6 +2,8 @@ package upc
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 )
 
@@ -43,25 +45,65 @@ func TestReadHistogramDetectsCorruption(t *testing.T) {
 	// Flip a count byte: checksum must catch it.
 	corrupt := append([]byte(nil), data...)
 	corrupt[100] ^= 0xFF
-	if _, err := ReadHistogram(bytes.NewReader(corrupt)); err == nil {
-		t.Error("corrupted dump accepted")
+	if _, err := ReadHistogram(bytes.NewReader(corrupt)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted CRC: err = %v, want ErrCorrupt", err)
 	}
 
 	// Bad magic.
 	corrupt = append([]byte(nil), data...)
 	corrupt[0] = 'X'
-	if _, err := ReadHistogram(bytes.NewReader(corrupt)); err == nil {
-		t.Error("bad magic accepted")
+	if _, err := ReadHistogram(bytes.NewReader(corrupt)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
 	}
 
-	// Truncated.
-	if _, err := ReadHistogram(bytes.NewReader(data[:len(data)/2])); err == nil {
-		t.Error("truncated dump accepted")
+	// Wrong bucket count.
+	corrupt = append([]byte(nil), data...)
+	corrupt[6] ^= 0xFF // low byte of the bucket-count field
+	if _, err := ReadHistogram(bytes.NewReader(corrupt)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong bucket count: err = %v, want ErrCorrupt", err)
 	}
 
-	// Empty.
-	if _, err := ReadHistogram(bytes.NewReader(nil)); err == nil {
-		t.Error("empty dump accepted")
+	// Truncated at several depths: inside the header, inside the count
+	// sets, and with only the checksum missing.
+	for _, cut := range []int{0, 2, 10, len(data) / 2, len(data) - 4, len(data) - 1} {
+		if _, err := ReadHistogram(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// failingReader yields a genuine I/O error after n bytes.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+func TestReadHistogramIOErrorIsNotCorruption(t *testing.T) {
+	h := &Histogram{}
+	h.Normal[1] = 3
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ioErr := errors.New("disk on fire")
+	for _, cut := range []int{0, 10, buf.Len() / 2, buf.Len() - 2} {
+		r := &failingReader{data: buf.Bytes()[:cut], err: ioErr}
+		_, err := ReadHistogram(r)
+		if !errors.Is(err, ioErr) {
+			t.Errorf("cut at %d: err = %v, want the reader's own error", cut, err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut at %d: I/O failure misclassified as corruption", cut)
+		}
 	}
 }
 
@@ -73,8 +115,30 @@ func TestReadHistogramVersionCheck(t *testing.T) {
 	}
 	data := buf.Bytes()
 	data[4] = 99 // version field
-	if _, err := ReadHistogram(bytes.NewReader(data)); err == nil {
-		t.Error("future version accepted")
+	_, err := ReadHistogram(bytes.NewReader(data))
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Errorf("future version: err = %v, want ErrUnsupportedVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("a well-formed future-version dump is not corrupt")
+	}
+}
+
+func TestReadHistogramShortChecksumIsCorrupt(t *testing.T) {
+	// io.ReadFull returns plain io.EOF when zero checksum bytes remain;
+	// that must still classify as truncation, not pass through as EOF.
+	h := &Histogram{}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-4]
+	_, err := ReadHistogram(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing checksum: err = %v, want ErrCorrupt", err)
+	}
+	if err != nil && err.Error() == io.EOF.Error() {
+		t.Error("bare EOF leaked to the caller")
 	}
 }
 

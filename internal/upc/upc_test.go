@@ -89,6 +89,97 @@ func TestSaturation(t *testing.T) {
 	}
 }
 
+func TestSaturationStalledSet(t *testing.T) {
+	// The stalled count set saturates independently of the normal set
+	// (§4.3: the board keeps two sets of counts).
+	m := New()
+	m.Start()
+	m.stalled[9] = counterMax
+	m.Tick(9, true)
+	if !m.Saturated() {
+		t.Error("stalled-set saturation not detected")
+	}
+	if m.stalled[9] != counterMax {
+		t.Error("stalled counter wrapped past capacity")
+	}
+	// The normal set at the same address is unaffected and still counts.
+	m.Tick(9, false)
+	if n, _ := m.Read(9); n != 1 {
+		t.Errorf("normal count = %d, want 1 after stalled saturation", n)
+	}
+	// Saturation latches: it stays set even for later in-range ticks.
+	m.Tick(10, false)
+	if !m.Saturated() {
+		t.Error("saturation flag did not latch")
+	}
+}
+
+func TestStartStopClearSemantics(t *testing.T) {
+	m := New()
+
+	// Start is idempotent.
+	m.Start()
+	m.Start()
+	m.Tick(1, false)
+	if n, _ := m.Read(1); n != 1 {
+		t.Errorf("count = %d after double Start + one tick", n)
+	}
+
+	// Clear while running zeroes buckets but does NOT stop collection —
+	// run state lives in the CSR run bit, not the buckets.
+	m.Clear()
+	if !m.Running() {
+		t.Error("Clear stopped the monitor")
+	}
+	m.Tick(1, false)
+	if n, _ := m.Read(1); n != 1 {
+		t.Errorf("count = %d after Clear while running", n)
+	}
+
+	// Stop is idempotent, and Start resumes accumulation into the same
+	// buckets (stop/start without clear continues the measurement).
+	m.Stop()
+	m.Stop()
+	m.Tick(1, false)
+	m.Start()
+	m.Tick(1, false)
+	if n, _ := m.Read(1); n != 2 {
+		t.Errorf("count = %d, want 2: stop/start should not clear", n)
+	}
+
+	// Clear while stopped leaves the monitor stopped.
+	m.Stop()
+	m.Clear()
+	if m.Running() {
+		t.Error("Clear started a stopped monitor")
+	}
+	if m.Snapshot().TotalCycles() != 0 {
+		t.Error("Clear left counts behind")
+	}
+}
+
+func TestBusClearWhileRunningKeepsRunning(t *testing.T) {
+	// A CSR write with both run and clear set is the measurement scripts'
+	// "reset and go": buckets zero, collection continues.
+	m := New()
+	b := NewBus(m)
+	b.WriteWord(RegCSR, CSRRun)
+	m.Tick(3, false)
+	if err := b.WriteWord(RegCSR, CSRRun|CSRClear); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Running() {
+		t.Error("run+clear write stopped the monitor")
+	}
+	if n, _ := m.Read(3); n != 0 {
+		t.Error("run+clear write did not clear")
+	}
+	m.Tick(3, false)
+	if n, _ := m.Read(3); n != 1 {
+		t.Error("monitor not counting after run+clear")
+	}
+}
+
 func TestBusControl(t *testing.T) {
 	m := New()
 	b := NewBus(m)

@@ -6,6 +6,7 @@ import (
 	"vax780/internal/analysis"
 	"vax780/internal/machine"
 	"vax780/internal/mem"
+	"vax780/internal/telemetry"
 	"vax780/internal/tracesim"
 	"vax780/internal/upc"
 	"vax780/internal/workload"
@@ -96,6 +97,14 @@ type RunConfig struct {
 	// default in tests, off by default here).
 	Strict bool
 
+	// Telemetry, when non-nil, attaches the live telemetry layer to the
+	// run: live counters and the HTTP monitor, and optionally the
+	// interval recorder and Chrome trace collector (see Telemetry). The
+	// same instance observes all configured workloads on one continuous
+	// timeline, exactly as the board stayed attached across the paper's
+	// five experiments.
+	Telemetry *Telemetry
+
 	// OverlapDecode enables the 11/750-style overlapped I-Decode cycle —
 	// the improvement the paper names in §5 ("saving the non-overlapped
 	// I-Decode cycle could save one cycle on each non-PC-changing
@@ -133,6 +142,11 @@ func Run(cfg RunConfig) (*Results, error) {
 	var hw analysis.HWCounters
 	res := &Results{cfg: cfg}
 
+	var tel *telemetry.Telemetry
+	if cfg.Telemetry != nil {
+		tel = cfg.Telemetry.ensure()
+	}
+
 	for _, id := range cfg.Workloads {
 		p, err := id.profile(cfg.Instructions)
 		if err != nil {
@@ -141,12 +155,15 @@ func Run(cfg RunConfig) (*Results, error) {
 		if cfg.CtxSwitchHeadway > 0 {
 			p.CtxSwitchHeadway = cfg.CtxSwitchHeadway
 		}
-		one, err := runOne(p, cfg)
+		if tel != nil {
+			tel.Phase(id.String())
+		}
+		one, err := runOne(p, cfg, tel)
 		if err != nil {
 			return nil, fmt.Errorf("vax780: %s: %w", id, err)
 		}
 		composite.Add(one.hist)
-		addStats(&hw.Mem, &one.machine.Mem.Stats)
+		hw.Mem.Add(&one.machine.Mem.Stats)
 		hw.IBConsumed += one.machine.IB.Consumed
 		res.PerWorkload = append(res.PerWorkload, WorkloadResult{
 			Workload:     id,
@@ -158,6 +175,9 @@ func Run(cfg RunConfig) (*Results, error) {
 		res.describe = one.machine.Describe()
 	}
 
+	if tel != nil {
+		tel.Finish()
+	}
 	res.analysis = analysis.New(machine.ROM(), composite).WithHardwareCounters(hw)
 	res.hist = composite
 	return res, nil
@@ -168,19 +188,25 @@ type oneRun struct {
 	hist    *upc.Histogram
 }
 
-func runOne(p workload.Profile, cfg RunConfig) (*oneRun, error) {
+func runOne(p workload.Profile, cfg RunConfig, tel *telemetry.Telemetry) (*oneRun, error) {
 	tr, err := workload.Generate(p)
 	if err != nil {
 		return nil, err
 	}
 	mon := upc.New()
 	mon.Start()
-	m := machine.New(machine.Config{
+	mc := machine.Config{
 		Mem:           cfg.memConfig(),
 		Monitor:       mon,
 		Strict:        cfg.Strict,
 		OverlapDecode: cfg.OverlapDecode,
-	}, tr.Program)
+	}
+	if tel != nil {
+		// Assign only a live layer: a nil *telemetry.Telemetry boxed in
+		// the interface would defeat the machine's nil check.
+		mc.Telemetry = tel
+	}
+	m := machine.New(mc, tr.Program)
 	if err := m.Run(tr.Stream()); err != nil {
 		return nil, err
 	}
@@ -189,23 +215,6 @@ func runOne(p workload.Profile, cfg RunConfig) (*oneRun, error) {
 		return nil, fmt.Errorf("histogram counters saturated")
 	}
 	return &oneRun{machine: m, hist: mon.Snapshot()}, nil
-}
-
-func addStats(dst, src *mem.Stats) {
-	dst.DReads += src.DReads
-	dst.DWrites += src.DWrites
-	dst.DReadMisses += src.DReadMisses
-	dst.IReads += src.IReads
-	dst.IReadMisses += src.IReadMisses
-	dst.IBytes += src.IBytes
-	dst.DTBMisses += src.DTBMisses
-	dst.ITBMisses += src.ITBMisses
-	dst.PTEReads += src.PTEReads
-	dst.PTEReadMisses += src.PTEReadMisses
-	dst.ReadStall += src.ReadStall
-	dst.WriteStall += src.WriteStall
-	dst.SBIBusy += src.SBIBusy
-	dst.Unaligned += src.Unaligned
 }
 
 // TraceDrivenComparison is the A1 ablation: what a trace-driven timing
