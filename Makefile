@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-telemetry experiments clean
+.PHONY: all fmt fmt-check vet build test race bench bench-telemetry bench-faults experiments clean
 
 all: fmt-check vet build test
 
@@ -29,6 +29,11 @@ bench:
 # The telemetry-overhead gate; compare against BENCH_telemetry.json.
 bench-telemetry:
 	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 20x -count 3 .
+
+# The fault-hook overhead gate; compare against BENCH_faults.json
+# (disabled hooks must stay within 1% of the telemetry-era baseline).
+bench-faults:
+	$(GO) test -run xxx -bench BenchmarkFaults -benchtime 20x -count 3 .
 
 experiments:
 	$(GO) run ./cmd/vaxtables -n 200000 -o EXPERIMENTS.md

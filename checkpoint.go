@@ -1,0 +1,238 @@
+package vax780
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"vax780/internal/mem"
+	"vax780/internal/upc"
+)
+
+// Checkpoint format. A composite run writes one of these atomically
+// after each completed workload, so a measurement host killed
+// mid-composite resumes with the completed experiments intact and their
+// histograms bit-identical. Per-workload histograms are embedded in the
+// existing UPCH dump format, which carries this format's versioning for
+// the bulk of the data.
+//
+//	magic   [4]byte  "UPCK"
+//	version uint16   1
+//	config  uint64   FNV-64a hash of the measurement-relevant RunConfig
+//	count   uint32   completed workload records
+//	record:
+//	  workload   uint32
+//	  instrs     uint64
+//	  cycles     uint64
+//	  ibconsumed uint64
+//	  memstats   uint16 field count, then that many uint64 fields
+//	  histogram  embedded UPCH dump
+//	crc32   uint32   IEEE, over everything above
+const (
+	ckptMagic   = "UPCK"
+	ckptVersion = 1
+)
+
+// ErrCheckpointMismatch reports a checkpoint written under a different
+// measurement configuration than the resuming run's.
+var ErrCheckpointMismatch = errors.New("vax780: checkpoint does not match run configuration")
+
+// ckptRecord is one completed workload: everything Run accumulates from
+// it, so a resumed composite is bit-identical to an uninterrupted one.
+type ckptRecord struct {
+	Workload   WorkloadID
+	Instrs     uint64
+	Cycles     uint64
+	IBConsumed uint64
+	Mem        mem.Stats
+	Hist       *upc.Histogram
+}
+
+// checkpointHash fingerprints the parts of the configuration that
+// determine the measured data. Telemetry and fault settings are
+// deliberately excluded: a run killed under fault injection may be
+// resumed with observation or injection reconfigured — the completed
+// workloads' histograms are data either way.
+func (c *RunConfig) checkpointHash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|instr=%d|wl=%v|cache=%d/%d|tb=%d|miss=%d|wb=%d|ctx=%d|strict=%t|overlap=%t",
+		ckptVersion, c.Instructions, c.Workloads,
+		c.CacheBytes, c.CacheWays, c.TBEntries, c.MissLatency, c.WriteBusy,
+		c.CtxSwitchHeadway, c.Strict, c.OverlapDecode)
+	return h.Sum64()
+}
+
+// memStatsFields flattens mem.Stats for serialization, in declaration
+// order. Adding a field to mem.Stats must extend this list (the field
+// count written per record catches a mismatch as corruption).
+func memStatsFields(s *mem.Stats) []uint64 {
+	return []uint64{
+		s.DReads, s.DWrites, s.DReadMisses,
+		s.IReads, s.IReadMisses, s.IBytes,
+		s.DTBMisses, s.ITBMisses,
+		s.PTEReads, s.PTEReadMisses,
+		s.ReadStall, s.WriteStall, s.SBIBusy, s.Unaligned,
+	}
+}
+
+func setMemStatsFields(s *mem.Stats, v []uint64) {
+	s.DReads, s.DWrites, s.DReadMisses = v[0], v[1], v[2]
+	s.IReads, s.IReadMisses, s.IBytes = v[3], v[4], v[5]
+	s.DTBMisses, s.ITBMisses = v[6], v[7]
+	s.PTEReads, s.PTEReadMisses = v[8], v[9]
+	s.ReadStall, s.WriteStall, s.SBIBusy, s.Unaligned = v[10], v[11], v[12], v[13]
+}
+
+// writeCheckpoint atomically replaces the checkpoint file at path with
+// the given completed records.
+func writeCheckpoint(path string, configHash uint64, recs []ckptRecord) error {
+	return upc.AtomicWriteFile(path, func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		crc := crc32.NewIEEE()
+		mw := io.MultiWriter(bw, crc)
+
+		if _, err := mw.Write([]byte(ckptMagic)); err != nil {
+			return err
+		}
+		hdr := make([]byte, 14)
+		binary.LittleEndian.PutUint16(hdr[0:], ckptVersion)
+		binary.LittleEndian.PutUint64(hdr[2:], configHash)
+		binary.LittleEndian.PutUint32(hdr[10:], uint32(len(recs)))
+		if _, err := mw.Write(hdr); err != nil {
+			return err
+		}
+		for i := range recs {
+			if err := writeCkptRecord(mw, &recs[i]); err != nil {
+				return err
+			}
+		}
+		sum := make([]byte, 4)
+		binary.LittleEndian.PutUint32(sum, crc.Sum32())
+		if _, err := bw.Write(sum); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+func writeCkptRecord(w io.Writer, r *ckptRecord) error {
+	stats := memStatsFields(&r.Mem)
+	buf := make([]byte, 4+8*3+2+8*len(stats))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(r.Workload))
+	binary.LittleEndian.PutUint64(buf[4:], r.Instrs)
+	binary.LittleEndian.PutUint64(buf[12:], r.Cycles)
+	binary.LittleEndian.PutUint64(buf[20:], r.IBConsumed)
+	binary.LittleEndian.PutUint16(buf[28:], uint16(len(stats)))
+	for i, v := range stats {
+		binary.LittleEndian.PutUint64(buf[30+8*i:], v)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	_, err := r.Hist.WriteTo(w)
+	return err
+}
+
+// readCheckpoint loads a checkpoint, verifying its checksum and that it
+// was written under the same measurement configuration. A missing file
+// returns (nil, nil): nothing to resume.
+func readCheckpoint(path string, configHash uint64) ([]ckptRecord, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(bufio.NewReader(f), crc)
+
+	head := make([]byte, 18)
+	if _, err := io.ReadFull(tr, head); err != nil {
+		return nil, ckptReadErr("header", err)
+	}
+	if string(head[:4]) != ckptMagic {
+		return nil, ckptCorrupt("bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != ckptVersion {
+		return nil, fmt.Errorf("%w: checkpoint version %d, reader supports %d",
+			upc.ErrUnsupportedVersion, v, ckptVersion)
+	}
+	if h := binary.LittleEndian.Uint64(head[6:]); h != configHash {
+		return nil, fmt.Errorf("%w: config hash %016x, run has %016x",
+			ErrCheckpointMismatch, h, configHash)
+	}
+	count := binary.LittleEndian.Uint32(head[14:])
+	if count > 1024 {
+		return nil, ckptCorrupt("implausible record count %d", count)
+	}
+
+	recs := make([]ckptRecord, 0, count)
+	for i := uint32(0); i < count; i++ {
+		r, err := readCkptRecord(tr)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, *r)
+	}
+	want := crc.Sum32() // captured before the checksum bytes enter the tee
+	sum := make([]byte, 4)
+	if _, err := io.ReadFull(tr, sum); err != nil {
+		return nil, ckptReadErr("checksum", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum); got != want {
+		return nil, ckptCorrupt("checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return recs, nil
+}
+
+func readCkptRecord(r io.Reader) (*ckptRecord, error) {
+	head := make([]byte, 30)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, ckptReadErr("record header", err)
+	}
+	rec := &ckptRecord{
+		Workload:   WorkloadID(binary.LittleEndian.Uint32(head[0:])),
+		Instrs:     binary.LittleEndian.Uint64(head[4:]),
+		Cycles:     binary.LittleEndian.Uint64(head[12:]),
+		IBConsumed: binary.LittleEndian.Uint64(head[20:]),
+	}
+	nf := int(binary.LittleEndian.Uint16(head[28:]))
+	if nf != len(memStatsFields(&rec.Mem)) {
+		return nil, ckptCorrupt("memory-counter field count %d, want %d",
+			nf, len(memStatsFields(&rec.Mem)))
+	}
+	buf := make([]byte, 8*nf)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, ckptReadErr("memory counters", err)
+	}
+	vals := make([]uint64, nf)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	setMemStatsFields(&rec.Mem, vals)
+	h, err := upc.ReadHistogram(r)
+	if err != nil {
+		return nil, err
+	}
+	rec.Hist = h
+	return rec, nil
+}
+
+func ckptCorrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{upc.ErrCorrupt}, args...)...)
+}
+
+func ckptReadErr(what string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ckptCorrupt("truncated while reading %s: %v", what, err)
+	}
+	return fmt.Errorf("vax780: reading checkpoint %s: %w", what, err)
+}

@@ -6,6 +6,8 @@
 //
 //	vaxmon [-workload NAME] [-n INSTRUCTIONS] [-strict] [-hot N]
 //	       [-save FILE] [-load FILE] [-compare]
+//	       [-faults RATE] [-fault-seed SEED]
+//	       [-checkpoint FILE] [-resume]
 //	       [-serve ADDR] [-interval-cycles N] [-trace FILE]
 //	       [-intervals-csv FILE] [-intervals-json FILE]
 //
@@ -13,6 +15,13 @@
 // summed into the composite, as in the paper. -save dumps the composite
 // histogram (the board readout); -load re-analyzes a saved dump without
 // re-simulating; -compare prints the per-workload comparison matrix.
+//
+// -faults injects measurement and machine faults at the given
+// per-event rate, deterministically from -fault-seed; the report then
+// carries bucket-coverage confidence annotations. -checkpoint makes the
+// run crash-safe: the composite state is snapshotted atomically after
+// every completed workload, and -resume picks a killed run up from the
+// snapshot, bit-identically.
 //
 // -serve starts the live monitor before the run: Prometheus-text
 // /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/, and the
@@ -23,6 +32,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +52,11 @@ func main() {
 		load      = flag.String("load", "", "analyze a saved histogram dump instead of simulating")
 		compare   = flag.Bool("compare", false, "print the per-workload comparison")
 		intervals = flag.Int("intervals", 0, "also run an interval-variation study with this snapshot interval")
+
+		faultRate  = flag.Float64("faults", 0, "inject faults at this per-event rate in every class (0 = off)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
+		checkpoint = flag.String("checkpoint", "", "snapshot the run state to FILE after each completed workload")
+		resume     = flag.Bool("resume", false, "resume a killed run from the -checkpoint snapshot")
 
 		serve    = flag.String("serve", "", "serve the live monitor (/metrics, /debug/pprof/, /board/*) on ADDR, e.g. :8780")
 		interval = flag.Uint64("interval-cycles", 0, "record the interval time series every N cycles (default 100000 when an interval export or -serve is active)")
@@ -81,7 +96,17 @@ func main() {
 		}
 		fmt.Printf("Analyzing saved histogram %s\n\n", *load)
 	} else {
-		cfg := vax780.RunConfig{Instructions: *n, Strict: *strict, Telemetry: tel}
+		cfg := vax780.RunConfig{
+			Instructions: *n, Strict: *strict, Telemetry: tel,
+			Checkpoint: *checkpoint, Resume: *resume,
+		}
+		if *faultRate > 0 {
+			cfg.Faults = vax780.UniformFaults(*faultSeed, *faultRate)
+		}
+		if *resume && *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "vaxmon: -resume needs -checkpoint FILE")
+			os.Exit(2)
+		}
 		if *name != "" {
 			id, err := vax780.WorkloadByName(*name)
 			if err != nil {
@@ -93,7 +118,16 @@ func main() {
 		var err error
 		res, err = vax780.Run(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			var mf *vax780.MachineFault
+			if errors.As(err, &mf) {
+				fmt.Fprintf(os.Stderr, "vaxmon: %v\n  at uPC %05o, cycle %d, site %s (%s)\n",
+					err, mf.UPC, mf.Cycle, mf.Site, mf.Cause)
+				if *checkpoint != "" {
+					fmt.Fprintf(os.Stderr, "  completed workloads are checkpointed in %s; rerun with -resume\n", *checkpoint)
+				}
+			} else {
+				fmt.Fprintln(os.Stderr, "vaxmon:", err)
+			}
 			os.Exit(1)
 		}
 	}
@@ -103,6 +137,15 @@ func main() {
 	for _, w := range res.PerWorkload {
 		fmt.Printf("  %-14s %9d instructions  %10d cycles  CPI %.3f\n",
 			w.Workload, w.Instructions, w.Cycles, w.CPI)
+	}
+	if res.Resumed > 0 {
+		fmt.Printf("  (%d workload(s) restored from checkpoint)\n", res.Resumed)
+	}
+	if res.FaultInjections != "" {
+		fmt.Printf("  faults injected: %s\n", res.FaultInjections)
+		if res.Retries > 0 {
+			fmt.Printf("  transient faults retried: %d\n", res.Retries)
+		}
 	}
 	fmt.Println()
 	fmt.Println(res.Report())
@@ -131,16 +174,7 @@ func main() {
 		printHotBuckets(res, *hot)
 	}
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vaxmon:", err)
-			os.Exit(1)
-		}
-		if err := res.SaveHistogram(f); err != nil {
-			fmt.Fprintln(os.Stderr, "vaxmon:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		if err := res.SaveHistogramFile(*save); err != nil {
 			fmt.Fprintln(os.Stderr, "vaxmon:", err)
 			os.Exit(1)
 		}

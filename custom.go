@@ -65,7 +65,7 @@ func RunCustom(cw CustomWorkload, instructions int) (*Results, error) {
 	})
 	cfg := RunConfig{Instructions: instructions}
 	cfg.fill()
-	one, err := runOne(p, cfg, nil)
+	one, err := runOne(p, cfg, nil, nil)
 	if err != nil {
 		return nil, err
 	}

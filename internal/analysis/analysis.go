@@ -32,19 +32,33 @@ type Analysis struct {
 	h    *upc.Histogram
 	hw   *HWCounters
 	inst uint64
+
+	// quality is the histogram health assessment; excl is the set of
+	// damaged (addr, count-set) pairs every table reads as zero. excl
+	// is nil on a healthy histogram (the fast path), making the
+	// reduction bit-identical to the quality-unaware one.
+	quality *Quality
+	excl    map[uint32]bool
 }
 
-// New builds an analysis over the histogram.
+// New builds an analysis over the histogram. The histogram is scanned
+// for detectable damage (saturated, corrupt, phantom buckets); damaged
+// count sets are excluded from every table and summarized by Quality.
 func New(rom *urom.ROM, h *upc.Histogram) *Analysis {
 	a := &Analysis{rom: rom, h: h}
+	a.scanQuality()
+	// The IRD count is the normalizer even when its bucket is damaged:
+	// a saturated lower bound beats a zero denominator. Quality flags
+	// it so every rate is known-suspect.
 	a.inst, _ = h.At(rom.IRD)
 	return a
 }
 
 // WithHardwareCounters attaches the cache-study counters, enabling the
-// Section 4 analyses.
+// Section 4 analyses and the dropped-count cross-check.
 func (a *Analysis) WithHardwareCounters(hw HWCounters) *Analysis {
 	a.hw = &hw
+	a.crossCheckDropped()
 	return a
 }
 
@@ -60,9 +74,10 @@ func (a *Analysis) perInstr(count uint64) float64 {
 	return float64(count) / float64(a.inst)
 }
 
-// count returns the non-stalled execution count at an address.
+// count returns the non-stalled execution count at an address
+// (damage-aware: an excluded bucket reads as zero).
 func (a *Analysis) count(addr uint16) uint64 {
-	n, _ := a.h.At(addr)
+	n, _ := a.at(addr)
 	return n
 }
 

@@ -23,7 +23,7 @@ func (a *Analysis) TBMissStats() TBMissStats {
 	img := a.rom.Image
 	for addr := entry; ; addr++ {
 		mi := img.At(addr)
-		n, s := a.h.At(addr)
+		n, s := a.at(addr)
 		cycles += n + s
 		if mi.Mem == ucode.MemReadPTE {
 			stall += s

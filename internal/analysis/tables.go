@@ -196,7 +196,7 @@ func (a *Analysis) MemoryOps() (rows []MemRow, total MemRow) {
 		if !ok {
 			continue
 		}
-		n, _ := a.h.At(uint16(addr))
+		n, _ := a.at(uint16(addr))
 		if mi.Mem.IsRead() {
 			reads[src] += n
 		} else if mi.Mem.IsWrite() {
@@ -340,7 +340,7 @@ func (a *Analysis) CPIMatrix() CPIMatrix {
 		if !ok {
 			continue
 		}
-		n, s := a.h.At(uint16(addr))
+		n, s := a.at(uint16(addr))
 		switch {
 		case mi.IBStall:
 			m.Cells[row][paper.T8IBStall] += float64(n)

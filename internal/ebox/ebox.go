@@ -11,6 +11,7 @@ package ebox
 import (
 	"fmt"
 
+	"vax780/internal/faults"
 	"vax780/internal/ibox"
 	"vax780/internal/mem"
 	"vax780/internal/ucode"
@@ -97,6 +98,12 @@ type EBOX struct {
 	// [this].)" When set, the IRD cycle is free whenever the previous
 	// instruction fell through (the IB pipeline was not redirected).
 	OverlapDecode bool
+
+	// CheckFaults is set by the machine when a fault plan is attached:
+	// only then does the EBOX poll the memory subsystem for latched
+	// parity errors after each data reference (one boolean test per
+	// reference on the disabled path).
+	CheckFaults bool
 
 	// redirected records whether the current instruction redirected the
 	// I-stream (branch taken / call / return), which forces the next
@@ -267,13 +274,13 @@ func (e *EBOX) pop() uint32 {
 
 // memVA resolves the effective virtual address of a memory function.
 // trapBase is nonzero inside trap-service flows (the faulting address).
-func (e *EBOX) memVA(f ucode.MemFunc, trapBase uint32) (va uint32, spec *vax.Specifier) {
+func (e *EBOX) memVA(f ucode.MemFunc, trapBase uint32) (va uint32, spec *vax.Specifier, err error) {
 	ctx := e.ctx
 	switch f {
 	case ucode.MemReadOperand, ucode.MemWriteOperand:
 		if trapBase != 0 {
 			// Alignment microcode: the second physical reference.
-			return trapBase + 4, nil
+			return trapBase + 4, nil, nil
 		}
 		idx := e.curSpec
 		mi := e.ROM.Image.At(e.upc)
@@ -281,35 +288,62 @@ func (e *EBOX) memVA(f ucode.MemFunc, trapBase uint32) (va uint32, spec *vax.Spe
 			idx = ctx.FieldSpec
 		}
 		if idx < 0 || ctx.In == nil || idx >= len(ctx.In.Specs) {
-			return ctx.ScalarVA, nil
+			return ctx.ScalarVA, nil, nil
 		}
-		return ctx.In.Specs[idx].Addr, &ctx.In.Specs[idx]
+		return ctx.In.Specs[idx].Addr, &ctx.In.Specs[idx], nil
 	case ucode.MemReadPointer:
 		if e.curSpec >= 0 && ctx.In != nil && e.curSpec < len(ctx.In.Specs) {
-			return ctx.In.Specs[e.curSpec].PtrAddr, nil
+			return ctx.In.Specs[e.curSpec].PtrAddr, nil, nil
 		}
-		return ctx.ScalarVA, nil
+		return ctx.ScalarVA, nil, nil
 	case ucode.MemReadStack:
-		return e.pop(), nil
+		return e.pop(), nil, nil
 	case ucode.MemWriteStack:
-		return e.push(), nil
+		return e.push(), nil, nil
 	case ucode.MemReadString:
 		va := ctx.StrSrc
 		ctx.StrSrc += 4
-		return va, nil
+		return va, nil, nil
 	case ucode.MemWriteString:
 		va := ctx.StrDst
 		ctx.StrDst += 4
-		return va, nil
+		return va, nil, nil
 	case ucode.MemReadScalar, ucode.MemWriteScalar:
 		va := ctx.ScalarVA
 		ctx.ScalarVA += 4
-		return va, nil
+		return va, nil, nil
 	case ucode.MemReadPTE:
 		// Resolved by the caller (physical).
-		return 0, nil
+		return 0, nil, nil
 	}
-	panic(fmt.Sprintf("ebox: unhandled mem func %v", f))
+	// An unhandled memory function is a control-store authoring bug.
+	// It used to panic straight through the public Run API; it is now a
+	// (non-transient) machine-check abort so a supervisor can report it
+	// as a typed error instead of crashing the process.
+	return 0, nil, e.machineCheck(faults.CodeMicrocodeBug, "ebox.memVA", 0,
+		fmt.Errorf("unhandled mem func %v", f))
+}
+
+// machineCheck takes a machine-check abort: one abort cycle (the same
+// control-store location every microtrap passes through), then the
+// typed fault carrying the micro-PC, cycle, and site. All fault paths —
+// injected and organic — report through here.
+func (e *EBOX) machineCheck(code faults.Code, site string, va uint32, detail error) *faults.MachineCheck {
+	e.tick(e.ROM.Abort, false, false)
+	return &faults.MachineCheck{
+		Code:  code,
+		UPC:   e.upc,
+		Cycle: e.Now,
+		Site:  site,
+		VA:    va,
+		Err:   detail,
+	}
+}
+
+// InjectMachineCheck is the machine's entry for a plan-scheduled
+// spontaneous machine check (routed through the same abort path).
+func (e *EBOX) InjectMachineCheck(site string) *faults.MachineCheck {
+	return e.machineCheck(faults.CodeInjectedAbort, site, 0, nil)
 }
 
 // doMem performs the memory function of the current microinstruction,
@@ -325,10 +359,19 @@ func (e *EBOX) doMem(mi *ucode.MicroInst, trapBase uint32) (bool, error) {
 		for i := 0; i < stall; i++ {
 			e.tick(e.upc, true, true)
 		}
+		if e.CheckFaults {
+			if ppa, bad := e.Mem.TakeParity(); bad {
+				return false, e.machineCheck(faults.CodeMemParity,
+					"ebox.doMem pte", ppa, nil)
+			}
+		}
 		return true, nil
 	}
 
-	va, spec := e.memVA(mi.Mem, trapBase)
+	va, spec, err := e.memVA(mi.Mem, trapBase)
+	if err != nil {
+		return false, err
+	}
 	pa, hit := e.Mem.Translate(va)
 	if !hit {
 		e.Mem.NoteTBMiss(false)
@@ -350,6 +393,12 @@ func (e *EBOX) doMem(mi *ucode.MicroInst, trapBase uint32) (bool, error) {
 		e.tick(e.upc, false, true)
 		for i := 0; i < stall; i++ {
 			e.tick(e.upc, true, true)
+		}
+		if e.CheckFaults {
+			if ppa, bad := e.Mem.TakeParity(); bad {
+				return false, e.machineCheck(faults.CodeMemParity,
+					"ebox.doMem read", ppa, nil)
+			}
 		}
 	} else {
 		stall := e.Mem.DWrite(pa, e.Now)

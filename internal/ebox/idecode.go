@@ -3,6 +3,7 @@ package ebox
 import (
 	"fmt"
 
+	"vax780/internal/faults"
 	"vax780/internal/ibox"
 	"vax780/internal/ucode"
 	"vax780/internal/urom"
@@ -131,9 +132,12 @@ func (e *EBOX) dispatchInstr() (uint16, error) {
 		return 0, fmt.Errorf("decode mismatch: IB has %s, trace has %s at PC %#x",
 			op, e.ctx.In.Op, e.ctx.In.PC)
 	}
-	e.IB.Consume(1)
+	if err := e.IB.Consume(1); err != nil {
+		return 0, e.machineCheck(faults.CodeIBOverrun, "ebox.dispatchInstr",
+			e.IB.BufVA(), err)
+	}
 	if len(op.Info().Specs) == 0 {
-		return e.execEntry(op), nil
+		return e.execEntry(op)
 	}
 	return e.dispatchSpec()
 }
@@ -147,7 +151,7 @@ func (e *EBOX) dispatchNext() (uint16, error) {
 	if e.specIdx < len(e.ctx.In.Specs) {
 		return e.dispatchSpec()
 	}
-	return e.execEntry(e.ctx.In.Op), nil
+	return e.execEntry(e.ctx.In.Op)
 }
 
 // dispatchSpec decodes specifier number specIdx from the IB and returns
@@ -186,7 +190,10 @@ func (e *EBOX) dispatchSpec() (uint16, error) {
 		}
 	}
 
-	e.IB.Consume(ds.Len)
+	if err := e.IB.Consume(ds.Len); err != nil {
+		return 0, e.machineCheck(faults.CodeIBOverrun, "ebox.dispatchSpec",
+			e.IB.BufVA(), err)
+	}
 	e.curSpec = e.specIdx
 	pos := 1
 	if e.specIdx == 0 {
@@ -206,24 +213,30 @@ func (e *EBOX) dispatchSpec() (uint16, error) {
 
 // execEntry selects the execute flow entry for op, applying the
 // field-base memory variant and the literal/register operand
-// optimization.
-func (e *EBOX) execEntry(op vax.Opcode) uint16 {
+// optimization. An opcode the control store holds no execute flow for
+// is a machine-check abort (address 0 is a valid control-store
+// location, so presence is tracked explicitly in HasExecFlow).
+func (e *EBOX) execEntry(op vax.Opcode) (uint16, error) {
+	if !e.ROM.HasExecFlow[op] {
+		return 0, e.machineCheck(faults.CodeMissingFlow, "ebox.execEntry",
+			e.ctx.In.PC, fmt.Errorf("no execute flow for %s", op))
+	}
 	in := e.ctx.In
 
 	if in.SIRR && op == vax.MTPR {
-		return e.ROM.ExecEntrySIRR
+		return e.ROM.ExecEntrySIRR, nil
 	}
 	if e.ROM.ExecEntryMem[op] != 0 && e.ctx.FieldSpec >= 0 &&
 		in.Specs[e.ctx.FieldSpec].Mode.IsMemory() {
-		return e.ROM.ExecEntryMem[op]
+		return e.ROM.ExecEntryMem[op], nil
 	}
 	if e.ROM.ExecEntryOpt[op] != 0 && len(in.Specs) > 0 {
 		last := in.Specs[len(in.Specs)-1].Mode
 		if last == vax.ModeRegister || last == vax.ModeLiteral {
-			return e.ROM.ExecEntryOpt[op]
+			return e.ROM.ExecEntryOpt[op], nil
 		}
 	}
-	return e.ROM.ExecEntry[op]
+	return e.ROM.ExecEntry[op], nil
 }
 
 // decodeBranch consumes the branch displacement from the IB and returns
@@ -246,7 +259,10 @@ func (e *EBOX) decodeBranch() (uint16, error) {
 				e.ctx.In.PC, d, e.ctx.In.BranchDisp)
 		}
 	}
-	e.IB.Consume(size)
+	if err := e.IB.Consume(size); err != nil {
+		return 0, e.machineCheck(faults.CodeIBOverrun, "ebox.decodeBranch",
+			e.IB.BufVA(), err)
+	}
 	return e.ROM.BDisp, nil
 }
 
@@ -260,6 +276,9 @@ func (e *EBOX) skipBranch() error {
 	if err := e.waitIB(e.ROM.IBStallBDisp, size); err != nil {
 		return err
 	}
-	e.IB.Consume(size)
+	if err := e.IB.Consume(size); err != nil {
+		return e.machineCheck(faults.CodeIBOverrun, "ebox.skipBranch",
+			e.IB.BufVA(), err)
+	}
 	return nil
 }

@@ -1,0 +1,307 @@
+// Package faults implements a deterministic, seed-driven fault-injection
+// plan for the simulated measurement pipeline, plus the typed
+// machine-check abort that every fault path (injected or organic)
+// reports through.
+//
+// The paper's UPC board is passive hardware on a live Unibus: real
+// boards saturate, drop count pulses, and return garbage over the bus,
+// and the measured machine itself takes memory parity errors and
+// machine checks. This package models those failures so the measurement
+// pipeline can be hardened against them and the data reduction can be
+// validated under degradation.
+//
+// Determinism: every fault class draws from its own splitmix64 stream
+// derived from (seed, class), so decisions in one class never perturb
+// another class's sequence, and a plan with a zero rate for a class is
+// bit-exactly equivalent to no plan at all for that class. The hooks
+// use only builtin types, so the packages that carry them (upc, mem,
+// ibox, machine) declare their own small injector interfaces and this
+// package satisfies them without any import in either direction — the
+// same zero-overhead-when-disabled pattern as the telemetry probes.
+package faults
+
+import "fmt"
+
+// Code identifies the origin of a machine-check abort.
+type Code int
+
+// Machine-check codes. Injected codes are transient: the condition was
+// environmental (a fault plan decision) and a retry of the run may
+// succeed. Organic codes are internal invariant violations that were
+// panics before the fault/abort path existed; they are deterministic
+// and retrying cannot help.
+const (
+	CodeNone          Code = iota
+	CodeMemParity          // injected memory parity error on a D-stream read
+	CodeInjectedAbort      // plan-scheduled spontaneous machine check
+	CodeMicrocodeBug       // unhandled memory function in a microinstruction
+	CodeIBOverrun          // I-Decode consumed beyond the instruction buffer
+	CodeMissingFlow        // opcode with no execute flow in the control store
+	CodePanic              // a panic recovered at the supervisor boundary
+)
+
+var codeNames = map[Code]string{
+	CodeNone:          "none",
+	CodeMemParity:     "memory parity error",
+	CodeInjectedAbort: "injected machine check",
+	CodeMicrocodeBug:  "microcode bug (unhandled mem function)",
+	CodeIBOverrun:     "IB consume overrun",
+	CodeMissingFlow:   "missing execute flow",
+	CodePanic:         "recovered panic",
+}
+
+func (c Code) String() string {
+	if n, ok := codeNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("Code(%d)", int(c))
+}
+
+// Transient reports whether a retry of the run can clear the fault:
+// true for injected (environmental) faults, false for internal
+// invariant violations.
+func (c Code) Transient() bool {
+	return c == CodeMemParity || c == CodeInjectedAbort
+}
+
+// MachineCheck is the typed abort every fault path reports: the
+// machine-level analogue of the VAX machine-check exception, carrying
+// the micro-PC and cycle at which the abort was taken and the fault
+// site. It wraps any underlying error.
+type MachineCheck struct {
+	Code  Code
+	UPC   uint16 // micro-PC at the abort cycle
+	Cycle uint64 // EBOX cycle (200 ns units) at the abort
+	Site  string // fault site, e.g. "ebox.doMem", "machine.runInstr"
+	VA    uint32 // faulting address, when one exists
+	Err   error  // underlying detail, if any
+}
+
+func (m *MachineCheck) Error() string {
+	s := fmt.Sprintf("machine check: %s at uPC %#o cycle %d (%s)",
+		m.Code, m.UPC, m.Cycle, m.Site)
+	if m.VA != 0 {
+		s += fmt.Sprintf(" va %#x", m.VA)
+	}
+	if m.Err != nil {
+		s += ": " + m.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying detail error.
+func (m *MachineCheck) Unwrap() error { return m.Err }
+
+// Transient reports whether retrying the run may clear the fault.
+func (m *MachineCheck) Transient() bool { return m.Code.Transient() }
+
+// Rates are per-event fault probabilities, one per fault class. All
+// zero (the zero value) disables every class; a nil *Plan and an
+// all-zero Plan produce bit-identical runs.
+type Rates struct {
+	// UPCDrop is the probability a histogram count pulse is dropped
+	// (the board misses a Tick).
+	UPCDrop float64
+	// UPCFlip is the probability a Tick flips a random bit of the
+	// ticked bucket's counter (board RAM corruption).
+	UPCFlip float64
+	// UPCSaturate is the probability a Tick forces the ticked counter
+	// to its capacity (stuck-high counter).
+	UPCSaturate float64
+	// CSRGlitch is the probability a Unibus register read of the board
+	// returns garbage (bus noise on the readout path).
+	CSRGlitch float64
+	// MemParity is the probability a D-stream or PTE read takes a
+	// memory parity error, aborting the instruction with a machine
+	// check.
+	MemParity float64
+	// IBDrop is the probability an arrived IB refill longword is
+	// dropped in transit (the IB refetches; timing-only).
+	IBDrop float64
+	// MachineCheck is the per-instruction probability of a spontaneous
+	// machine-check abort.
+	MachineCheck float64
+}
+
+// Zero reports whether every class rate is zero.
+func (r Rates) Zero() bool {
+	return r == Rates{}
+}
+
+// Uniform returns Rates with every class set to rate.
+func Uniform(rate float64) Rates {
+	return Rates{
+		UPCDrop: rate, UPCFlip: rate, UPCSaturate: rate,
+		CSRGlitch: rate, MemParity: rate, IBDrop: rate,
+		MachineCheck: rate,
+	}
+}
+
+// Fault classes index the per-class rng streams and injection counters.
+const (
+	classUPCDrop = iota
+	classUPCFlip
+	classUPCSaturate
+	classCSRGlitch
+	classMemParity
+	classIBDrop
+	classMachineCheck
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"upc-drop", "upc-flip", "upc-saturate", "csr-glitch",
+	"mem-parity", "ib-drop", "machine-check",
+}
+
+// Counts reports how many faults of each class a plan has injected.
+type Counts [numClasses]uint64
+
+// Total sums the injections across classes.
+func (c Counts) Total() uint64 {
+	var n uint64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+func (c Counts) String() string {
+	s := ""
+	for i, v := range c {
+		if v == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", classNames[i], v)
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// splitmix64 is the per-class deterministic stream: tiny, fast, and
+// seedable so every class's decision sequence depends only on (seed,
+// class, draw index).
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 in [0, 1).
+func (r *splitmix64) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Plan is a deterministic fault-injection plan. A nil *Plan is a valid
+// "no faults" plan for every hook (the hooks are never called: the
+// carrying packages nil-check their injector field, so the disabled
+// fast path costs one pointer test). Plan is used from the single
+// simulation goroutine only.
+type Plan struct {
+	seed     uint64
+	rates    Rates
+	streams  [numClasses]splitmix64
+	injected Counts
+}
+
+// NewPlan builds a plan from a seed and per-class rates. The same
+// (seed, rates) always yields the same fault sequence against the same
+// event stream.
+func NewPlan(seed uint64, rates Rates) *Plan {
+	p := &Plan{seed: seed, rates: rates}
+	for c := range p.streams {
+		// Distinct, well-separated stream seeds per class.
+		p.streams[c] = splitmix64{s: seed ^ (uint64(c+1) * 0xa0761d6478bd642f)}
+	}
+	return p
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// Rates returns the plan's per-class rates.
+func (p *Plan) Rates() Rates { return p.rates }
+
+// Injected returns the per-class injection counts so far.
+func (p *Plan) Injected() Counts { return p.injected }
+
+// decide draws one decision from a class stream. A zero rate returns
+// false without drawing, so a class at rate zero is bit-exactly inert.
+func (p *Plan) decide(class int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if p.streams[class].float() >= rate {
+		return false
+	}
+	p.injected[class]++
+	return true
+}
+
+// --- upc.Monitor injector hooks ---
+
+// DropTick reports whether this count pulse is lost.
+func (p *Plan) DropTick(addr uint16, stalled bool) bool {
+	return p.decide(classUPCDrop, p.rates.UPCDrop)
+}
+
+// CorruptTick returns an XOR mask to apply to the ticked bucket's
+// counter (0 = no corruption). Bits up to 47 may flip, so corruption
+// can exceed the counter's architectural capacity — which is exactly
+// how the analysis detects it.
+func (p *Plan) CorruptTick(addr uint16) uint64 {
+	if !p.decide(classUPCFlip, p.rates.UPCFlip) {
+		return 0
+	}
+	return 1 << (p.streams[classUPCFlip].next() % 48)
+}
+
+// SaturateTick reports whether the ticked counter is forced to its
+// capacity.
+func (p *Plan) SaturateTick(addr uint16) bool {
+	return p.decide(classUPCSaturate, p.rates.UPCSaturate)
+}
+
+// --- upc.Bus injector hook ---
+
+// GlitchRead optionally corrupts a Unibus register read of the board,
+// returning the garbled value and true when a glitch fires.
+func (p *Plan) GlitchRead(off, v uint16) (uint16, bool) {
+	if !p.decide(classCSRGlitch, p.rates.CSRGlitch) {
+		return v, false
+	}
+	return v ^ uint16(p.streams[classCSRGlitch].next()), true
+}
+
+// --- mem.System injector hook ---
+
+// MemParity reports whether this D-stream (or PTE) read takes a memory
+// parity error.
+func (p *Plan) MemParity(pa uint32) bool {
+	return p.decide(classMemParity, p.rates.MemParity)
+}
+
+// --- ibox.IBox injector hook ---
+
+// DropRefill reports whether this arrived IB refill longword is lost
+// in transit (the IB refetches it; purely a timing perturbation).
+func (p *Plan) DropRefill(va uint32) bool {
+	return p.decide(classIBDrop, p.rates.IBDrop)
+}
+
+// --- machine injector hook ---
+
+// InjectAbort reports whether a spontaneous machine check aborts the
+// instruction about to execute.
+func (p *Plan) InjectAbort(now uint64) bool {
+	return p.decide(classMachineCheck, p.rates.MachineCheck)
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// drive exercises every hook against a fixed event stream and returns a
+// transcript of the decisions, so two plans can be compared bit-exactly.
+func drive(p *Plan, events int) string {
+	var b strings.Builder
+	for i := 0; i < events; i++ {
+		addr := uint16(i % 997)
+		fmt.Fprintf(&b, "%t,", p.DropTick(addr, i%2 == 0))
+		fmt.Fprintf(&b, "%d,", p.CorruptTick(addr))
+		fmt.Fprintf(&b, "%t,", p.SaturateTick(addr))
+		v, g := p.GlitchRead(uint16(i%8), uint16(i))
+		fmt.Fprintf(&b, "%d%t,", v, g)
+		fmt.Fprintf(&b, "%t,", p.MemParity(uint32(i)*4))
+		fmt.Fprintf(&b, "%t,", p.DropRefill(uint32(i)*8))
+		fmt.Fprintf(&b, "%t;", p.InjectAbort(uint64(i)))
+	}
+	return b.String()
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	a := NewPlan(42, Uniform(0.05))
+	b := NewPlan(42, Uniform(0.05))
+	if drive(a, 2000) != drive(b, 2000) {
+		t.Fatal("same (seed, rates) produced different fault sequences")
+	}
+	if a.Injected() != b.Injected() {
+		t.Fatalf("injection counts differ: %v vs %v", a.Injected(), b.Injected())
+	}
+	if a.Injected().Total() == 0 {
+		t.Fatal("5% uniform rate over 2000 events injected nothing")
+	}
+
+	c := NewPlan(43, Uniform(0.05))
+	if drive(a, 2000) == drive(c, 2000) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestZeroRateClassIsInert(t *testing.T) {
+	// A class at rate zero must not fire and must not draw, so the other
+	// classes' streams are unperturbed: the mem-parity decisions of a
+	// plan with IBDrop=0 match those of a plan that also drops refills.
+	withDrop := NewPlan(7, Rates{MemParity: 0.1, IBDrop: 0.5})
+	without := NewPlan(7, Rates{MemParity: 0.1})
+
+	var a, b strings.Builder
+	for i := 0; i < 3000; i++ {
+		withDrop.DropRefill(uint32(i))
+		without.DropRefill(uint32(i))
+		fmt.Fprintf(&a, "%t", withDrop.MemParity(uint32(i)))
+		fmt.Fprintf(&b, "%t", without.MemParity(uint32(i)))
+	}
+	if a.String() != b.String() {
+		t.Error("an inert class perturbed another class's stream")
+	}
+	if n := without.Injected(); n[classIBDrop] != 0 {
+		t.Errorf("zero-rate class injected %d faults", n[classIBDrop])
+	}
+}
+
+func TestZeroRatesNeverFire(t *testing.T) {
+	p := NewPlan(99, Rates{})
+	if !p.Rates().Zero() {
+		t.Error("zero Rates not Zero()")
+	}
+	if s := drive(p, 500); strings.Contains(s, "true") {
+		t.Error("all-zero plan fired a fault")
+	}
+	if p.Injected().Total() != 0 {
+		t.Errorf("all-zero plan recorded injections: %v", p.Injected())
+	}
+	if p.Injected().String() != "none" {
+		t.Errorf("empty Counts renders %q, want none", p.Injected().String())
+	}
+}
+
+func TestCorruptTickMask(t *testing.T) {
+	p := NewPlan(1, Rates{UPCFlip: 1})
+	for i := 0; i < 200; i++ {
+		mask := p.CorruptTick(uint16(i))
+		if mask == 0 {
+			t.Fatal("rate-1 flip did not fire")
+		}
+		if mask&(mask-1) != 0 {
+			t.Fatalf("mask %#x is not a single bit", mask)
+		}
+		if mask >= 1<<48 {
+			t.Fatalf("mask %#x above bit 47", mask)
+		}
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	var c Counts
+	c[classMemParity] = 2
+	c[classUPCDrop] = 1
+	got := c.String()
+	if !strings.Contains(got, "mem-parity=2") || !strings.Contains(got, "upc-drop=1") {
+		t.Errorf("Counts.String() = %q", got)
+	}
+	if c.Total() != 3 {
+		t.Errorf("Total = %d, want 3", c.Total())
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	transient := []Code{CodeMemParity, CodeInjectedAbort}
+	organic := []Code{CodeMicrocodeBug, CodeIBOverrun, CodeMissingFlow, CodePanic, CodeNone}
+	for _, c := range transient {
+		if !c.Transient() {
+			t.Errorf("%v should be transient", c)
+		}
+	}
+	for _, c := range organic {
+		if c.Transient() {
+			t.Errorf("%v should not be transient", c)
+		}
+	}
+}
+
+func TestMachineCheckError(t *testing.T) {
+	detail := errors.New("pte walk failed")
+	m := &MachineCheck{
+		Code: CodeMemParity, UPC: 0o123, Cycle: 456,
+		Site: "ebox.doMem read", VA: 0x1000, Err: detail,
+	}
+	s := m.Error()
+	for _, want := range []string{"memory parity error", "0123", "456", "ebox.doMem read", "0x1000", "pte walk failed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q missing %q", s, want)
+		}
+	}
+	if !errors.Is(m, detail) {
+		t.Error("MachineCheck does not unwrap its detail")
+	}
+	if !m.Transient() {
+		t.Error("parity machine check should be transient")
+	}
+}

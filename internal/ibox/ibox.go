@@ -12,8 +12,15 @@
 package ibox
 
 import (
+	"errors"
+
 	"vax780/internal/mem"
 )
+
+// ErrConsumeOverrun reports a decode path consuming more bytes than the
+// IB holds. It was a panic before the fault/abort path existed; the
+// EBOX now routes it as a machine-check abort with full context.
+var ErrConsumeOverrun = errors.New("ibox: consume beyond buffer")
 
 // Capacity is the size of the instruction buffer in bytes.
 const Capacity = 8
@@ -33,6 +40,14 @@ type Probe interface {
 	TBMiss(now uint64, istream bool, va uint32)
 }
 
+// FaultInjector is the I-Fetch stage's fault hook (see internal/faults):
+// a deterministic plan deciding, per arrived refill, whether the
+// longword is lost in transit. nil on a healthy machine.
+type FaultInjector interface {
+	// DropRefill reports whether this arrived refill longword is lost.
+	DropRefill(va uint32) bool
+}
+
 // IBox is the I-Fetch stage.
 type IBox struct {
 	mem *mem.System
@@ -40,6 +55,9 @@ type IBox struct {
 
 	// Probe, when non-nil, observes refills and I-stream TB misses.
 	Probe Probe
+
+	// Fault, when non-nil, injects refill drops.
+	Fault FaultInjector
 
 	buf     [Capacity]byte
 	bufLen  int
@@ -71,15 +89,20 @@ func (ib *IBox) Bytes() []byte { return ib.buf[:ib.bufLen] }
 // BufVA returns the virtual address of the first buffered byte.
 func (ib *IBox) BufVA() uint32 { return ib.bufVA }
 
-// Consume removes n decoded bytes from the front of the IB.
-func (ib *IBox) Consume(n int) {
+// Consume removes n decoded bytes from the front of the IB. Consuming
+// beyond the buffered bytes returns ErrConsumeOverrun (a machine-check
+// condition, not a panic: the supervisor must be able to survive it).
+func (ib *IBox) Consume(n int) error {
 	if n > ib.bufLen {
-		panic("ibox: consume beyond buffer")
+		// The bare sentinel keeps Consume inlinable on the decode path;
+		// the machine-check that wraps it records the VA and fault site.
+		return ErrConsumeOverrun
 	}
 	copy(ib.buf[:], ib.buf[n:ib.bufLen])
 	ib.bufLen -= n
 	ib.bufVA += uint32(n)
 	ib.Consumed += uint64(n)
+	return nil
 }
 
 // Redirect flushes the IB and restarts fetching at target (a taken
@@ -133,9 +156,14 @@ func (ib *IBox) Tick(now uint64, portFree bool) {
 }
 
 // accept delivers the arrived longword: as many of its bytes as the IB has
-// room for right now, starting at fetchVA (§4.1).
+// room for right now, starting at fetchVA (§4.1). An attached fault
+// injector may drop the longword in transit; the IB simply refetches,
+// costing cycles but never correctness.
 func (ib *IBox) accept() {
 	ib.pending = false
+	if ib.Fault != nil && ib.Fault.DropRefill(ib.fetchVA) {
+		return
+	}
 	inLongword := 4 - int(ib.fetchVA&3)
 	room := Capacity - ib.bufLen
 	take := inLongword

@@ -1,6 +1,7 @@
 package ibox
 
 import (
+	"errors"
 	"testing"
 
 	"vax780/internal/mem"
@@ -59,15 +60,12 @@ func TestConsumeShifts(t *testing.T) {
 	}
 }
 
-func TestConsumeTooMuchPanics(t *testing.T) {
+func TestConsumeTooMuchErrors(t *testing.T) {
 	m := mem.New(mem.Config{})
 	ib := New(m, linearSource(nil))
-	defer func() {
-		if recover() == nil {
-			t.Error("over-consume should panic")
-		}
-	}()
-	ib.Consume(1)
+	if err := ib.Consume(1); !errors.Is(err, ErrConsumeOverrun) {
+		t.Errorf("over-consume error = %v, want ErrConsumeOverrun", err)
+	}
 }
 
 func TestRedirectFlushes(t *testing.T) {

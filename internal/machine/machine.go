@@ -39,6 +39,22 @@ type Telemetry interface {
 	CtxSwitch(now uint64, from, to uint32)
 }
 
+// FaultPlan is the machine's view of a fault-injection plan (the
+// concrete implementation lives in internal/faults). It combines the
+// per-layer injector hooks with the machine-level injected abort. Like
+// Telemetry, the machine only knows the injection points; a nil plan is
+// a healthy machine and costs one nil check per hook site.
+type FaultPlan interface {
+	upc.FaultInjector
+	upc.BusFaultInjector
+	mem.FaultInjector
+	ibox.FaultInjector
+
+	// InjectAbort reports whether a spontaneous machine check aborts
+	// the instruction about to execute.
+	InjectAbort(now uint64) bool
+}
+
 // Stack layout constants: each process gets a 64 KB stack region; the
 // interrupt stack lives in system space.
 const (
@@ -66,6 +82,11 @@ type Config struct {
 	// OverlapDecode enables the 11/750-style overlapped I-Decode (§5 of
 	// the paper: saves one cycle on each non-PC-changing instruction).
 	OverlapDecode bool
+
+	// Faults, when non-nil, attaches a fault-injection plan: its hooks
+	// are threaded through the monitor, memory subsystem, and I-Fetch
+	// stage, and the EBOX polls for latched parity errors.
+	Faults FaultPlan
 }
 
 // RunStats are execution-level counters kept by the machine itself.
@@ -87,6 +108,9 @@ type Machine struct {
 
 	// tel is the attached telemetry layer (nil: uninstrumented).
 	tel Telemetry
+
+	// faults is the attached fault plan (nil: healthy machine).
+	faults FaultPlan
 
 	prog    *workload.Program
 	started bool
@@ -147,6 +171,15 @@ func New(cfg Config, prog *workload.Program) *Machine {
 		m.E.Probe = m.tel
 		m.IB.Probe = m.tel
 		m.Mem.SetProbe(m.tel)
+	}
+	if cfg.Faults != nil {
+		m.faults = cfg.Faults
+		if cfg.Monitor != nil {
+			cfg.Monitor.SetFault(cfg.Faults)
+		}
+		m.Mem.SetFault(cfg.Faults)
+		m.IB.Fault = cfg.Faults
+		m.E.CheckFaults = true
 	}
 	m.setProcess(1)
 	return m
@@ -265,6 +298,9 @@ func (m *Machine) runInstr(it *workload.Item) error {
 
 	if m.tel != nil {
 		m.tel.Instr(m.E.Now, in.PC, in.Op)
+	}
+	if m.faults != nil && m.faults.InjectAbort(m.E.Now) {
+		return m.E.InjectMachineCheck("machine.runInstr")
 	}
 	ctx := m.buildCtx(in)
 	if err := m.E.RunInstr(ctx); err != nil {

@@ -87,6 +87,15 @@ type Probe interface {
 	CacheMiss(now uint64, istream bool, pa uint32, stall int)
 }
 
+// FaultInjector is the memory subsystem's fault hook (see
+// internal/faults): a deterministic plan deciding, per D-stream read,
+// whether the reference takes a memory parity error. nil on a healthy
+// system — the fast path is one pointer check per reference.
+type FaultInjector interface {
+	// MemParity reports whether this read takes a parity error.
+	MemParity(pa uint32) bool
+}
+
 // Stats are the hardware event counters: the numbers the paper's Section 4
 // takes from the earlier cache study rather than from the UPC histogram.
 type Stats struct {
@@ -162,6 +171,13 @@ type System struct {
 	// probe, when non-nil, observes cache misses for the telemetry layer.
 	probe Probe
 
+	// fault, when non-nil, injects memory parity errors on reads. A
+	// fired parity error is latched in parityPA/parityHit until the
+	// EBOX collects it and runs the machine-check abort.
+	fault     FaultInjector
+	parityPA  uint32
+	parityHit bool
+
 	asid uint32 // current process context for process-space translation
 
 	// sbiFreeAt is the cycle at which the SBI finishes its current
@@ -185,6 +201,21 @@ func (s *System) Config() Config { return s.cfg }
 
 // SetProbe attaches a telemetry probe (nil detaches it).
 func (s *System) SetProbe(p Probe) { s.probe = p }
+
+// SetFault attaches a fault injector (nil detaches it).
+func (s *System) SetFault(f FaultInjector) { s.fault = f }
+
+// TakeParity collects a latched parity error: the faulting physical
+// address and whether one fired since the last collection. The EBOX
+// checks it after each data reference when a fault plan is attached and
+// routes the abort through the machine-check path.
+func (s *System) TakeParity() (pa uint32, ok bool) {
+	if !s.parityHit {
+		return 0, false
+	}
+	s.parityHit = false
+	return s.parityPA, true
+}
 
 // SetASID switches the process context used for process-space address
 // translation. It does NOT flush the TB: the LDPCTX microcode flow is
@@ -273,6 +304,9 @@ func (s *System) sbiAcquire(now uint64, busy int) (dataAt uint64) {
 func (s *System) DRead(pa uint32, now uint64) (stall int) {
 	s.Stats.DReads++
 	s.record(RefDRead, pa)
+	if s.fault != nil && s.fault.MemParity(pa) {
+		s.parityPA, s.parityHit = pa, true
+	}
 	if s.cache.access(pa, true) {
 		return 0
 	}
@@ -292,6 +326,9 @@ func (s *System) DRead(pa uint32, now uint64) (stall int) {
 func (s *System) PTERead(pa uint32, now uint64) (stall int) {
 	s.Stats.PTEReads++
 	s.record(RefPTERead, pa)
+	if s.fault != nil && s.fault.MemParity(pa) {
+		s.parityPA, s.parityHit = pa, true
+	}
 	if s.cache.access(pa, true) {
 		return 0
 	}

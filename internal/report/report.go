@@ -55,6 +55,19 @@ func (t *tableBuilder) row(format string, args ...interface{}) {
 
 func (t *tableBuilder) String() string { return t.b.String() }
 
+// qualityNote appends the bucket-coverage confidence annotation to a
+// table when the histogram is degraded. On a healthy histogram it
+// appends nothing, leaving the rendering bit-identical to the
+// quality-unaware report.
+func (r *Report) qualityNote(t *tableBuilder) {
+	q := r.A.Quality()
+	if q == nil || !q.Degraded() {
+		return
+	}
+	t.row("  [coverage %.1f%%: %d damaged bucket set(s) excluded — values are lower bounds]",
+		100*q.Confidence(), q.Saturated+q.Corrupt+q.Phantom)
+}
+
 // Table1 renders opcode group frequencies.
 func (r *Report) Table1() string {
 	var t tableBuilder
@@ -65,6 +78,7 @@ func (r *Report) Table1() string {
 		t.row("%-12s %9.2f %8.2f%s %7s", g.Group, g.Percent, ref.V, mark(ref.P),
 			ratio(g.Percent, ref.V))
 	}
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -87,6 +101,7 @@ func (r *Report) Table2() string {
 	t.row("%-30s %8.1f %6.1f  | %8.0f %6.0f  | %10.1f",
 		"TOTAL", total.PctOfInstrs, paper.Table2Total.PctOfInstrs.V,
 		total.PctTaken, paper.Table2Total.PctTaken.V, total.TakenPctOfInstrs)
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -100,6 +115,7 @@ func (r *Report) Table3() string {
 	t.row("%-24s %9.3f %9.3f", "Other specifiers", sc.Other, paper.Table3OtherSpecs.V)
 	t.row("%-24s %9.3f %9.3f", "Branch displacements", sc.BranchDisp, paper.Table3BranchDisp.V)
 	t.row("%-24s %9.3f %9.3f", "Specifiers total", sc.Total, paper.Table3SpecsTotal.V)
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -120,6 +136,7 @@ func (r *Report) Table4() string {
 	ri := paper.Table4Indexed
 	t.row("%-20s %14s %14s %14s", "Percent indexed",
 		cell(indexed.Spec1, ri.Spec1), cell(indexed.SpecN, ri.SpecN), cell(indexed.Total, ri.Total))
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -138,6 +155,7 @@ func (r *Report) Table5() string {
 	t.row("%-12s %8.3f %7.3f  | %8.3f %7.3f",
 		"TOTAL", total.Reads, paper.Table5Total.Reads.V,
 		total.Writes, paper.Table5Total.Writes.V)
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -153,6 +171,7 @@ func (r *Report) Table6() string {
 	if est.MeasuredBytes > 0 {
 		t.row("%-28s %9.2f %9s", "Consumed bytes (hardware)", est.MeasuredBytes, "-")
 	}
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -165,6 +184,7 @@ func (r *Report) Table7() string {
 	t.row("%-34s %9.0f %9.0f", "Software interrupt requests", h.SoftIntRequests, paper.Table7SoftIntRequests.V)
 	t.row("%-34s %9.0f %9.0f", "Hardware and software interrupts", h.Interrupts, paper.Table7Interrupts.V)
 	t.row("%-34s %9.0f %9.0f", "Context switches", h.ContextSwitches, paper.Table7ContextSwitches.V)
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -195,6 +215,7 @@ func (r *Report) Table8() string {
 	}
 	line += fmt.Sprintf(" %6.3f(%5.3f )", m.Total, paper.Table8Total.V)
 	t.row("%s", line)
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -224,6 +245,7 @@ func (r *Report) Table9() string {
 		line += fmt.Sprintf(" %9.2f %9.2f %7s", got, ref.V, ratio(got, ref.V))
 		t.row("%s", line)
 	}
+	r.qualityNote(&t)
 	return t.String()
 }
 
@@ -249,6 +271,55 @@ func (r *Report) Section4() string {
 		t.row("%-34s %9.4f %9.4f", "Unaligned refs per instruction", cs.UnalignedPerInstr, paper.UnalignedPerInstr.V)
 		t.row("%-34s %8.1f%% %9s", "SBI utilization (write-through)", 100*cs.SBIUtilization, "-")
 	}
+	r.qualityNote(&t)
+	return t.String()
+}
+
+// maxIssueRows bounds the per-bucket listing in the measurement
+// quality section; the counts above the listing are always complete.
+const maxIssueRows = 16
+
+// MeasurementQuality renders the histogram health assessment: what was
+// excluded, what survives, and how much of the measurement the
+// surviving buckets cover. It returns "" for a healthy histogram so
+// the report for a clean run is unchanged.
+func (r *Report) MeasurementQuality() string {
+	q := r.A.Quality()
+	if q == nil || !q.Degraded() {
+		return ""
+	}
+	var t tableBuilder
+	t.title("Measurement Quality")
+	t.row("  %s", q.Summary())
+	t.row("%-28s %12s", "", "Bucket sets")
+	t.row("%-28s %12d", "Saturated (lower bounds)", q.Saturated)
+	t.row("%-28s %12d", "Corrupt (excluded)", q.Corrupt)
+	t.row("%-28s %12d", "Phantom (excluded)", q.Phantom)
+	t.row("%-28s %12d cycles", "Excluded from tables", q.ExcludedCycles)
+	t.row("%-28s %12d cycles", "Healthy", q.HealthyCycles)
+	if q.DroppedEstimate > 0 {
+		t.row("%-28s %12d cycles", "Dropped (hw cross-check)", q.DroppedEstimate)
+	}
+	t.row("%-28s %11.1f%%", "Coverage confidence", 100*q.Confidence())
+	if q.InstrCountDegraded {
+		t.row("  WARNING: the instruction-count (IRD) bucket is damaged;")
+		t.row("  it is still the normalizer, so every per-instruction rate")
+		t.row("  is a ratio of suspect numbers.")
+	}
+	if len(q.Issues) > 0 {
+		t.row("  Damaged buckets (first %d):", maxIssueRows)
+		for i, iss := range q.Issues {
+			if i >= maxIssueRows {
+				t.row("    ... and %d more", len(q.Issues)-maxIssueRows)
+				break
+			}
+			set := "exec"
+			if iss.Stalled {
+				set = "stall"
+			}
+			t.row("    %04o/%-5s %-9s count=%d", iss.Addr, set, iss.Kind, iss.Count)
+		}
+	}
 	return t.String()
 }
 
@@ -257,12 +328,17 @@ func (r *Report) All() string {
 	sections := []string{
 		fmt.Sprintf("Instructions analyzed: %d   CPI: %.3f (paper %.3f)\n",
 			r.A.Instructions(), r.A.CPIMatrix().Total, paper.Table8Total.V),
+	}
+	if mq := r.MeasurementQuality(); mq != "" {
+		sections = append(sections, mq)
+	}
+	sections = append(sections,
 		r.Table1(), r.Table2(), r.Table3(), r.Table4(), r.Table5(),
 		r.Table6(), r.Table7(), r.Table8(), r.Table9(), r.Section4(),
 		r.Observations(),
-		"† reconstructed from the damaged text to satisfy legible totals;" +
+		"† reconstructed from the damaged text to satisfy legible totals;"+
 			" ‡ derived (Table 9 = Table 8 group rows / Table 1 frequencies)\n",
-	}
+	)
 	return strings.Join(sections, "\n")
 }
 

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // Dump-reader sentinel errors. Structural damage to a dump — bad magic,
@@ -129,4 +131,55 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
 	return n, err
+}
+
+// AtomicWriteFile writes a file by streaming through write into a
+// temporary file in the destination directory, fsyncing it, and
+// renaming it over path. A crash at any point leaves either the old
+// file or the new one — never a torn dump. The temp file is removed on
+// any failure.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Chmod(tmp, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteFile atomically writes the histogram dump to path.
+func (h *Histogram) WriteFile(path string) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := h.WriteTo(w)
+		return err
+	})
+}
+
+// ReadHistogramFile reads a histogram dump from path.
+func ReadHistogramFile(path string) (*Histogram, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHistogram(f)
 }

@@ -28,12 +28,35 @@ const counterBits = 40
 
 const counterMax = (uint64(1) << counterBits) - 1
 
+// CounterMax is the largest value a board counter can architecturally
+// hold. A dumped bucket above it is physically impossible and therefore
+// proof of corruption; a bucket exactly at it is saturated (a lower
+// bound, not a count). The degradation-aware analysis uses both.
+const CounterMax = counterMax
+
+// FaultInjector is the board's fault hook (see internal/faults): a
+// deterministic plan deciding, per count pulse, whether the pulse is
+// dropped, a counter bit flips, or a counter sticks at capacity. It is
+// nil on a healthy board — the fast path is one pointer check per Tick,
+// the same zero-overhead-when-disabled pattern as the telemetry probes.
+type FaultInjector interface {
+	// DropTick reports whether this count pulse is lost.
+	DropTick(addr uint16, stalled bool) bool
+	// CorruptTick returns an XOR mask applied to the ticked counter
+	// (0 = none).
+	CorruptTick(addr uint16) uint64
+	// SaturateTick reports whether the ticked counter is forced to its
+	// capacity.
+	SaturateTick(addr uint16) bool
+}
+
 // Monitor is the UPC histogram monitor.
 type Monitor struct {
 	normal    [Buckets]uint64
 	stalled   [Buckets]uint64
 	running   bool
 	saturated bool
+	fault     FaultInjector
 }
 
 // New returns a stopped, cleared monitor.
@@ -59,6 +82,9 @@ func (m *Monitor) Clear() {
 // saturated run undercounts and should be discarded).
 func (m *Monitor) Saturated() bool { return m.saturated }
 
+// SetFault attaches a fault injector to the board (nil detaches it).
+func (m *Monitor) SetFault(f FaultInjector) { m.fault = f }
+
 // Tick records one EBOX cycle at micro-PC addr. stalled selects the
 // second count set, used for read- and write-stalled cycles; IB-stall
 // cycles are ordinary executions of the IB-stall wait microinstruction
@@ -73,11 +99,34 @@ func (m *Monitor) Tick(addr uint16, stalled bool) {
 	if stalled {
 		c = &m.stalled[i]
 	}
+	if m.fault != nil && m.tickFaulty(addr, stalled, c) {
+		return
+	}
 	if *c >= counterMax {
 		m.saturated = true
 		return
 	}
 	*c++
+}
+
+// tickFaulty applies the injector's decisions for one count pulse. It
+// returns true when the pulse was consumed by a fault (dropped or the
+// counter forced); corruption (bit flips) lets the pulse proceed.
+func (m *Monitor) tickFaulty(addr uint16, stalled bool, c *uint64) bool {
+	if m.fault.DropTick(addr, stalled) {
+		return true
+	}
+	if m.fault.SaturateTick(addr) {
+		*c = counterMax
+		m.saturated = true
+		return true
+	}
+	if mask := m.fault.CorruptTick(addr); mask != 0 {
+		// Board RAM corruption: the value can exceed the architectural
+		// counter capacity, which is how the reduction detects it.
+		*c ^= mask
+	}
+	return false
 }
 
 // Read returns the two counts of one bucket (a Unibus read sequence on
@@ -160,12 +209,28 @@ const (
 	CSRSat      = 1 << 7 // read-only: a counter saturated
 )
 
+// BusFaultInjector is the Unibus readout fault hook: bus noise that
+// garbles a register read without affecting the board's stored counts.
+// nil on a healthy bus.
+type BusFaultInjector interface {
+	// GlitchRead optionally corrupts a register read, returning the
+	// garbled value and true when a glitch fires.
+	GlitchRead(off, v uint16) (uint16, bool)
+}
+
 // Bus is the Unibus programming interface of the board.
 type Bus struct {
 	m     *Monitor
 	addr  uint16
 	stall bool
 	latch uint64
+
+	// Fault, when non-nil, injects read glitches on the bus path.
+	Fault BusFaultInjector
+
+	// Glitches counts reads the injector corrupted, so measurement
+	// scripts can report readout health.
+	Glitches uint64
 }
 
 // NewBus attaches a Unibus register interface to m.
@@ -199,8 +264,24 @@ func (b *Bus) WriteWord(off uint16, v uint16) error {
 }
 
 // ReadWord performs a Unibus word read. Reading RegDataLo latches the
-// addressed counter so the two halves are consistent.
+// addressed counter so the two halves are consistent. An attached
+// fault injector may garble the returned value (the board's stored
+// counts are unaffected — the glitch is on the bus).
 func (b *Bus) ReadWord(off uint16) (uint16, error) {
+	v, err := b.readWord(off)
+	if err != nil {
+		return v, err
+	}
+	if b.Fault != nil {
+		if g, hit := b.Fault.GlitchRead(off, v); hit {
+			b.Glitches++
+			return g, nil
+		}
+	}
+	return v, nil
+}
+
+func (b *Bus) readWord(off uint16) (uint16, error) {
 	switch off {
 	case RegCSR:
 		var v uint16

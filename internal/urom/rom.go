@@ -86,6 +86,13 @@ type ROM struct {
 	ExecEntryOpt [256]uint16
 	ExecEntryMem [256]uint16
 
+	// HasExecFlow records which opcodes the control store holds an
+	// execute flow for. Address 0 is a valid control-store location, so
+	// ExecEntry[op] == 0 cannot encode absence; the EBOX consults this
+	// table at dispatch and takes a machine-check abort for a missing
+	// flow instead of panicking.
+	HasExecFlow [256]bool
+
 	// ExecEntrySIRR is the MTPR exit taken for software-interrupt-request
 	// writes (the distinct micro-address behind Table 7's request counts).
 	ExecEntrySIRR uint16
@@ -188,118 +195,122 @@ func (r *ROM) fillSpecEntries(img *ucode.Image) {
 	}
 }
 
-// execLabel returns the execute flow entry label for an opcode. Sharing is
+// execLabel returns the execute flow entry label for an opcode, or
+// ok=false when the control store defines no flow for it. Sharing is
 // expressed here: every opcode mapping to the same label is
 // indistinguishable in the histogram.
-func execLabel(op vax.Opcode) string {
+func execLabel(op vax.Opcode) (label string, ok bool) {
 	info := op.Info()
 	switch info.Flow {
 	case vax.FlowMove:
 		switch op {
 		case vax.MOVQ, vax.CLRQ:
-			return "exec.moveq"
+			return "exec.moveq", true
 		}
-		return "exec.move"
+		return "exec.move", true
 	case vax.FlowMoveAddr:
-		return "exec.moveaddr"
+		return "exec.moveaddr", true
 	case vax.FlowArith:
-		return "exec.arith"
+		return "exec.arith", true
 	case vax.FlowExtArith:
-		return "exec.extarith"
+		return "exec.extarith", true
 	case vax.FlowBool:
-		return "exec.bool"
+		return "exec.bool", true
 	case vax.FlowCmpTst:
-		return "exec.cmptst"
+		return "exec.cmptst", true
 	case vax.FlowCvt:
-		return "exec.cvt"
+		return "exec.cvt", true
 	case vax.FlowPush:
-		return "exec.push"
+		return "exec.push", true
 	case vax.FlowCondBr:
-		return "exec.condbr"
+		return "exec.condbr", true
 	case vax.FlowLoopBr:
-		return "exec.loopbr"
+		return "exec.loopbr", true
 	case vax.FlowLowBitBr:
-		return "exec.lowbit"
+		return "exec.lowbit", true
 	case vax.FlowBsbRsb:
 		switch op {
 		case vax.JSB:
-			return "exec.jsb"
+			return "exec.jsb", true
 		case vax.RSB:
-			return "exec.rsb"
+			return "exec.rsb", true
 		}
-		return "exec.bsb"
+		return "exec.bsb", true
 	case vax.FlowJmp:
-		return "exec.jmp"
+		return "exec.jmp", true
 	case vax.FlowCase:
-		return "exec.case"
+		return "exec.case", true
 	case vax.FlowFieldExt:
-		return "exec.fieldext"
+		return "exec.fieldext", true
 	case vax.FlowFieldIns:
-		return "exec.fieldins"
+		return "exec.fieldins", true
 	case vax.FlowBitBr:
 		switch op {
 		case vax.BBS, vax.BBC:
-			return "exec.bitbr"
+			return "exec.bitbr", true
 		}
-		return "exec.bitbrm" // set/clear variants write the base back
+		return "exec.bitbrm", true // set/clear variants write the base back
 	case vax.FlowFloatAdd:
 		switch op {
 		case vax.ADDD2, vax.SUBD2, vax.MOVD, vax.CMPD:
-			return "exec.floataddd"
+			return "exec.floataddd", true
 		}
-		return "exec.floatadd"
+		return "exec.floatadd", true
 	case vax.FlowFloatMul:
 		switch op {
 		case vax.MULD2, vax.DIVD2:
-			return "exec.floatmuld"
+			return "exec.floatmuld", true
 		}
-		return "exec.floatmul"
+		return "exec.floatmul", true
 	case vax.FlowIntMul:
-		return "exec.intmul"
+		return "exec.intmul", true
 	case vax.FlowIntDiv:
-		return "exec.intdiv"
+		return "exec.intdiv", true
 	case vax.FlowCall:
-		return "exec.call"
+		return "exec.call", true
 	case vax.FlowRet:
-		return "exec.ret"
+		return "exec.ret", true
 	case vax.FlowPushr:
-		return "exec.pushr"
+		return "exec.pushr", true
 	case vax.FlowPopr:
-		return "exec.popr"
+		return "exec.popr", true
 	case vax.FlowChm:
-		return "exec.chm"
+		return "exec.chm", true
 	case vax.FlowRei:
-		return "exec.rei"
+		return "exec.rei", true
 	case vax.FlowSvpctx:
-		return "exec.svpctx"
+		return "exec.svpctx", true
 	case vax.FlowLdpctx:
-		return "exec.ldpctx"
+		return "exec.ldpctx", true
 	case vax.FlowProbe:
-		return "exec.probe"
+		return "exec.probe", true
 	case vax.FlowQueue:
-		return "exec.queue"
+		return "exec.queue", true
 	case vax.FlowMxpr:
-		return "exec.mxpr"
+		return "exec.mxpr", true
 	case vax.FlowPsl:
-		return "exec.psl"
+		return "exec.psl", true
 	case vax.FlowNop:
-		return "exec.nop"
+		return "exec.nop", true
 	case vax.FlowMovc:
-		return "exec.movc"
+		return "exec.movc", true
 	case vax.FlowCmpc:
-		return "exec.cmpc"
+		return "exec.cmpc", true
 	case vax.FlowLocc:
-		return "exec.locc"
+		return "exec.locc", true
 	case vax.FlowDecAdd:
-		return "exec.decadd"
+		return "exec.decadd", true
 	case vax.FlowDecMul:
-		return "exec.decmul"
+		return "exec.decmul", true
 	case vax.FlowDecCvt:
-		return "exec.deccvt"
+		return "exec.deccvt", true
 	case vax.FlowDecEdit:
-		return "exec.decedit"
+		return "exec.decedit", true
 	}
-	panic(fmt.Sprintf("urom: no execute flow for %s", op))
+	// Not a panic: an opcode without an execute flow is reported at
+	// dispatch time as a machine-check abort (via ROM.HasExecFlow), so an
+	// incomplete control store degrades a run instead of crashing it.
+	return "", false
 }
 
 // optimizable lists the flows whose first execute cycle the 11/780's
@@ -322,8 +333,12 @@ var memVariant = map[string]string{
 
 func (r *ROM) fillExecEntries(img *ucode.Image) {
 	for _, op := range vax.Opcodes() {
-		label := execLabel(op)
+		label, ok := execLabel(op)
+		if !ok {
+			continue // dispatch reports it as a missing-flow machine check
+		}
 		r.ExecEntry[op] = img.Addr(label)
+		r.HasExecFlow[op] = true
 		if optimizable[label] {
 			r.ExecEntryOpt[op] = img.Addr(label + ".opt")
 		}

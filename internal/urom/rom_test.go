@@ -27,6 +27,25 @@ func TestEveryOpcodeHasExecEntry(t *testing.T) {
 	}
 }
 
+func TestHasExecFlowMatchesOpcodes(t *testing.T) {
+	// HasExecFlow disambiguates "flow at address 0" from "no flow": it
+	// must be set exactly for the defined opcodes, so I-Decode can turn
+	// an undecodable opcode into a machine check instead of a panic.
+	r := Build()
+	defined := make(map[vax.Opcode]bool)
+	for _, op := range vax.Opcodes() {
+		defined[op] = true
+		if !r.HasExecFlow[op] {
+			t.Errorf("%s: HasExecFlow false for a defined opcode", op)
+		}
+	}
+	for op := 0; op < 256; op++ {
+		if r.HasExecFlow[op] && !defined[vax.Opcode(op)] {
+			t.Errorf("opcode %#x: HasExecFlow set but opcode undefined", op)
+		}
+	}
+}
+
 func TestSpecEntriesComplete(t *testing.T) {
 	r := Build()
 	for pos := 0; pos < 2; pos++ {

@@ -17,6 +17,17 @@ func (r *Results) SaveHistogram(w io.Writer) error {
 	return err
 }
 
+// SaveHistogramFile writes the composite histogram dump to path
+// atomically (temp file in the same directory, fsync, rename), so a
+// crash mid-write never leaves a truncated dump where a good one —
+// or nothing — should be.
+func (r *Results) SaveHistogramFile(path string) error {
+	return upc.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := r.hist.WriteTo(w)
+		return err
+	})
+}
+
 // LoadHistogram reads a histogram dump and returns Results backed by it.
 // Hardware-counter analyses (the §4 cache study) are unavailable: a dump
 // holds only what the board counted, which is the point of the paper's

@@ -30,6 +30,18 @@ type Results struct {
 	perHist     []*upc.Histogram
 	describe    string
 	PerWorkload []WorkloadResult
+
+	// Retries counts workload attempts the supervisor repeated after
+	// transient machine checks (0 on a healthy run).
+	Retries int
+
+	// Resumed counts workloads folded in from a checkpoint rather than
+	// re-executed (0 when the run started from scratch).
+	Resumed int
+
+	// FaultInjections summarizes what the attached fault plan injected,
+	// per class (empty when no plan was attached or nothing fired).
+	FaultInjections string
 }
 
 // Instructions returns the composite instruction count (the execution

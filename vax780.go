@@ -1,9 +1,11 @@
 package vax780
 
 import (
+	"errors"
 	"fmt"
 
 	"vax780/internal/analysis"
+	"vax780/internal/faults"
 	"vax780/internal/machine"
 	"vax780/internal/mem"
 	"vax780/internal/telemetry"
@@ -113,7 +115,34 @@ type RunConfig struct {
 	// decodes; judge the effect by the per-workload CPI, which uses the
 	// machine's own instruction counter.
 	OverlapDecode bool
+
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// plan to the run (see FaultConfig). The supervisor retries
+	// workloads that abort on transient machine checks; degradation the
+	// run survives (saturated, corrupted, or dropped histogram counts)
+	// is annotated by the analysis instead of failing the run.
+	Faults *FaultConfig
+
+	// Checkpoint, when non-empty, names a crash-safe progress file
+	// written atomically after each completed workload. A run killed
+	// mid-composite can be resumed from it with Resume.
+	Checkpoint string
+
+	// Resume loads an existing Checkpoint file before running and skips
+	// the workloads it records, reusing their histograms bit-exactly. A
+	// missing checkpoint file starts from scratch; one written under a
+	// different measurement configuration is ErrCheckpointMismatch.
+	Resume bool
+
+	// haltAfter is a test seam: when positive, the run stops with
+	// errRunHalted once that many workloads (counting resumed ones)
+	// have completed and checkpointed — a deterministic stand-in for a
+	// measurement host killed mid-composite.
+	haltAfter int
 }
+
+// errRunHalted reports a run stopped by the haltAfter test seam.
+var errRunHalted = fmt.Errorf("vax780: run halted by test seam")
 
 func (c *RunConfig) fill() {
 	if c.Instructions <= 0 {
@@ -136,6 +165,12 @@ func (c *RunConfig) memConfig() mem.Config {
 
 // Run executes the configured experiments on fresh machines, sums their
 // UPC histograms into the composite, and returns the reduced results.
+//
+// Run is a hardened supervisor: with a fault plan attached it recovers
+// panics into typed *MachineFault errors, retries workloads that abort
+// on transient machine checks (capped exponential backoff), and — when
+// a Checkpoint path is configured — snapshots progress atomically after
+// each completed workload so a killed run resumes bit-identically.
 func Run(cfg RunConfig) (*Results, error) {
 	cfg.fill()
 	composite := &upc.Histogram{}
@@ -147,7 +182,44 @@ func Run(cfg RunConfig) (*Results, error) {
 		tel = cfg.Telemetry.ensure()
 	}
 
-	for _, id := range cfg.Workloads {
+	var plan *faults.Plan
+	if cfg.Faults != nil {
+		plan = faults.NewPlan(cfg.Faults.Seed, cfg.Faults.rates())
+	}
+
+	// Resume: fold completed workloads back in from the checkpoint.
+	var recs []ckptRecord
+	ckptHash := cfg.checkpointHash()
+	if cfg.Checkpoint != "" && cfg.Resume {
+		var err error
+		recs, err = readCheckpoint(cfg.Checkpoint, ckptHash)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > len(cfg.Workloads) {
+			return nil, fmt.Errorf("%w: %d recorded workloads, run has %d",
+				ErrCheckpointMismatch, len(recs), len(cfg.Workloads))
+		}
+		for _, rec := range recs {
+			composite.Add(rec.Hist)
+			hw.Mem.Add(&rec.Mem)
+			hw.IBConsumed += rec.IBConsumed
+			res.PerWorkload = append(res.PerWorkload, WorkloadResult{
+				Workload:     rec.Workload,
+				Instructions: rec.Instrs,
+				Cycles:       rec.Cycles,
+				CPI:          float64(rec.Cycles) / float64(rec.Instrs),
+			})
+			res.perHist = append(res.perHist, rec.Hist)
+		}
+		res.Resumed = len(recs)
+	}
+
+	res.describe = BlockDiagram()
+	for i, id := range cfg.Workloads {
+		if i < len(recs) {
+			continue // completed before the crash; folded in above
+		}
 		p, err := id.profile(cfg.Instructions)
 		if err != nil {
 			return nil, err
@@ -158,9 +230,13 @@ func Run(cfg RunConfig) (*Results, error) {
 		if tel != nil {
 			tel.Phase(id.String())
 		}
-		one, err := runOne(p, cfg, tel)
+		one, err := runWorkload(id, p, cfg, tel, plan, res)
 		if err != nil {
-			return nil, fmt.Errorf("vax780: %s: %w", id, err)
+			var mf *MachineFault
+			if errors.As(err, &mf) {
+				return nil, err // already carries the vax780 prefix
+			}
+			return nil, fmt.Errorf("vax780: %w", err)
 		}
 		composite.Add(one.hist)
 		hw.Mem.Add(&one.machine.Mem.Stats)
@@ -173,10 +249,30 @@ func Run(cfg RunConfig) (*Results, error) {
 		})
 		res.perHist = append(res.perHist, one.hist)
 		res.describe = one.machine.Describe()
+
+		if cfg.Checkpoint != "" {
+			recs = append(recs, ckptRecord{
+				Workload:   id,
+				Instrs:     one.machine.Stats.Instrs,
+				Cycles:     one.machine.E.Now,
+				IBConsumed: one.machine.IB.Consumed,
+				Mem:        one.machine.Mem.Stats,
+				Hist:       one.hist,
+			})
+			if err := writeCheckpoint(cfg.Checkpoint, ckptHash, recs); err != nil {
+				return nil, fmt.Errorf("vax780: writing checkpoint: %w", err)
+			}
+		}
+		if cfg.haltAfter > 0 && i+1 >= cfg.haltAfter {
+			return nil, errRunHalted
+		}
 	}
 
 	if tel != nil {
 		tel.Finish()
+	}
+	if plan != nil {
+		res.FaultInjections = plan.Injected().String()
 	}
 	res.analysis = analysis.New(machine.ROM(), composite).WithHardwareCounters(hw)
 	res.hist = composite
@@ -184,11 +280,17 @@ func Run(cfg RunConfig) (*Results, error) {
 }
 
 type oneRun struct {
-	machine *machine.Machine
-	hist    *upc.Histogram
+	machine   *machine.Machine
+	hist      *upc.Histogram
+	saturated bool
 }
 
-func runOne(p workload.Profile, cfg RunConfig, tel *telemetry.Telemetry) (*oneRun, error) {
+// runOne executes one workload attempt on a fresh machine. It is the
+// panic-recovery boundary: any panic that escapes the simulation
+// surfaces as a *faults.MachineCheck, never as a process crash.
+func runOne(p workload.Profile, cfg RunConfig, tel *telemetry.Telemetry,
+	plan *faults.Plan) (one *oneRun, err error) {
+
 	tr, err := workload.Generate(p)
 	if err != nil {
 		return nil, err
@@ -206,15 +308,34 @@ func runOne(p workload.Profile, cfg RunConfig, tel *telemetry.Telemetry) (*oneRu
 		// the interface would defeat the machine's nil check.
 		mc.Telemetry = tel
 	}
+	if plan != nil {
+		// Same care: never box a nil *faults.Plan.
+		mc.Faults = plan
+	}
 	m := machine.New(mc, tr.Program)
+	defer func() {
+		if r := recover(); r != nil {
+			one = nil
+			err = &faults.MachineCheck{
+				Code:  faults.CodePanic,
+				Cycle: m.E.Now,
+				Site:  "vax780.runOne",
+				Err:   fmt.Errorf("%v", r),
+			}
+		}
+	}()
 	if err := m.Run(tr.Stream()); err != nil {
 		return nil, err
 	}
 	mon.Stop()
-	if mon.Saturated() {
+	if mon.Saturated() && plan == nil {
+		// Organic saturation without a fault plan is a configuration
+		// error (the run is too long for the counters): fail loudly.
+		// Under a fault plan, saturation is expected degradation and the
+		// analysis annotates it instead.
 		return nil, fmt.Errorf("histogram counters saturated")
 	}
-	return &oneRun{machine: m, hist: mon.Snapshot()}, nil
+	return &oneRun{machine: m, hist: mon.Snapshot(), saturated: mon.Saturated()}, nil
 }
 
 // TraceDrivenComparison is the A1 ablation: what a trace-driven timing
