@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-telemetry bench-faults experiments clean
+.PHONY: all fmt fmt-check vet build test race bench bench-telemetry bench-faults bench-parallel experiments clean
 
 all: fmt-check vet build test
 
@@ -34,6 +34,11 @@ bench-telemetry:
 # (disabled hooks must stay within 1% of the telemetry-era baseline).
 bench-faults:
 	$(GO) test -run xxx -bench BenchmarkFaults -benchtime 20x -count 3 .
+
+# The parallel-run scaling curve and hot-loop throughput gate; compare
+# against BENCH_parallel.json (which records the measurement method).
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkParallelRun|BenchmarkSimulatorThroughput' -benchtime 10x -count 3 .
 
 experiments:
 	$(GO) run ./cmd/vaxtables -n 200000 -o EXPERIMENTS.md

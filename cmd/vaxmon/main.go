@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vaxmon [-workload NAME] [-n INSTRUCTIONS] [-strict] [-hot N]
+//	vaxmon [-workload NAME] [-n INSTRUCTIONS] [-strict] [-hot N] [-j N]
 //	       [-save FILE] [-load FILE] [-compare]
 //	       [-faults RATE] [-fault-seed SEED]
 //	       [-checkpoint FILE] [-resume]
@@ -22,6 +22,12 @@
 // run crash-safe: the composite state is snapshotted atomically after
 // every completed workload, and -resume picks a killed run up from the
 // snapshot, bit-identically.
+//
+// -j bounds how many workload machines run concurrently (default
+// GOMAXPROCS); the composite is bit-exact at any -j, so the flag only
+// changes wall-clock time. The /board command endpoints act on the
+// currently-merging timeline, so live board control with -serve is most
+// useful at -j 1.
 //
 // -serve starts the live monitor before the run: Prometheus-text
 // /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/, and the
@@ -51,6 +57,7 @@ func main() {
 		save      = flag.String("save", "", "save the composite histogram dump to FILE")
 		load      = flag.String("load", "", "analyze a saved histogram dump instead of simulating")
 		compare   = flag.Bool("compare", false, "print the per-workload comparison")
+		jobs      = flag.Int("j", 0, "workload machines to run concurrently (0 = GOMAXPROCS; results are bit-exact at any -j)")
 		intervals = flag.Int("intervals", 0, "also run an interval-variation study with this snapshot interval")
 
 		faultRate  = flag.Float64("faults", 0, "inject faults at this per-event rate in every class (0 = off)")
@@ -66,6 +73,12 @@ func main() {
 		jsonOut  = flag.String("intervals-json", "", "write the interval time series as JSON to FILE")
 	)
 	flag.Parse()
+
+	parallelism, err := jobsParallelism(*jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxmon:", err)
+		os.Exit(2)
+	}
 
 	tel := buildTelemetry(*serve, *interval, *traceOut, *traceMax, *csvOut, *jsonOut)
 	if tel != nil && *load != "" {
@@ -99,6 +112,7 @@ func main() {
 		cfg := vax780.RunConfig{
 			Instructions: *n, Strict: *strict, Telemetry: tel,
 			Checkpoint: *checkpoint, Resume: *resume,
+			Parallelism: parallelism,
 		}
 		if *faultRate > 0 {
 			cfg.Faults = vax780.UniformFaults(*faultSeed, *faultRate)
@@ -188,6 +202,16 @@ func main() {
 			select {}
 		}
 	}
+}
+
+// jobsParallelism validates the -j flag and resolves it to a
+// RunConfig.Parallelism value: 0 keeps the library default (GOMAXPROCS),
+// positive values bound the worker pool, anything else is an error.
+func jobsParallelism(j int) (int, error) {
+	if j < 0 {
+		return 0, fmt.Errorf("-j must be 0 (auto) or a positive worker count, got %d", j)
+	}
+	return j, nil
 }
 
 // buildTelemetry assembles the telemetry layer the requested outputs

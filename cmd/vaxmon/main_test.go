@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJobsParallelism(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+		ok   bool
+	}{
+		{0, 0, true}, // auto: defer to the library default
+		{1, 1, true}, // sequential
+		{8, 8, true}, // bounded pool
+		{-1, 0, false},
+		{-99, 0, false},
+	}
+	for _, c := range cases {
+		got, err := jobsParallelism(c.in)
+		if c.ok {
+			if err != nil {
+				t.Errorf("jobsParallelism(%d): unexpected error %v", c.in, err)
+			}
+			if got != c.want {
+				t.Errorf("jobsParallelism(%d) = %d, want %d", c.in, got, c.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("jobsParallelism(%d): want error, got %d", c.in, got)
+		} else if !strings.Contains(err.Error(), "-j") {
+			t.Errorf("jobsParallelism(%d): error %q does not name the flag", c.in, err)
+		}
+	}
+}

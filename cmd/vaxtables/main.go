@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vaxtables [-n INSTRUCTIONS] [-o FILE]
+//	vaxtables [-n INSTRUCTIONS] [-o FILE] [-j N]
 package main
 
 import (
@@ -20,15 +20,16 @@ import (
 
 func main() {
 	var (
-		n   = flag.Int("n", 100_000, "instructions per experiment")
-		out = flag.String("o", "", "write markdown to FILE instead of stdout")
+		n    = flag.Int("n", 100_000, "instructions per experiment")
+		out  = flag.String("o", "", "write markdown to FILE instead of stdout")
+		jobs = flag.Int("j", 0, "workload machines to run concurrently (0 = GOMAXPROCS; output is bit-exact at any -j)")
 	)
 	flag.Parse()
 
 	// The telemetry layer rides along on the composite run to produce
 	// the interval time-series section.
 	tel := vax780.NewTelemetry(intervalCyclesFor(*n), 0)
-	res, err := vax780.Run(vax780.RunConfig{Instructions: *n, Telemetry: tel})
+	res, err := vax780.Run(vax780.RunConfig{Instructions: *n, Telemetry: tel, Parallelism: *jobs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vaxtables:", err)
 		os.Exit(1)

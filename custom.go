@@ -65,7 +65,11 @@ func RunCustom(cw CustomWorkload, instructions int) (*Results, error) {
 	})
 	cfg := RunConfig{Instructions: instructions}
 	cfg.fill()
-	one, err := runOne(p, cfg, nil, nil)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	one, err := runOne(tr, cfg, nil, nil)
 	if err != nil {
 		return nil, err
 	}

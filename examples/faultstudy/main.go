@@ -12,6 +12,10 @@
 // number. The question it answers: when the analysis says "92%
 // confidence", how wrong is the CPI actually?
 //
+// The rate points run concurrently through vax780.Sweep: every point
+// shares the one generated workload trace, each carries its own
+// deterministic fault plan, and the results land in sweep order.
+//
 // A second, shorter demonstration raises the machine-fault rates
 // (memory parity, spontaneous machine checks) to show the supervisor
 // surfacing typed errors — never a crash — and retrying transients.
@@ -37,33 +41,44 @@ func main() {
 
 	id := vax780.TimesharingA
 
-	// Ground truth: the same workload with no fault plan attached.
-	clean, err := vax780.Run(vax780.RunConfig{
-		Workloads: []vax780.WorkloadID{id}, Instructions: *n,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	trueCPI := clean.CPI()
-	fmt.Printf("Ground truth: %s, %d instructions, CPI %.3f\n\n", id, *n, trueCPI)
-
-	// Sweep measurement-fault rates: board damage only (drop, bit-flip,
+	// One sweep covers the ground truth (no fault plan attached) and the
+	// six measurement-fault rates: board damage only (drop, bit-flip,
 	// saturation), which corrupts the histogram but never aborts the
 	// machine — the run completes and the reduction must cope.
+	rates := []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}
+	points := []vax780.SweepPoint{{
+		Label: "clean",
+		Config: vax780.RunConfig{
+			Workloads: []vax780.WorkloadID{id}, Instructions: *n,
+		},
+	}}
+	for _, rate := range rates {
+		points = append(points, vax780.SweepPoint{
+			Label: fmt.Sprintf("%.0e", rate),
+			Config: vax780.RunConfig{
+				Workloads: []vax780.WorkloadID{id}, Instructions: *n,
+				Faults: &vax780.FaultConfig{
+					Seed:    *seed,
+					UPCDrop: rate, UPCFlip: rate, UPCSaturate: rate / 10,
+				},
+			},
+		})
+	}
+	swept := vax780.Sweep(points, vax780.SweepOptions{})
+	for _, r := range swept {
+		if r.Err != nil {
+			log.Fatal(r.Err) // measurement faults never abort the machine
+		}
+	}
+
+	trueCPI := swept[0].Results.CPI()
+	fmt.Printf("Ground truth: %s, %d instructions, CPI %.3f\n\n", id, *n, trueCPI)
+
 	fmt.Println("CPI-estimate error vs histogram corruption:")
 	fmt.Printf("%10s %8s %8s %8s %10s %8s  %s\n",
 		"rate", "damaged", "conf%", "CPI", "err%", "excl-cyc", "")
-	for _, rate := range []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
-		res, err := vax780.Run(vax780.RunConfig{
-			Workloads: []vax780.WorkloadID{id}, Instructions: *n,
-			Faults: &vax780.FaultConfig{
-				Seed:    *seed,
-				UPCDrop: rate, UPCFlip: rate, UPCSaturate: rate / 10,
-			},
-		})
-		if err != nil {
-			log.Fatal(err) // measurement faults never abort the machine
-		}
+	for i, rate := range rates {
+		res := swept[i+1].Results
 		q := res.Analysis().Quality()
 		cpi := res.CPI()
 		errPct := 100 * math.Abs(cpi-trueCPI) / trueCPI
@@ -85,27 +100,37 @@ func main() {
 
 	// Machine faults: parity errors and spontaneous machine checks abort
 	// the run. The supervisor retries transients and, when retries are
-	// exhausted, returns a typed error — the harness never panics.
+	// exhausted, returns a typed error per sweep point — the harness
+	// never panics, and one aborting point never takes down its
+	// neighbours.
 	fmt.Println("\nMachine-fault handling (typed errors, not crashes):")
-	for _, rate := range []float64{1e-5, 1e-3} {
-		res, err := vax780.Run(vax780.RunConfig{
-			Workloads: []vax780.WorkloadID{id}, Instructions: *n,
-			Faults: &vax780.FaultConfig{
-				Seed: *seed, MemParity: rate, MachineCheck: rate / 10,
-				MaxRetries: 2, RetryBackoff: 1, // immediate retries for the demo
+	hardRates := []float64{1e-5, 1e-3}
+	hard := make([]vax780.SweepPoint, len(hardRates))
+	for i, rate := range hardRates {
+		hard[i] = vax780.SweepPoint{
+			Label: fmt.Sprintf("%.0e", rate),
+			Config: vax780.RunConfig{
+				Workloads: []vax780.WorkloadID{id}, Instructions: *n,
+				Faults: &vax780.FaultConfig{
+					Seed: *seed, MemParity: rate, MachineCheck: rate / 10,
+					MaxRetries: 2, RetryBackoff: 1, // immediate retries for the demo
+				},
 			},
-		})
+		}
+	}
+	for i, r := range vax780.Sweep(hard, vax780.SweepOptions{}) {
+		rate := hardRates[i]
 		switch {
-		case err == nil:
+		case r.Err == nil:
 			fmt.Printf("  rate %.0e: completed, %d transient retry(s), CPI %.3f\n",
-				rate, res.Retries, res.CPI())
-		case errors.Is(err, vax780.ErrMachineFault):
+				rate, r.Results.Retries, r.Results.CPI())
+		case errors.Is(r.Err, vax780.ErrMachineFault):
 			var mf *vax780.MachineFault
-			errors.As(err, &mf)
+			errors.As(r.Err, &mf)
 			fmt.Printf("  rate %.0e: aborted after %d attempt(s): %s at uPC %05o (typed error)\n",
 				rate, mf.Attempts, mf.Cause, mf.UPC)
 		default:
-			log.Fatal(err)
+			log.Fatal(r.Err)
 		}
 	}
 }

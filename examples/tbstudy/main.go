@@ -6,7 +6,9 @@
 //
 // Each context switch flushes the process half of the 128-entry TB; the
 // more often VMS reschedules, the more of each quantum is spent
-// refilling it.
+// refilling it. The eight design points run concurrently through
+// vax780.Sweep — each is an ordinary Run, bit-exact with running it
+// alone — and print in sweep order.
 package main
 
 import (
@@ -27,18 +29,25 @@ func main() {
 	fmt.Printf("%12s %14s %14s %10s\n",
 		"switch every", "TB miss/instr", "cycles/miss", "CPI")
 
-	for _, headway := range []int{500, 1000, 2000, 4000, 6418, 12000, 25000, 100000} {
-		res, err := vax780.Run(vax780.RunConfig{
-			Instructions:     *n,
-			Workloads:        []vax780.WorkloadID{vax780.TimesharingA},
-			CtxSwitchHeadway: headway,
-		})
-		if err != nil {
-			log.Fatal(err)
+	headways := []int{500, 1000, 2000, 4000, 6418, 12000, 25000, 100000}
+	points := make([]vax780.SweepPoint, len(headways))
+	for i, headway := range headways {
+		points[i] = vax780.SweepPoint{
+			Label: fmt.Sprintf("%d", headway),
+			Config: vax780.RunConfig{
+				Instructions:     *n,
+				Workloads:        []vax780.WorkloadID{vax780.TimesharingA},
+				CtxSwitchHeadway: headway,
+			},
 		}
-		tb := res.TBMiss()
+	}
+	for i, r := range vax780.Sweep(points, vax780.SweepOptions{}) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		tb := r.Results.TBMiss()
 		fmt.Printf("%12d %14.4f %14.2f %10.3f\n",
-			headway, tb.MissesPerInstr, tb.CyclesPerMiss, res.CPI())
+			headways[i], tb.MissesPerInstr, tb.CyclesPerMiss, r.Results.CPI())
 	}
 
 	fmt.Println("\nAt the measured 6418-instruction interval the paper reports")

@@ -15,6 +15,7 @@ import (
 	"vax780/internal/ibox"
 	"vax780/internal/mem"
 	"vax780/internal/ucode"
+	"vax780/internal/upc"
 	"vax780/internal/urom"
 	"vax780/internal/vax"
 )
@@ -35,12 +36,6 @@ type Probe interface {
 	// TBMiss observes a D-stream translation-buffer microtrap.
 	TBMiss(now uint64, istream bool, va uint32)
 }
-
-// nopMonitor lets the EBOX run unmonitored (the baseline configuration of
-// a machine without the histogram board attached).
-type nopMonitor struct{}
-
-func (nopMonitor) Tick(uint16, bool) {}
 
 // InstrCtx carries everything data-dependent about one instruction (or
 // overhead event) execution: the trace record plus derived operand
@@ -74,7 +69,15 @@ type EBOX struct {
 	ROM *urom.ROM
 	Mem *mem.System
 	IB  *ibox.IBox
+
+	// Mon is the attached per-cycle observation hook; nil when the
+	// machine runs unmonitored.
 	Mon Monitor
+
+	// upcMon is the devirtualized fast path, set once at construction
+	// when Mon is the real histogram board: tick then skips the
+	// interface dispatch and inlines the board's count pulse.
+	upcMon *upc.Monitor
 
 	// Probe, when non-nil, receives telemetry events (cycle stream and
 	// D-stream TB misses).
@@ -110,6 +113,13 @@ type EBOX struct {
 	// instruction to pay the full decode cycle even when overlapping.
 	redirected bool
 
+	// inAlign marks an alignment flow in progress, so a degenerate
+	// faulting address of 0 (trapBase indistinguishable from "not in a
+	// trap") cannot re-enter the alignment trap. This is EBOX state, not
+	// a trace-record toggle: the trace stays read-only and shareable
+	// across concurrently running machines.
+	inAlign bool
+
 	// microstate
 	ctx      *InstrCtx
 	upc      uint16
@@ -123,21 +133,34 @@ type EBOX struct {
 	Instrs uint64
 }
 
-// New builds an EBOX. mon may be nil (unmonitored).
+// New builds an EBOX. mon may be nil (unmonitored). When mon is the
+// real histogram board the EBOX devirtualizes it once here, so the
+// per-cycle tick pays a concrete inlined increment instead of an
+// interface dispatch.
 func New(rom *urom.ROM, m *mem.System, ib *ibox.IBox, mon Monitor) *EBOX {
-	if mon == nil {
-		mon = nopMonitor{}
-	}
 	// The first instruction always pays its decode cycle: there is no
 	// previous instruction to overlap it with.
-	return &EBOX{ROM: rom, Mem: m, IB: ib, Mon: mon, redirected: true}
+	e := &EBOX{ROM: rom, Mem: m, IB: ib, Mon: mon, redirected: true}
+	e.upcMon, _ = mon.(*upc.Monitor)
+	return e
 }
 
 // tick advances one EBOX cycle: the monitor observes it, the I-Fetch
 // stage gets its cycle (issuing a refill only when the cache port is
-// free), and time moves.
+// free), and time moves. The monitor fast path (a healthy running
+// board) is fully inlined; a stopped board, an attached fault
+// injector, or a non-board Monitor implementation falls back to the
+// full-service call.
 func (e *EBOX) tick(addr uint16, stalled, portBusy bool) {
-	e.Mon.Tick(addr, stalled)
+	if mon := e.upcMon; mon != nil {
+		if mon.Fast() {
+			mon.TickFast(addr, stalled)
+		} else {
+			mon.Tick(addr, stalled)
+		}
+	} else if e.Mon != nil {
+		e.Mon.Tick(addr, stalled)
+	}
 	if e.Probe != nil {
 		e.Probe.Cycle(e.Now, addr, stalled)
 	}
@@ -409,18 +432,22 @@ func (e *EBOX) doMem(mi *ucode.MicroInst, trapBase uint32) (bool, error) {
 	}
 
 	// Unaligned operands need a second physical reference, performed by
-	// the alignment microcode (Mem Mgmt region).
-	if spec != nil && spec.Unaligned && trapBase == 0 {
+	// the alignment microcode (Mem Mgmt region). The alignment flow
+	// resolves its own references with a nonzero trapBase (memVA then
+	// returns spec=nil), so it cannot normally re-enter this branch;
+	// inAlign closes the degenerate va==0 case.
+	if spec != nil && spec.Unaligned && trapBase == 0 && !e.inAlign {
 		e.Mem.NoteUnaligned()
 		entry := e.ROM.UnalignedRead
 		if mi.Mem.IsWrite() {
 			entry = e.ROM.UnalignedWrite
 		}
-		spec.Unaligned = false // one trap per operand occurrence
-		if err := e.trap(entry, va); err != nil {
+		e.inAlign = true
+		err := e.trap(entry, va)
+		e.inAlign = false
+		if err != nil {
 			return false, err
 		}
-		spec.Unaligned = true // restore the trace record for reuse
 	}
 	return true, nil
 }

@@ -157,6 +157,14 @@ var classNames = [numClasses]string{
 // Counts reports how many faults of each class a plan has injected.
 type Counts [numClasses]uint64
 
+// Add accumulates other into c: the per-workload child plans of a
+// composite run merge their injection counts through here.
+func (c *Counts) Add(other Counts) {
+	for i, v := range other {
+		c[i] += v
+	}
+}
+
 // Total sums the injections across classes.
 func (c Counts) Total() uint64 {
 	var n uint64
@@ -211,6 +219,21 @@ type Plan struct {
 	rates    Rates
 	streams  [numClasses]splitmix64
 	injected Counts
+}
+
+// ChildSeed derives the fault-plan seed of one workload of a composite
+// run from the run's configured seed and the workload's index. Each
+// workload gets its own Plan built from its child seed, so its
+// injection stream depends only on (run seed, workload index, its own
+// event stream) — never on how many events earlier workloads drew or
+// on execution order. The derivation is a splitmix64 step (golden-ratio
+// offset then the finalizer), giving well-separated child seeds even
+// for adjacent indices.
+func ChildSeed(seed uint64, index int) uint64 {
+	z := seed + uint64(index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // NewPlan builds a plan from a seed and per-class rates. The same

@@ -124,14 +124,32 @@ func (ib *IBox) ClearITBMiss() { ib.itbMiss = false }
 
 // Tick advances the I-Fetch stage one EBOX cycle. portFree reports
 // whether the cache port is free this cycle (the EBOX has priority).
+//
+// Tick runs once per EBOX cycle and on most cycles does nothing (a
+// refill in flight, a full buffer, or a busy port), so the do-nothing
+// predicates stay inline and the refill/accept work sits behind one
+// call in tickSlow.
 func (ib *IBox) Tick(now uint64, portFree bool) {
 	if ib.pending {
-		if now >= ib.pendingArrive {
-			ib.accept()
+		if now < ib.pendingArrive {
+			return
 		}
+	} else if !portFree || ib.bufLen >= Capacity {
 		return
 	}
-	if !portFree || ib.bufLen >= Capacity || ib.itbMiss {
+	ib.tickSlow(now)
+}
+
+// tickSlow accepts an arrived refill or issues the next one; Tick has
+// already established the port is free and there is room. The pending
+// I-stream TB miss (rare: the EBOX services it within a bounded flow)
+// is re-tested here to keep Tick under the inlining budget.
+func (ib *IBox) tickSlow(now uint64) {
+	if ib.pending {
+		ib.accept()
+		return
+	}
+	if ib.itbMiss {
 		return
 	}
 	va := ib.fetchVA

@@ -124,6 +124,11 @@ type Machine struct {
 	savedSP   uint32 // process SP while on the interrupt stack
 	curASID   uint32
 
+	// ctxBuf is the reused execution-context buffer: one InstrCtx per
+	// machine instead of one per instruction (the context is dead once
+	// the EBOX flow completes, so the next Step may overwrite it).
+	ctxBuf ebox.InstrCtx
+
 	procSP map[uint32]uint32 // per-process saved stack pointers
 }
 
@@ -273,7 +278,8 @@ func (m *Machine) deliverInterrupt(it *workload.Item) error {
 		m.E.SP, m.E.StackLo, m.E.StackHi = intStackHi-8, intStackLo, intStackHi
 		m.inInt = true
 	}
-	ctx := &ebox.InstrCtx{
+	ctx := &m.ctxBuf
+	*ctx = ebox.InstrCtx{
 		In:        nil,
 		DstSpec:   -1,
 		FieldSpec: -1,
@@ -352,7 +358,8 @@ func (m *Machine) runInstr(it *workload.Item) error {
 // cursor, per the conventions the microcode flows rely on.
 func (m *Machine) buildCtx(in *vax.Instr) *ebox.InstrCtx {
 	info := in.Info()
-	ctx := &ebox.InstrCtx{
+	ctx := &m.ctxBuf
+	*ctx = ebox.InstrCtx{
 		In:        in,
 		DstSpec:   -1,
 		FieldSpec: -1,

@@ -105,6 +105,19 @@ func (r *Recorder) roll(t *Telemetry, end uint64) {
 	t.publish(end)
 }
 
+// absorb appends a finished child recorder's intervals, shifted onto
+// the parent timeline. The shift is exact: interval boundaries are
+// integer cycles, and the child recorded from cycle 0 with the same
+// period, so its boundaries land where a sequential recorder (rebound
+// at the shift) would have rolled.
+func (r *Recorder) absorb(child *Recorder, shift uint64) {
+	for _, iv := range child.intervals {
+		iv.StartCycle += shift
+		iv.EndCycle += shift
+		r.intervals = append(r.intervals, iv)
+	}
+}
+
 // Intervals returns the recorded series. Only valid once the run has
 // finished (after Telemetry.Finish).
 func (r *Recorder) Intervals() []Interval { return r.intervals }

@@ -154,11 +154,67 @@ func (t *Telemetry) Bind(mon *upc.Monitor, stats *mem.Stats) {
 }
 
 // Phase marks a named phase boundary (one per workload experiment) on
-// the trace timeline.
+// the trace timeline. Any trace slices left open by the previous
+// machine are closed first: a workload boundary ends its flows, it
+// does not let them span into an unrelated experiment — and closing
+// them here (rather than at Bind) makes the sequential event stream
+// identical to a parallel run's per-workload streams spliced in order.
 func (t *Telemetry) Phase(name string) {
 	if t.tr != nil {
+		t.tr.finish(t.maxAbs)
 		t.tr.phase(t.maxAbs, name)
 	}
+}
+
+// NewChild builds a detached telemetry sink with this instance's
+// configuration: the same recorder period and trace cap, sharing the
+// read-only ROM tables. A parallel composite run gives each workload
+// machine its own child (observing from cycle 0), then splices the
+// children back in workload order with Absorb. Children have no HTTP
+// side: board commands and published snapshots stay on the parent.
+func (t *Telemetry) NewChild() *Telemetry {
+	c := &Telemetry{rom: t.rom}
+	if t.rec != nil {
+		c.rec = newRecorder(t.rec.period)
+	}
+	if t.tr != nil {
+		c.tr = newChildTracer(t.tr)
+	}
+	return c
+}
+
+// Absorb splices a child sink's observations onto this timeline:
+// counters are summed, recorder intervals are appended with their
+// cycles shifted by the parent's current end-of-timeline, and trace
+// events likewise. Called in workload order, the result is bit-exact
+// with a sequential run observing the same machines in that order.
+// The child must not be observing concurrently during the call.
+func (t *Telemetry) Absorb(c *Telemetry) {
+	c.Finish()
+	shift := t.maxAbs
+	t.C.Cycles.Add(c.C.Cycles.Load())
+	t.C.StallCycles.Add(c.C.StallCycles.Load())
+	t.C.Instrs.Add(c.C.Instrs.Load())
+	t.C.CacheMissD.Add(c.C.CacheMissD.Load())
+	t.C.CacheMissI.Add(c.C.CacheMissI.Load())
+	t.C.TBMissD.Add(c.C.TBMissD.Load())
+	t.C.TBMissI.Add(c.C.TBMissI.Load())
+	t.C.IBRefills.Add(c.C.IBRefills.Load())
+	t.C.Interrupts.Add(c.C.Interrupts.Load())
+	t.C.CtxSwitches.Add(c.C.CtxSwitches.Load())
+	t.C.Intervals.Add(c.C.Intervals.Load())
+	if t.rec != nil && c.rec != nil {
+		t.rec.absorb(c.rec, shift)
+	}
+	if t.tr != nil && c.tr != nil {
+		t.tr.absorb(c.tr, shift)
+	}
+	t.maxAbs = shift + c.maxAbs
+	t.offset = t.maxAbs
+	t.mon = c.mon
+	t.stats = c.stats
+	t.finished = false
+	t.publish(t.maxAbs)
 }
 
 // Finish closes the last partial recorder interval and any open trace

@@ -26,8 +26,24 @@ const (
 // cycleMicros converts an absolute cycle number to trace microseconds.
 func cycleMicros(cycle uint64) float64 { return float64(cycle) * 0.2 }
 
-// traceEvent is one trace_event record (the subset Perfetto consumes).
+// traceEvent is one collected trace record. Timestamps are kept in
+// integer cycles (not float microseconds) so a child tracer's events
+// can be shifted onto the parent timeline bit-exactly at merge; the
+// float conversion happens once, at write time.
 type traceEvent struct {
+	Name  string
+	Ph    string
+	Start uint64 // cycle (unused by metadata events)
+	End   uint64 // cycle, exclusive (complete "X" events only)
+	Pid   int
+	Tid   int
+	S     string
+	Args  map[string]any
+}
+
+// wireEvent is the trace_event JSON record (the subset Perfetto
+// consumes).
+type wireEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
@@ -41,7 +57,7 @@ type traceEvent struct {
 
 // traceFile is the JSON object format of the trace_event spec.
 type traceFile struct {
-	TraceEvents     []traceEvent   `json:"traceEvents"`
+	TraceEvents     []wireEvent    `json:"traceEvents"`
 	DisplayTimeUnit string         `json:"displayTimeUnit"`
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
@@ -95,6 +111,15 @@ func newTracer(rom *urom.ROM, maxEvents int) *Tracer {
 	return tr
 }
 
+// newChildTracer builds a per-workload tracer for a parallel composite
+// run: it shares the parent's read-only address tables, carries the
+// parent's full event cap (so the merge — which re-applies the cap in
+// workload order — reproduces exactly the sequential truncation
+// point), and emits no metadata events (the parent already has them).
+func newChildTracer(parent *Tracer) *Tracer {
+	return &Tracer{max: parent.max, region: parent.region, label: parent.label}
+}
+
 // meta emits the process/thread naming metadata events.
 func (tr *Tracer) meta() {
 	names := []struct {
@@ -138,9 +163,7 @@ func (tr *Tracer) slice(name string, tid int, start, end uint64, args map[string
 	}
 	tr.emit(traceEvent{
 		Name: name, Ph: "X", Pid: 1, Tid: tid,
-		Ts:   cycleMicros(start),
-		Dur:  cycleMicros(end) - cycleMicros(start),
-		Args: args,
+		Start: start, End: end, Args: args,
 	})
 }
 
@@ -148,7 +171,7 @@ func (tr *Tracer) slice(name string, tid int, start, end uint64, args map[string
 func (tr *Tracer) instant(name string, tid int, at uint64, args map[string]any) {
 	tr.emit(traceEvent{
 		Name: name, Ph: "i", S: "t", Pid: 1, Tid: tid,
-		Ts: cycleMicros(at), Args: args,
+		Start: at, Args: args,
 	})
 }
 
@@ -212,7 +235,7 @@ func (tr *Tracer) tbMiss(abs uint64, istream bool, va uint32) {
 func (tr *Tracer) phase(abs uint64, name string) {
 	tr.emit(traceEvent{
 		Name: "phase: " + name, Ph: "i", S: "g", Pid: 1, Tid: tidEvents,
-		Ts: cycleMicros(abs),
+		Start: abs,
 	})
 }
 
@@ -237,6 +260,26 @@ func (tr *Tracer) finish(end uint64) {
 	}
 }
 
+// absorb appends a finished child tracer's events, shifted onto the
+// parent timeline. The cap is re-applied against the parent's running
+// event count, so a merged trace truncates at exactly the byte the
+// sequential trace would. Timestamps shift exactly because they are
+// integer cycles; nothing is re-derived.
+func (tr *Tracer) absorb(child *Tracer, shift uint64) {
+	for _, ev := range child.events {
+		ev.Start += shift
+		if ev.Ph == "X" {
+			ev.End += shift
+		}
+		tr.emit(ev)
+	}
+	// A child that hit its own cap dropped events the sequential trace
+	// (which reaches the cap no later) would also have dropped.
+	if child.truncated {
+		tr.truncated = true
+	}
+}
+
 // Truncated reports whether the event cap dropped events.
 func (tr *Tracer) Truncated() bool { return tr.truncated }
 
@@ -247,8 +290,22 @@ func (tr *Tracer) Events() int { return len(tr.events) }
 // telemetry layer's Finish must have closed the open slices first
 // (Telemetry.WriteTrace does this).
 func (tr *Tracer) WriteTrace(w io.Writer) error {
+	evs := make([]wireEvent, len(tr.events))
+	for i, ev := range tr.events {
+		we := wireEvent{
+			Name: ev.Name, Ph: ev.Ph, Pid: ev.Pid, Tid: ev.Tid,
+			S: ev.S, Args: ev.Args,
+		}
+		if ev.Ph != "M" {
+			we.Ts = cycleMicros(ev.Start)
+		}
+		if ev.Ph == "X" {
+			we.Dur = cycleMicros(ev.End) - cycleMicros(ev.Start)
+		}
+		evs[i] = we
+	}
 	f := traceFile{
-		TraceEvents:     tr.events,
+		TraceEvents:     evs,
 		DisplayTimeUnit: "ns",
 		OtherData: map[string]any{
 			"source":      "vax780 telemetry layer",

@@ -1,0 +1,66 @@
+package upc
+
+import "testing"
+
+// benchHistogram builds a histogram with every bucket populated, the
+// worst case for the merge loops.
+func benchHistogram(seed uint64) *Histogram {
+	h := &Histogram{}
+	for i := range h.Normal {
+		h.Normal[i] = seed + uint64(i)*3
+		h.Stalled[i] = seed + uint64(i)*7
+	}
+	return h
+}
+
+// BenchmarkHistogramAdd is the composite-merge path: every workload of a
+// run (and every interval of the recorder) is summed through Add.
+func BenchmarkHistogramAdd(b *testing.B) {
+	dst := benchHistogram(1)
+	src := benchHistogram(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Add(src)
+	}
+}
+
+// BenchmarkHistogramDiff is the interval-recorder snapshot path.
+func BenchmarkHistogramDiff(b *testing.B) {
+	cur := benchHistogram(5)
+	prev := benchHistogram(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cur.Diff(prev)
+	}
+}
+
+// BenchmarkMonitorTick is the full-service count pulse (honors a
+// stopped board, fault hooks, and eager saturation).
+func BenchmarkMonitorTick(b *testing.B) {
+	m := New()
+	m.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick(uint16(i), i&3 == 0)
+	}
+}
+
+// BenchmarkMonitorTickFast is the per-cycle pulse as the EBOX delivers
+// it on a healthy board: the Fast gate plus the inlinable blind
+// increment — the hottest path of a monitored run.
+func BenchmarkMonitorTickFast(b *testing.B) {
+	m := New()
+	m.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Fast() {
+			m.TickFast(uint16(i), i&3 == 0)
+		} else {
+			m.Tick(uint16(i), i&3 == 0)
+		}
+	}
+	if m.Saturated() {
+		b.Fatal("unexpected saturation")
+	}
+}

@@ -50,10 +50,17 @@ type FaultInjector interface {
 	SaturateTick(addr uint16) bool
 }
 
-// Monitor is the UPC histogram monitor.
+// Monitor is the UPC histogram monitor. The two count sets live in one
+// backing array — normal counts in the lower half, stalled counts in the
+// upper half — so the per-cycle Tick indexes once and stays under the
+// inlining budget.
 type Monitor struct {
-	normal    [Buckets]uint64
-	stalled   [Buckets]uint64
+	counts [2 * Buckets]uint64
+
+	// fast caches "running with no fault injector": the single test the
+	// per-cycle Tick makes before the plain increment.
+	fast bool
+
 	running   bool
 	saturated bool
 	fault     FaultInjector
@@ -62,43 +69,102 @@ type Monitor struct {
 // New returns a stopped, cleared monitor.
 func New() *Monitor { return &Monitor{} }
 
-// Start begins data collection.
-func (m *Monitor) Start() { m.running = true }
+// updateFast recomputes the Tick fast-path gate.
+func (m *Monitor) updateFast() { m.fast = m.running && m.fault == nil }
 
-// Stop halts data collection.
-func (m *Monitor) Stop() { m.running = false }
+// Start begins data collection.
+func (m *Monitor) Start() { m.running = true; m.updateFast() }
+
+// Stop halts data collection and reconciles any lazily deferred
+// saturation (see TickFast).
+func (m *Monitor) Stop() { m.running = false; m.updateFast(); m.reconcile() }
 
 // Running reports whether the monitor is collecting.
 func (m *Monitor) Running() bool { return m.running }
 
 // Clear zeroes every bucket.
 func (m *Monitor) Clear() {
-	m.normal = [Buckets]uint64{}
-	m.stalled = [Buckets]uint64{}
+	m.counts = [2 * Buckets]uint64{}
 	m.saturated = false
 }
 
+// Reset returns the monitor to its as-new state — stopped, cleared,
+// no fault injector — for pooled reuse between workload machines.
+func (m *Monitor) Reset() {
+	m.Clear()
+	m.running = false
+	m.fault = nil
+	m.updateFast()
+}
+
 // Saturated reports whether any counter hit its capacity (data from a
-// saturated run undercounts and should be discarded).
-func (m *Monitor) Saturated() bool { return m.saturated }
+// saturated run undercounts and should be discarded). It reconciles
+// any lazily deferred saturation first (see TickFast).
+func (m *Monitor) Saturated() bool {
+	m.reconcile()
+	return m.saturated
+}
 
 // SetFault attaches a fault injector to the board (nil detaches it).
-func (m *Monitor) SetFault(f FaultInjector) { m.fault = f }
+func (m *Monitor) SetFault(f FaultInjector) { m.fault = f; m.updateFast() }
+
+// Fast reports whether the next count pulse may be delivered through
+// TickFast: the board is running with no fault injector attached. A
+// caller driving the board per cycle re-reads this gate each pulse (it
+// is one flag load) because Unibus commands can stop, start, or clear
+// the board mid-run.
+func (m *Monitor) Fast() bool { return m.fast }
+
+// TickFast records one count pulse on the healthy fast path: a plain
+// array increment with no saturation test, small enough to inline into
+// the EBOX cycle loop. Callers must check Fast() first. Saturation is
+// reconciled lazily — a counter may transiently exceed counterMax and
+// is clamped (and the saturated flag latched) at Stop, Snapshot, or
+// Saturated, which is bit-exact with the eager path because a counter
+// held at capacity and a counter clamped to capacity read identically.
+func (m *Monitor) TickFast(addr uint16, stalled bool) {
+	i := uint32(addr) & (Buckets - 1)
+	if stalled {
+		i += Buckets
+	}
+	m.counts[i]++
+}
+
+// reconcile applies the deferred saturation semantics after a burst of
+// TickFast pulses: any counter past its architectural capacity is
+// clamped to capacity and the saturated flag latched. With a fault
+// injector attached TickFast is never used and a counter above
+// capacity is corruption evidence, so it is left untouched.
+func (m *Monitor) reconcile() {
+	if m.fault != nil {
+		return
+	}
+	for i := range m.counts {
+		if m.counts[i] > counterMax {
+			m.counts[i] = counterMax
+			m.saturated = true
+		}
+	}
+}
 
 // Tick records one EBOX cycle at micro-PC addr. stalled selects the
 // second count set, used for read- and write-stalled cycles; IB-stall
 // cycles are ordinary executions of the IB-stall wait microinstruction
 // and arrive with stalled=false (§4.3). Tick is the passive hardware
 // hook: it never affects the machine.
+//
+// Tick is the full-service path: it honors a stopped board, an
+// attached fault injector, and eager saturation. The per-cycle driver
+// (the EBOX) uses TickFast instead whenever Fast() holds.
 func (m *Monitor) Tick(addr uint16, stalled bool) {
 	if !m.running {
 		return
 	}
-	i := int(addr) % Buckets
-	c := &m.normal[i]
+	i := int(addr) & (Buckets - 1)
 	if stalled {
-		c = &m.stalled[i]
+		i += Buckets
 	}
+	c := &m.counts[i]
 	if m.fault != nil && m.tickFaulty(addr, stalled, c) {
 		return
 	}
@@ -132,16 +198,19 @@ func (m *Monitor) tickFaulty(addr uint16, stalled bool, c *uint64) bool {
 // Read returns the two counts of one bucket (a Unibus read sequence on
 // the real board).
 func (m *Monitor) Read(addr uint16) (normal, stalled uint64) {
-	i := int(addr) % Buckets
-	return m.normal[i], m.stalled[i]
+	i := int(addr) & (Buckets - 1)
+	return m.counts[i], m.counts[i+Buckets]
 }
 
 // Snapshot copies the current counts into a Histogram for offline
 // reduction, as the measurement hosts dumped the board after each run.
+// Deferred saturation is reconciled first so a dump never shows a
+// physically impossible count on a healthy board.
 func (m *Monitor) Snapshot() *Histogram {
+	m.reconcile()
 	h := &Histogram{}
-	h.Normal = m.normal
-	h.Stalled = m.stalled
+	copy(h.Normal[:], m.counts[:Buckets])
+	copy(h.Stalled[:], m.counts[Buckets:])
 	return h
 }
 
@@ -154,10 +223,14 @@ type Histogram struct {
 }
 
 // Add accumulates other into h (histogram summing, §2.2: "the composite
-// of all five, that is, the sum of the five UPC histograms").
+// of all five, that is, the sum of the five UPC histograms"). One plain
+// index loop per count set, with no cross-array access in the body, so
+// the compiler can unroll and vectorize the merge.
 func (h *Histogram) Add(other *Histogram) {
 	for i := range h.Normal {
 		h.Normal[i] += other.Normal[i]
+	}
+	for i := range h.Stalled {
 		h.Stalled[i] += other.Stalled[i]
 	}
 }
@@ -170,6 +243,8 @@ func (h *Histogram) Diff(prev *Histogram) *Histogram {
 	out := &Histogram{}
 	for i := range h.Normal {
 		out.Normal[i] = h.Normal[i] - prev.Normal[i]
+	}
+	for i := range h.Stalled {
 		out.Stalled[i] = h.Stalled[i] - prev.Stalled[i]
 	}
 	return out

@@ -75,12 +75,12 @@ func TestSnapshotIsCopy(t *testing.T) {
 func TestSaturation(t *testing.T) {
 	m := New()
 	m.Start()
-	m.normal[3] = counterMax
+	m.counts[3] = counterMax
 	m.Tick(3, false)
 	if !m.Saturated() {
 		t.Error("saturation not detected")
 	}
-	if m.normal[3] != counterMax {
+	if m.counts[3] != counterMax {
 		t.Error("counter wrapped past capacity")
 	}
 	m.Clear()
@@ -94,12 +94,12 @@ func TestSaturationStalledSet(t *testing.T) {
 	// (§4.3: the board keeps two sets of counts).
 	m := New()
 	m.Start()
-	m.stalled[9] = counterMax
+	m.counts[9+Buckets] = counterMax
 	m.Tick(9, true)
 	if !m.Saturated() {
 		t.Error("stalled-set saturation not detected")
 	}
-	if m.stalled[9] != counterMax {
+	if m.counts[9+Buckets] != counterMax {
 		t.Error("stalled counter wrapped past capacity")
 	}
 	// The normal set at the same address is unaffected and still counts.

@@ -1,0 +1,141 @@
+package vax780
+
+// The parallel execution engine of a composite run: the paper's
+// composite histogram is the sum of independent per-workload
+// measurements (§2.2), so the workload machines can execute
+// concurrently as long as the merge is performed in workload order.
+// Everything order-dependent — histogram summing, per-workload result
+// rows, checkpoint records, telemetry splicing, fault-injection count
+// aggregation — happens on the single merging goroutine, strictly in
+// workload order, through the same runState.merge the sequential path
+// uses. That shared merge is the bit-exactness argument in one line:
+// the two paths differ only in *when* workloads execute, never in how
+// their results combine.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vax780/internal/faults"
+	"vax780/internal/telemetry"
+)
+
+// ErrSharedFaultPlan reports one *faults.Plan attached to more than
+// one workload of a parallel run. Plan decision streams are stateful
+// and single-goroutine; sharing one across concurrent machines would
+// race and destroy determinism. The public API cannot construct this
+// (Run derives an independent child plan per workload), so hitting it
+// means an internal caller wired jobs by hand.
+var ErrSharedFaultPlan = errors.New("vax780: fault plan shared between parallel workloads")
+
+// wlJob is one pending workload of a parallel run.
+type wlJob struct {
+	idx  int // absolute index in cfg.Workloads
+	id   WorkloadID
+	tel  *telemetry.Telemetry // per-workload child sink (nil: no telemetry)
+	plan *faults.Plan         // per-workload child plan (nil: no faults)
+}
+
+// wlOutcome is a workload's execution result, written by its worker
+// and read by the merger after the job's ready channel closes.
+type wlOutcome struct {
+	one     *oneRun
+	retries int
+	err     error
+}
+
+// runParallel executes the pending workloads on a bounded worker pool
+// and merges in workload order.
+func (s *runState) runParallel() error {
+	jobs := make([]wlJob, 0, len(s.cfg.Workloads)-len(s.recs))
+	for i, id := range s.cfg.Workloads {
+		if i < len(s.recs) {
+			continue // resumed from the checkpoint
+		}
+		j := wlJob{idx: i, id: id, plan: s.cfg.childPlan(i)}
+		if s.tel != nil {
+			j.tel = s.tel.NewChild()
+		}
+		jobs = append(jobs, j)
+	}
+	return s.runJobs(jobs)
+}
+
+// runJobs is the engine proper, factored out so tests can drive it
+// with hand-built jobs (e.g. the shared-plan guard).
+func (s *runState) runJobs(jobs []wlJob) error {
+	seen := make(map[*faults.Plan]struct{}, len(jobs))
+	for _, j := range jobs {
+		if j.plan == nil {
+			continue
+		}
+		if _, dup := seen[j.plan]; dup {
+			return fmt.Errorf("%w (workload %s)", ErrSharedFaultPlan, j.id)
+		}
+		seen[j.plan] = struct{}{}
+	}
+
+	workers := s.cfg.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	outcomes := make([]wlOutcome, len(jobs))
+	ready := make([]chan struct{}, len(jobs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64 // job dispenser
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(jobs) {
+					return
+				}
+				if !aborted.Load() {
+					j := jobs[n]
+					tr, err := s.cfg.workloadTrace(j.id)
+					if err != nil {
+						outcomes[n] = wlOutcome{err: fmt.Errorf("%s: %w", j.id, err)}
+					} else {
+						one, retries, rerr := runWorkload(j.id, tr, s.cfg, j.tel, j.plan)
+						outcomes[n] = wlOutcome{one: one, retries: retries, err: rerr}
+					}
+				}
+				close(ready[n])
+			}
+		}()
+	}
+	// No worker may outlive the run (checkpoint files, the monitor
+	// pool, and the race detector all assume it).
+	defer wg.Wait()
+
+	for n, j := range jobs {
+		<-ready[n]
+		out := outcomes[n]
+		if out.err != nil {
+			aborted.Store(true)
+			return wrapWorkloadErr(out.err)
+		}
+		if s.tel != nil {
+			// Same event order as the sequential timeline: the phase
+			// marker (which also closes the previous workload's open
+			// trace slices — already closed here by the child's own
+			// Finish) precedes the workload's observations.
+			s.tel.Phase(j.id.String())
+			s.tel.Absorb(j.tel)
+		}
+		if err := s.merge(j.id, out.one, out.retries, j.plan); err != nil {
+			aborted.Store(true)
+			return err
+		}
+	}
+	return nil
+}

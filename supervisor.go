@@ -115,12 +115,14 @@ func (f *MachineFault) Unwrap() error { return f.Err }
 // Is matches the ErrMachineFault sentinel.
 func (f *MachineFault) Is(target error) bool { return target == ErrMachineFault }
 
-// runWorkload is the supervised execution of one workload: run it,
-// and on a transient machine check retry with capped exponential
-// backoff; on a non-transient fault (or exhausted retries) surface a
-// *MachineFault. res accumulates the retry count.
-func runWorkload(id WorkloadID, p workload.Profile, cfg RunConfig,
-	tel *telemetry.Telemetry, plan *faults.Plan, res *Results) (*oneRun, error) {
+// runWorkload is the supervised execution of one workload: run it
+// against the pre-generated trace, and on a transient machine check
+// retry with capped exponential backoff; on a non-transient fault (or
+// exhausted retries) surface a *MachineFault. It returns the retry
+// count instead of mutating shared state, so any number of workload
+// supervisors can run concurrently.
+func runWorkload(id WorkloadID, tr *workload.Trace, cfg RunConfig,
+	tel *telemetry.Telemetry, plan *faults.Plan) (*oneRun, int, error) {
 
 	maxRetries := 0
 	var backoff time.Duration
@@ -130,28 +132,30 @@ func runWorkload(id WorkloadID, p workload.Profile, cfg RunConfig,
 	}
 	maxBackoff := backoff * 16
 
+	retries := 0
 	for attempt := 1; ; attempt++ {
-		one, err := runOne(p, cfg, tel, plan)
+		one, err := runOne(tr, cfg, tel, plan)
 		if err == nil {
-			return one, nil
+			return one, retries, nil
 		}
 		var mck *faults.MachineCheck
 		if !errors.As(err, &mck) {
 			// Not a machine fault (workload generation, config): report
 			// as-is.
-			return nil, fmt.Errorf("%s: %w", id, err)
+			return nil, retries, fmt.Errorf("%s: %w", id, err)
 		}
 		if mck.Transient() && attempt <= maxRetries {
 			// The plan's decision streams keep advancing across
-			// attempts, so the same environmental fault need not recur.
-			res.Retries++
+			// attempts, so the same environmental fault need not recur;
+			// the trace is read-only and reused as-is.
+			retries++
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
 			}
 			continue
 		}
-		return nil, &MachineFault{
+		return nil, retries, &MachineFault{
 			Workload: id,
 			Attempts: attempt,
 			UPC:      mck.UPC,

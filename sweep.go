@@ -1,0 +1,154 @@
+package vax780
+
+// The sweep engine: every §5 experiment of the paper is an independent
+// machine configuration run against the same workloads, and the
+// characterization studies (cache geometry, TB size, flush interval,
+// decode overlap, fault rates) are sweeps over such design points. The
+// engine fans the points across a bounded worker pool while sharing
+// every piece of immutable state a point does not own: the assembled
+// control store (built once, process-wide, by the machine package),
+// the generated workload traces (read-only once built, cached by
+// shape), and the pooled histogram monitors.
+
+import (
+	"fmt"
+	"sync"
+
+	"vax780/internal/workload"
+)
+
+// SweepPoint is one design point of a characterization sweep.
+type SweepPoint struct {
+	// Label identifies the point in results and tables (e.g. "8KB/2-way").
+	Label string
+	// Config is the point's run configuration. Points must be
+	// self-contained: a Telemetry instance or Checkpoint path cannot be
+	// attached to a sweep point (both are single-run state; the point
+	// fails with an error).
+	Config RunConfig
+}
+
+// SweepResult pairs a design point with its outcome. Exactly one of
+// Results/Err is set.
+type SweepResult struct {
+	Label   string
+	Results *Results
+	Err     error
+}
+
+// SweepOptions tunes the sweep engine.
+type SweepOptions struct {
+	// Parallelism bounds concurrently executing design points
+	// (default: GOMAXPROCS). Each point runs its own workloads
+	// sequentially — the fan-out is across points.
+	Parallelism int
+}
+
+// Sweep executes the design points concurrently and returns their
+// results in input order. Results are deterministic: each point is an
+// ordinary Run (bit-exact with running it alone), and shared state is
+// all immutable — the control store, the cached traces, the workload
+// programs.
+func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
+	out := make([]SweepResult, len(points))
+	cache := newTraceCache()
+
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = RunConfig{}.parallelismDefault()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	var idx int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				n := idx
+				idx++
+				mu.Unlock()
+				if n >= len(points) {
+					return
+				}
+				out[n] = runPoint(points[n], cache)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runPoint executes one design point with the shared trace cache.
+func runPoint(pt SweepPoint, cache *traceCache) SweepResult {
+	res := SweepResult{Label: pt.Label}
+	cfg := pt.Config
+	if cfg.Telemetry != nil {
+		res.Err = fmt.Errorf("vax780: sweep point %q: telemetry cannot be attached to a sweep point", pt.Label)
+		return res
+	}
+	if cfg.Checkpoint != "" {
+		res.Err = fmt.Errorf("vax780: sweep point %q: checkpointing cannot be attached to a sweep point", pt.Label)
+		return res
+	}
+	// The sweep's concurrency lives at the point level; each point runs
+	// its workloads in sequence on its worker.
+	cfg.Parallelism = 1
+	cfg.traces = cache
+	res.Results, res.Err = Run(cfg)
+	return res
+}
+
+// parallelismDefault exposes the default worker count (GOMAXPROCS)
+// without needing a filled config.
+func (RunConfig) parallelismDefault() int {
+	var c RunConfig
+	return c.parallelism()
+}
+
+// traceKey is the workload-shape identity of a generated trace:
+// everything generation depends on. Two design points differing only
+// in hardware parameters share one trace — exactly the paper's method
+// of replaying one measured address trace against many cache
+// geometries (§5).
+type traceKey struct {
+	id      WorkloadID
+	instr   int
+	headway int
+}
+
+// traceCache shares generated (immutable) traces across design points
+// and their workers.
+type traceCache struct {
+	mu sync.Mutex
+	m  map[traceKey]*workload.Trace
+}
+
+func newTraceCache() *traceCache {
+	return &traceCache{m: make(map[traceKey]*workload.Trace)}
+}
+
+// get returns the cached trace for the workload shape, generating it
+// on first use. Generation holds the lock: concurrent requests for the
+// same shape must not generate twice, and distinct shapes arriving
+// together are rare enough (one per point startup) that a per-key
+// latch is not worth its complexity.
+func (tc *traceCache) get(id WorkloadID, p workload.Profile, cfg *RunConfig) (*workload.Trace, error) {
+	key := traceKey{id: id, instr: cfg.Instructions, headway: cfg.CtxSwitchHeadway}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tr, ok := tc.m[key]; ok {
+		return tr, nil
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	tc.m[key] = tr
+	return tr, nil
+}

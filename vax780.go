@@ -3,6 +3,8 @@ package vax780
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"vax780/internal/analysis"
 	"vax780/internal/faults"
@@ -134,11 +136,28 @@ type RunConfig struct {
 	// different measurement configuration is ErrCheckpointMismatch.
 	Resume bool
 
+	// Parallelism bounds how many workload machines of the composite
+	// execute concurrently (default: GOMAXPROCS). 1 forces the
+	// sequential path. The parallel composite is bit-exact with the
+	// sequential one — histograms, tables, reports, telemetry series,
+	// fault injections, and checkpoint bytes — because results merge in
+	// workload order, each workload's fault plan derives independently
+	// from the seed, and per-machine telemetry splices onto one
+	// timeline at merge. Parallelism is excluded from the checkpoint
+	// fingerprint: a sequential run may resume a parallel one and vice
+	// versa.
+	Parallelism int
+
 	// haltAfter is a test seam: when positive, the run stops with
 	// errRunHalted once that many workloads (counting resumed ones)
 	// have completed and checkpointed — a deterministic stand-in for a
 	// measurement host killed mid-composite.
 	haltAfter int
+
+	// traces, when non-nil, substitutes generation with a shared
+	// read-only trace cache (set by Sweep: design points that share a
+	// workload shape reuse one generated trace).
+	traces *traceCache
 }
 
 // errRunHalted reports a run stopped by the haltAfter test seam.
@@ -163,6 +182,51 @@ func (c *RunConfig) memConfig() mem.Config {
 	}
 }
 
+// parallelism resolves the effective worker count.
+func (c *RunConfig) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// childPlan builds workload index i's independent fault plan. Both the
+// sequential and the parallel path derive one child plan per workload
+// from (seed, index), so a workload's injection stream never depends
+// on how many decisions earlier workloads drew — the property that
+// makes parallel fault injection bit-exact with sequential, and a
+// resumed run bit-exact with an uninterrupted one.
+func (c *RunConfig) childPlan(i int) *faults.Plan {
+	if c.Faults == nil {
+		return nil
+	}
+	return faults.NewPlan(faults.ChildSeed(c.Faults.Seed, i), c.Faults.rates())
+}
+
+// trace materializes workload id's instruction trace, through the
+// shared cache when one is attached. Traces are read-only once
+// generated (machines never write them), so one trace can drive any
+// number of concurrent machines.
+func (c *RunConfig) trace(id WorkloadID, p workload.Profile) (*workload.Trace, error) {
+	if c.traces != nil {
+		return c.traces.get(id, p, c)
+	}
+	return workload.Generate(p)
+}
+
+// workloadTrace resolves workload id's profile (with overrides) and
+// materializes its trace.
+func (c *RunConfig) workloadTrace(id WorkloadID) (*workload.Trace, error) {
+	p, err := id.profile(c.Instructions)
+	if err != nil {
+		return nil, err
+	}
+	if c.CtxSwitchHeadway > 0 {
+		p.CtxSwitchHeadway = c.CtxSwitchHeadway
+	}
+	return c.trace(id, p)
+}
+
 // Run executes the configured experiments on fresh machines, sums their
 // UPC histograms into the composite, and returns the reduced results.
 //
@@ -171,112 +235,166 @@ func (c *RunConfig) memConfig() mem.Config {
 // on transient machine checks (capped exponential backoff), and — when
 // a Checkpoint path is configured — snapshots progress atomically after
 // each completed workload so a killed run resumes bit-identically.
+//
+// With Parallelism > 1 the pending workloads execute concurrently on a
+// bounded worker pool; results are merged strictly in workload order,
+// so the composite is bit-exact with the sequential run.
 func Run(cfg RunConfig) (*Results, error) {
 	cfg.fill()
-	composite := &upc.Histogram{}
-	var hw analysis.HWCounters
-	res := &Results{cfg: cfg}
-
-	var tel *telemetry.Telemetry
-	if cfg.Telemetry != nil {
-		tel = cfg.Telemetry.ensure()
+	s := &runState{
+		cfg:       cfg,
+		composite: &upc.Histogram{},
+		res:       &Results{cfg: cfg},
+		ckptHash:  cfg.checkpointHash(),
 	}
-
-	var plan *faults.Plan
-	if cfg.Faults != nil {
-		plan = faults.NewPlan(cfg.Faults.Seed, cfg.Faults.rates())
+	if cfg.Telemetry != nil {
+		s.tel = cfg.Telemetry.ensure()
 	}
 
 	// Resume: fold completed workloads back in from the checkpoint.
-	var recs []ckptRecord
-	ckptHash := cfg.checkpointHash()
 	if cfg.Checkpoint != "" && cfg.Resume {
 		var err error
-		recs, err = readCheckpoint(cfg.Checkpoint, ckptHash)
+		s.recs, err = readCheckpoint(cfg.Checkpoint, s.ckptHash)
 		if err != nil {
 			return nil, err
 		}
-		if len(recs) > len(cfg.Workloads) {
+		if len(s.recs) > len(cfg.Workloads) {
 			return nil, fmt.Errorf("%w: %d recorded workloads, run has %d",
-				ErrCheckpointMismatch, len(recs), len(cfg.Workloads))
+				ErrCheckpointMismatch, len(s.recs), len(cfg.Workloads))
 		}
-		for _, rec := range recs {
-			composite.Add(rec.Hist)
-			hw.Mem.Add(&rec.Mem)
-			hw.IBConsumed += rec.IBConsumed
-			res.PerWorkload = append(res.PerWorkload, WorkloadResult{
+		for _, rec := range s.recs {
+			s.composite.Add(rec.Hist)
+			s.hw.Mem.Add(&rec.Mem)
+			s.hw.IBConsumed += rec.IBConsumed
+			s.res.PerWorkload = append(s.res.PerWorkload, WorkloadResult{
 				Workload:     rec.Workload,
 				Instructions: rec.Instrs,
 				Cycles:       rec.Cycles,
 				CPI:          float64(rec.Cycles) / float64(rec.Instrs),
 			})
-			res.perHist = append(res.perHist, rec.Hist)
+			s.res.perHist = append(s.res.perHist, rec.Hist)
 		}
-		res.Resumed = len(recs)
+		s.res.Resumed = len(s.recs)
+		s.completed = len(s.recs)
 	}
 
-	res.describe = BlockDiagram()
-	for i, id := range cfg.Workloads {
-		if i < len(recs) {
-			continue // completed before the crash; folded in above
+	s.res.describe = BlockDiagram()
+	pending := len(cfg.Workloads) - len(s.recs)
+	var err error
+	if pending > 1 && cfg.parallelism() > 1 {
+		err = s.runParallel()
+	} else {
+		err = s.runSequential()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.finish()
+}
+
+// runState carries a composite run's accumulating results; the
+// sequential and parallel paths share its merge and finish steps, which
+// is what keeps the two bit-exact: there is only one merge.
+type runState struct {
+	cfg       RunConfig
+	tel       *telemetry.Telemetry
+	composite *upc.Histogram
+	hw        analysis.HWCounters
+	res       *Results
+	recs      []ckptRecord
+	ckptHash  uint64
+	injected  faults.Counts
+	completed int // workloads completed, counting resumed ones
+}
+
+// runSequential is the in-order execution path (Parallelism <= 1, or
+// nothing left to parallelize).
+func (s *runState) runSequential() error {
+	for i, id := range s.cfg.Workloads {
+		if i < len(s.recs) {
+			continue // completed before the crash; folded in by Run
 		}
-		p, err := id.profile(cfg.Instructions)
+		tr, err := s.cfg.workloadTrace(id)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("vax780: %s: %w", id, err)
 		}
-		if cfg.CtxSwitchHeadway > 0 {
-			p.CtxSwitchHeadway = cfg.CtxSwitchHeadway
+		plan := s.cfg.childPlan(i)
+		if s.tel != nil {
+			s.tel.Phase(id.String())
 		}
-		if tel != nil {
-			tel.Phase(id.String())
-		}
-		one, err := runWorkload(id, p, cfg, tel, plan, res)
+		one, retries, err := runWorkload(id, tr, s.cfg, s.tel, plan)
 		if err != nil {
-			var mf *MachineFault
-			if errors.As(err, &mf) {
-				return nil, err // already carries the vax780 prefix
-			}
-			return nil, fmt.Errorf("vax780: %w", err)
+			return wrapWorkloadErr(err)
 		}
-		composite.Add(one.hist)
-		hw.Mem.Add(&one.machine.Mem.Stats)
-		hw.IBConsumed += one.machine.IB.Consumed
-		res.PerWorkload = append(res.PerWorkload, WorkloadResult{
-			Workload:     id,
-			Instructions: one.machine.Stats.Instrs,
-			Cycles:       one.machine.E.Now,
-			CPI:          one.machine.CPI(),
-		})
-		res.perHist = append(res.perHist, one.hist)
-		res.describe = one.machine.Describe()
-
-		if cfg.Checkpoint != "" {
-			recs = append(recs, ckptRecord{
-				Workload:   id,
-				Instrs:     one.machine.Stats.Instrs,
-				Cycles:     one.machine.E.Now,
-				IBConsumed: one.machine.IB.Consumed,
-				Mem:        one.machine.Mem.Stats,
-				Hist:       one.hist,
-			})
-			if err := writeCheckpoint(cfg.Checkpoint, ckptHash, recs); err != nil {
-				return nil, fmt.Errorf("vax780: writing checkpoint: %w", err)
-			}
-		}
-		if cfg.haltAfter > 0 && i+1 >= cfg.haltAfter {
-			return nil, errRunHalted
+		if err := s.merge(id, one, retries, plan); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	if tel != nil {
-		tel.Finish()
+// wrapWorkloadErr applies the public error convention: typed machine
+// faults pass through (they carry the vax780 prefix), anything else
+// gets it added.
+func wrapWorkloadErr(err error) error {
+	var mf *MachineFault
+	if errors.As(err, &mf) {
+		return err
 	}
+	return fmt.Errorf("vax780: %w", err)
+}
+
+// merge folds one completed workload into the composite — the single
+// accumulation point both execution paths share. Callers invoke it in
+// workload order.
+func (s *runState) merge(id WorkloadID, one *oneRun, retries int, plan *faults.Plan) error {
+	s.composite.Add(one.hist)
+	s.hw.Mem.Add(&one.machine.Mem.Stats)
+	s.hw.IBConsumed += one.machine.IB.Consumed
+	s.res.Retries += retries
+	s.res.PerWorkload = append(s.res.PerWorkload, WorkloadResult{
+		Workload:     id,
+		Instructions: one.machine.Stats.Instrs,
+		Cycles:       one.machine.E.Now,
+		CPI:          one.machine.CPI(),
+	})
+	s.res.perHist = append(s.res.perHist, one.hist)
+	s.res.describe = one.machine.Describe()
 	if plan != nil {
-		res.FaultInjections = plan.Injected().String()
+		s.injected.Add(plan.Injected())
 	}
-	res.analysis = analysis.New(machine.ROM(), composite).WithHardwareCounters(hw)
-	res.hist = composite
-	return res, nil
+
+	if s.cfg.Checkpoint != "" {
+		s.recs = append(s.recs, ckptRecord{
+			Workload:   id,
+			Instrs:     one.machine.Stats.Instrs,
+			Cycles:     one.machine.E.Now,
+			IBConsumed: one.machine.IB.Consumed,
+			Mem:        one.machine.Mem.Stats,
+			Hist:       one.hist,
+		})
+		if err := writeCheckpoint(s.cfg.Checkpoint, s.ckptHash, s.recs); err != nil {
+			return fmt.Errorf("vax780: writing checkpoint: %w", err)
+		}
+	}
+	s.completed++
+	if s.cfg.haltAfter > 0 && s.completed >= s.cfg.haltAfter {
+		return errRunHalted
+	}
+	return nil
+}
+
+// finish closes the run and reduces the composite.
+func (s *runState) finish() (*Results, error) {
+	if s.tel != nil {
+		s.tel.Finish()
+	}
+	if s.cfg.Faults != nil {
+		s.res.FaultInjections = s.injected.String()
+	}
+	s.res.analysis = analysis.New(machine.ROM(), s.composite).WithHardwareCounters(s.hw)
+	s.res.hist = s.composite
+	return s.res, nil
 }
 
 type oneRun struct {
@@ -285,17 +403,31 @@ type oneRun struct {
 	saturated bool
 }
 
-// runOne executes one workload attempt on a fresh machine. It is the
-// panic-recovery boundary: any panic that escapes the simulation
-// surfaces as a *faults.MachineCheck, never as a process crash.
-func runOne(p workload.Profile, cfg RunConfig, tel *telemetry.Telemetry,
+// monPool recycles histogram monitors between workload machines: the
+// monitor's count array is by far the largest allocation of a run, and
+// sweeps burn one per design point per workload. Pooled monitors are
+// Reset (cleared, stopped, fault detached) before reuse.
+var monPool = sync.Pool{New: func() any { return upc.New() }}
+
+// runOne executes one workload attempt on a fresh machine driven by
+// the given (read-only, shareable) trace. It is the panic-recovery
+// boundary: any panic that escapes the simulation surfaces as a
+// *faults.MachineCheck, never as a process crash.
+func runOne(tr *workload.Trace, cfg RunConfig, tel *telemetry.Telemetry,
 	plan *faults.Plan) (one *oneRun, err error) {
 
-	tr, err := workload.Generate(p)
-	if err != nil {
-		return nil, err
+	var mon *upc.Monitor
+	if tel == nil {
+		// Without telemetry nothing retains the monitor after the
+		// snapshot, so it can go back to the pool. A telemetry-bound
+		// monitor stays referenced by the sink (board snapshots, HTTP
+		// readout) and must not be recycled.
+		mon = monPool.Get().(*upc.Monitor)
+		mon.Reset()
+		defer monPool.Put(mon)
+	} else {
+		mon = upc.New()
 	}
-	mon := upc.New()
 	mon.Start()
 	mc := machine.Config{
 		Mem:           cfg.memConfig(),
