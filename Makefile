@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-telemetry bench-faults bench-parallel experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel experiments clean
 
-all: fmt-check vet build test
+all: fmt-check vet lint build test
 
 fmt:
 	gofmt -w .
@@ -13,6 +13,15 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis gate: go vet, the repo's Go-invariant
+# multichecker (internal/golint via cmd/vaxvet), and the control-store
+# analyzer (internal/ulint via cmd/vaxlint) proving complete CPI
+# attribution over the shipped microprogram.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/vaxvet
+	$(GO) run ./cmd/vaxlint
 
 build:
 	$(GO) build ./...

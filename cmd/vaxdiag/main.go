@@ -2,7 +2,9 @@
 // block diagram, the control-store region summary, the static microcode
 // verifier's verdict, and (with -listing) the full microprogram listing.
 // -probes adds the telemetry layer's probe-point map: where each live
-// observation is tapped and what consumes it.
+// observation is tapped and what consumes it. -lint runs the
+// whole-program control-store analyzer (internal/ulint) and prints its
+// attribution proof and per-flow worst-case cycle bounds.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 func main() {
 	listing := flag.Bool("listing", false, "print the full control store listing")
 	probes := flag.Bool("probes", false, "print the telemetry probe-point map")
+	lint := flag.Bool("lint", false, "run the control-store static analyzer and print flow bounds")
 	flag.Parse()
 
 	fmt.Println(vax780.BlockDiagram())
@@ -34,6 +37,23 @@ func main() {
 			fmt.Println(" ", i)
 		}
 		defer os.Exit(1)
+	}
+
+	if *lint {
+		rep := vax780.LintControlStore()
+		fmt.Println()
+		fmt.Println(rep.Summary())
+		for _, f := range rep.Findings {
+			fmt.Println(" ", f)
+		}
+		fmt.Println()
+		fmt.Println("per-flow worst-case cycle bounds (stalls excluded):")
+		for _, b := range rep.Bounds {
+			fmt.Println(" ", b)
+		}
+		if !rep.Proven() || len(rep.Errors()) > 0 {
+			defer os.Exit(1)
+		}
 	}
 
 	if *listing {

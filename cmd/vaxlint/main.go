@@ -1,0 +1,40 @@
+// Command vaxlint runs the control-store static analyzer over the
+// shipped microprogram: the dispatch-rooted CFG passes that prove
+// attribution completeness (every tickable histogram bucket maps to a
+// Table 8 CPI cell), flow termination, stall/trap path legality, and
+// dead-word absence. Exit status is nonzero on any error-severity
+// finding, so CI can gate on it.
+//
+//	-bounds   also print the per-flow worst-case cycle bounds
+//	-strict   fail on warnings too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vax780"
+)
+
+func main() {
+	bounds := flag.Bool("bounds", false, "print per-flow worst-case cycle bounds")
+	strict := flag.Bool("strict", false, "treat warnings as failures")
+	flag.Parse()
+
+	rep := vax780.LintControlStore()
+	fmt.Println(rep.Summary())
+	for _, f := range rep.Findings {
+		fmt.Println(" ", f)
+	}
+	if *bounds {
+		fmt.Println("\nper-flow worst-case cycle bounds (stalls excluded):")
+		for _, b := range rep.Bounds {
+			fmt.Println(" ", b)
+		}
+	}
+
+	if len(rep.Errors()) > 0 || (*strict && !rep.Clean()) || !rep.Proven() {
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"vax780/internal/machine"
 	"vax780/internal/mem"
 	"vax780/internal/ucode"
+	"vax780/internal/ulint"
 	"vax780/internal/workload"
 )
 
@@ -31,6 +32,13 @@ func VerifyMicrocode() []string {
 		out = append(out, i.String())
 	}
 	return out
+}
+
+// LintControlStore runs the whole-program static analyzer (the
+// dispatch-rooted CFG passes of internal/ulint) over the shipped
+// microprogram and dispatch tables.
+func LintControlStore() *ulint.Report {
+	return ulint.AnalyzeROM(machine.ROM())
 }
 
 // ControlStoreSummary renders region extents: how many microwords each

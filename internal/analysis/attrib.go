@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"vax780/internal/paper"
+	"vax780/internal/ucode"
+)
+
+// This file is the single source of truth for histogram-bucket
+// attribution: the mapping from a UPC bucket — a (control-store address,
+// count set) pair — to the Table 8 cell its counts contribute to.
+// CPIMatrix consumes it for the dynamic reduction and the ulint static
+// analyzer consumes it for the attribution-completeness proof, so the
+// two can never diverge.
+
+// T8RowForRegion maps a control-store region to its Table 8 activity
+// row. ok=false means counts in that region are invisible to the CPI
+// decomposition (only RegNone, the reserved reset word's region).
+func T8RowForRegion(r ucode.Region) (paper.Table8Row, bool) {
+	return t8Row(r)
+}
+
+// BucketCell returns the Table 8 cell that a count in the bucket
+// (mi's address, stalled count set) contributes to. ok=false means the
+// bucket is unattributed: a count there would be lost to the CPI
+// decomposition.
+//
+// The stalled count set of an IB-stall wait word is deliberately
+// unattributed: the EBOX only raises the stall line on read/write
+// memory stalls, and IB-stall words carry no memory function (a
+// verifier error otherwise), so that bucket can never be ticked. The
+// static analyzer checks tickability separately via BucketTickable.
+func BucketCell(mi *ucode.MicroInst, stalled bool) (row paper.Table8Row, col paper.Table8Col, ok bool) {
+	row, ok = t8Row(mi.Region)
+	if !ok {
+		return 0, 0, false
+	}
+	switch {
+	case mi.IBStall:
+		if stalled {
+			return 0, 0, false
+		}
+		return row, paper.T8IBStall, true
+	case mi.Mem.IsRead():
+		if stalled {
+			return row, paper.T8RStall, true
+		}
+		return row, paper.T8Read, true
+	case mi.Mem.IsWrite():
+		if stalled {
+			return row, paper.T8WStall, true
+		}
+		return row, paper.T8Write, true
+	default:
+		// Compute words cannot stall, but both count sets fold into the
+		// compute cell so a (theoretically impossible) stalled count is
+		// still attributed rather than silently dropped.
+		return row, paper.T8Compute, true
+	}
+}
+
+// BucketTickable reports whether the EBOX can ever pulse the given
+// bucket: the normal set of every word is tickable; the stalled set only
+// for words with a memory function (read- and write-stall cycles re-tick
+// the stalled word's address with the stall line raised).
+func BucketTickable(mi *ucode.MicroInst, stalled bool) bool {
+	if !stalled {
+		return true
+	}
+	return mi.Mem != ucode.MemNone
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"testing"
+
+	"vax780/internal/machine"
+	"vax780/internal/paper"
+	"vax780/internal/ucode"
+	"vax780/internal/upc"
+)
+
+// TestBucketCellMatchesCPIMatrix proves, bucket for bucket, that the
+// exported static attribution map is the map CPIMatrix actually applies:
+// a single count planted in any tickable bucket of the shipped control
+// store lands in exactly the cell BucketCell names, and nowhere else.
+func TestBucketCellMatchesCPIMatrix(t *testing.T) {
+	rom := machine.ROM()
+	img := rom.Image
+	for addr := 0; addr < img.Size(); addr++ {
+		mi := img.At(uint16(addr))
+		for _, stalled := range []bool{false, true} {
+			if !BucketTickable(mi, stalled) {
+				continue
+			}
+			h := &upc.Histogram{}
+			if stalled {
+				h.Stalled[addr] = 1
+			} else {
+				h.Normal[addr] = 1
+			}
+			m := New(rom, h).CPIMatrix()
+			row, col, ok := BucketCell(mi, stalled)
+			var want float64
+			if ok {
+				want = 1
+			}
+			for r := paper.Table8Row(0); r < paper.NumT8Rows; r++ {
+				for c := paper.Table8Col(0); c < paper.NumT8Cols; c++ {
+					expect := 0.0
+					if ok && r == row && c == col {
+						expect = want
+					}
+					if m.Cells[r][c] != expect {
+						t.Fatalf("bucket (%05o, stalled=%v): cell[%v][%v] = %v, want %v",
+							addr, stalled, r, c, m.Cells[r][c], expect)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBucketCellCompleteOverRegions: every region that tags microwords in
+// the shipped image has a Table 8 row, so no activity is invisible to
+// the decomposition.
+func TestBucketCellCompleteOverRegions(t *testing.T) {
+	img := machine.ROM().Image
+	for addr := 1; addr < img.Size(); addr++ {
+		mi := img.At(uint16(addr))
+		if _, ok := T8RowForRegion(mi.Region); !ok {
+			t.Errorf("%05o: region %v has no Table 8 row", addr, mi.Region)
+		}
+	}
+}
+
+// TestBucketCellIBStallStalledSet pins the one deliberate hole in the
+// attribution map: the stalled count set of an IB-stall word is both
+// unattributed and untickable, so nothing can ever count there.
+func TestBucketCellIBStallStalledSet(t *testing.T) {
+	mi := &ucode.MicroInst{IBStall: true, Seq: ucode.SeqDispatch,
+		IB: ucode.IBDecodeInstr, Region: ucode.RegDecode}
+	if _, _, ok := BucketCell(mi, true); ok {
+		t.Error("stalled set of an IB-stall word should be unattributed")
+	}
+	if BucketTickable(mi, true) {
+		t.Error("stalled set of an IB-stall word should be untickable")
+	}
+}

@@ -330,28 +330,21 @@ func t8Row(r ucode.Region) (paper.Table8Row, bool) {
 
 // CPIMatrix computes Table 8: every processor cycle classified into
 // exactly one (activity, cycle class) cell, divided by the instruction
-// count.
+// count. Bucket-to-cell attribution goes through BucketCell — the same
+// map the ulint static analyzer proves complete over the reachable
+// control store — so a counted bucket can never fall outside the
+// decomposition without the analyzer flagging it first.
 func (a *Analysis) CPIMatrix() CPIMatrix {
 	var m CPIMatrix
 	img := a.rom.Image
 	for addr := 0; addr < img.Size(); addr++ {
 		mi := img.At(uint16(addr))
-		row, ok := t8Row(mi.Region)
-		if !ok {
-			continue
-		}
 		n, s := a.at(uint16(addr))
-		switch {
-		case mi.IBStall:
-			m.Cells[row][paper.T8IBStall] += float64(n)
-		case mi.Mem.IsRead():
-			m.Cells[row][paper.T8Read] += float64(n)
-			m.Cells[row][paper.T8RStall] += float64(s)
-		case mi.Mem.IsWrite():
-			m.Cells[row][paper.T8Write] += float64(n)
-			m.Cells[row][paper.T8WStall] += float64(s)
-		default:
-			m.Cells[row][paper.T8Compute] += float64(n + s)
+		if row, col, ok := BucketCell(mi, false); ok {
+			m.Cells[row][col] += float64(n)
+		}
+		if row, col, ok := BucketCell(mi, true); ok {
+			m.Cells[row][col] += float64(s)
 		}
 	}
 	inst := float64(a.inst)

@@ -1,0 +1,227 @@
+package golint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotTarget names one function on the per-cycle hot path: the EBOX and
+// IBOX tick functions and the monitor's inlined count pulse, which
+// together run once per simulated 200 ns cycle. Recv is the receiver
+// type name ("" for plain functions).
+type HotTarget struct {
+	PkgPath string
+	Recv    string
+	Func    string
+}
+
+// DefaultHotTargets is the repository's per-cycle path.
+var DefaultHotTargets = []HotTarget{
+	{PkgPath: "vax780/internal/ebox", Recv: "EBOX", Func: "tick"},
+	{PkgPath: "vax780/internal/ibox", Recv: "IBox", Func: "Tick"},
+	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "Fast"},
+	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "TickFast"},
+}
+
+// HotPathAnalyzer flags heap allocations, defers, goroutine launches and
+// unguarded interface-method calls inside the named hot functions. These
+// functions execute once per simulated cycle — hundreds of millions of
+// times per composite run — so an allocation or an un-devirtualized
+// interface dispatch there is a measured regression (the PR that
+// devirtualized the monitor hook bought ~18% on the cycle loop). Guarded
+// interface calls (`if e.Probe != nil { e.Probe.Cycle(...) }`) are the
+// sanctioned escape hatch for optional hooks.
+func HotPathAnalyzer(targets []HotTarget) *Analyzer {
+	an := &Analyzer{
+		Name: "hotpath",
+		Doc:  "forbid allocations and unguarded interface calls in per-cycle functions",
+	}
+	an.Run = func(pass *Pass) {
+		want := make(map[[2]string]bool)
+		for _, t := range targets {
+			if t.PkgPath == pass.Pkg.Path {
+				want[[2]string{t.Recv, t.Func}] = true
+			}
+		}
+		if len(want) == 0 {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !want[[2]string{recvTypeName(fd), fd.Name.Name}] {
+					continue
+				}
+				checkHotBody(pass, fd)
+			}
+		}
+	}
+	return an
+}
+
+// recvTypeName extracts the receiver's type name, stripping pointers.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(v.Pos(), "%s: composite literal allocates on the per-cycle path", name)
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "%s: function literal allocates on the per-cycle path", name)
+		case *ast.DeferStmt:
+			pass.Reportf(v.Pos(), "%s: defer on the per-cycle path", name)
+		case *ast.GoStmt:
+			pass.Reportf(v.Pos(), "%s: goroutine launch on the per-cycle path", name)
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(pass.Pkg, v.X) {
+				pass.Reportf(v.Pos(), "%s: string concatenation allocates on the per-cycle path", name)
+			}
+		case *ast.CallExpr:
+			for _, b := range []string{"make", "new", "append"} {
+				if IsBuiltinCall(pass.Pkg, v, b) {
+					pass.Reportf(v.Pos(), "%s: %s allocates on the per-cycle path", name, b)
+				}
+			}
+			if recv, ok := InterfaceReceiver(pass.Pkg, v); ok && !NilGuarded(stack, recv) {
+				pass.Reportf(v.Pos(),
+					"%s: unguarded interface call %s.%s on the per-cycle path; devirtualize or nil-guard it",
+					name, recv, v.Fun.(*ast.SelectorExpr).Sel.Name)
+			}
+		}
+	})
+}
+
+func isStringType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// probeFieldNames are the optional-hook fields the telemetry layer
+// attaches: nil on an uninstrumented machine by design, so every call
+// through them must be dominated by a nil check. (The monitor's fault
+// hook is guarded one frame up by construction and is not in this set.)
+var probeFieldNames = map[string]bool{
+	"Probe": true,
+	"probe": true,
+	"tel":   true,
+}
+
+// ProbeGuardAnalyzer enforces the nil-check-before-probe pattern
+// everywhere: a method call through a Probe/probe/tel interface field
+// must sit inside `if <field> != nil { ... }`. The hooks are nil unless
+// telemetry is attached, so an unguarded call is a latent panic on
+// every uninstrumented run.
+func ProbeGuardAnalyzer() *Analyzer {
+	an := &Analyzer{
+		Name: "probeguard",
+		Doc:  "require nil guards on telemetry probe hook calls",
+	}
+	an.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			WalkStack(file, func(n ast.Node, stack []ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				field, ok := sel.X.(*ast.SelectorExpr)
+				if !ok || !probeFieldNames[field.Sel.Name] {
+					return
+				}
+				recv, isIface := InterfaceReceiver(pass.Pkg, call)
+				if !isIface {
+					return
+				}
+				if !NilGuarded(stack, recv) {
+					pass.Reportf(call.Pos(),
+						"call to probe hook %s.%s without a dominating nil check",
+						recv, sel.Sel.Name)
+				}
+			})
+		}
+	}
+	return an
+}
+
+// bannedRandFuncs: package-level math/rand calls draw from the global
+// generator — shared, lockable, unseedable-per-run state that breaks
+// replayable runs. Constructing an explicitly seeded generator is the
+// sanctioned pattern, so the constructors stay legal.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// DeterminismAnalyzer flags wall-clock reads (time.Now/Since/Until) and
+// global math/rand draws. Every run of the simulator is specified to be
+// a pure function of its seed and configuration — that is what makes
+// histograms diffable across machines and crashes replayable by the
+// supervisor — and wall-clock or global-generator input silently breaks
+// it. time.Sleep and time.Duration remain legal: pacing a retry loop
+// consumes wall time but does not let it into the simulation.
+func DeterminismAnalyzer() *Analyzer {
+	an := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads and global rand draws in run paths",
+	}
+	an.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := PkgFuncCall(pass.Pkg, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock; runs must be functions of seed and config", name)
+				case path == "math/rand" && !allowedRandFuncs[name]:
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global generator; use a seeded *rand.Rand", name)
+				}
+				return true
+			})
+		}
+	}
+	return an
+}
+
+// All returns the repository's analyzer suite with default
+// configuration.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAnalyzer(DefaultHotTargets),
+		ProbeGuardAnalyzer(),
+		DeterminismAnalyzer(),
+	}
+}

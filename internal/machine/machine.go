@@ -172,7 +172,7 @@ func New(cfg Config, prog *workload.Program) *Machine {
 	m.E.OverlapDecode = cfg.OverlapDecode
 	if cfg.Telemetry != nil {
 		m.tel = cfg.Telemetry
-		m.tel.Bind(cfg.Monitor, &m.Mem.Stats)
+		cfg.Telemetry.Bind(cfg.Monitor, &m.Mem.Stats)
 		m.E.Probe = m.tel
 		m.IB.Probe = m.tel
 		m.Mem.SetProbe(m.tel)

@@ -11,10 +11,15 @@ import (
 // reference each other in any order (the microcode-sharing jumps depend on
 // this).
 type Assembler struct {
-	insts   []MicroInst
-	labels  map[string]uint16
-	fixups  []fixup
-	region  Region
+	insts  []MicroInst
+	labels map[string]uint16
+	fixups []fixup
+	region Region
+	// pending holds labels bound since the last emit, waiting to be
+	// attached to the next emitted instruction. Indexing them here keeps
+	// emit O(1); the old implementation scanned the whole label map per
+	// instruction, making assembly quadratic in program size.
+	pending []string
 	errlist []string
 }
 
@@ -44,18 +49,19 @@ func (a *Assembler) Label(name string) *Assembler {
 		return a
 	}
 	a.labels[name] = uint16(len(a.insts))
+	a.pending = append(a.pending, name)
 	return a
 }
 
-// emit appends one microinstruction in the current region, attaching any
-// label bound to this address.
+// emit appends one microinstruction in the current region, attaching the
+// first label bound to this address (deterministically — the map scan
+// this replaces picked one in map iteration order).
 func (a *Assembler) emit(mi MicroInst) *Assembler {
 	mi.Region = a.region
-	for name, addr := range a.labels {
-		if int(addr) == len(a.insts) && mi.Label == "" {
-			mi.Label = name
-		}
+	if mi.Label == "" && len(a.pending) > 0 {
+		mi.Label = a.pending[0]
 	}
+	a.pending = a.pending[:0]
 	a.insts = append(a.insts, mi)
 	return a
 }
@@ -216,9 +222,15 @@ func (a *Assembler) Assemble() (*Image, error) {
 		}
 		a.insts[f.addr].Target = addr
 	}
-	// Bind labels onto their instructions for listings.
+	// Bind labels onto their instructions for listings. A label past the
+	// last instruction names nothing and can only produce out-of-range
+	// targets, so it is an assembly error.
 	for name, addr := range a.labels {
-		if int(addr) < len(a.insts) && a.insts[addr].Label == "" {
+		if int(addr) >= len(a.insts) {
+			a.errf("label %q bound past the end of the program", name)
+			continue
+		}
+		if a.insts[addr].Label == "" {
 			a.insts[addr].Label = name
 		}
 	}

@@ -2,14 +2,98 @@ package ucode
 
 import "fmt"
 
-// Issue is one static-analysis finding in a control-store image.
-type Issue struct {
-	Addr uint16
-	Msg  string
+// IssueKind classifies a static-analysis finding. Downstream tooling
+// (the ulint analyzer, vaxdiag, tests) filters and asserts on kinds
+// instead of matching message substrings.
+type IssueKind uint8
+
+// Issue kinds.
+const (
+	IssueUnknown          IssueKind = iota
+	IssueFallThroughEnd             // SeqNext at the last control-store location
+	IssueJumpRange                  // jump target outside the image
+	IssueJumpNoLabel                // jump target carries no label
+	IssueLoopRange                  // loop target outside the image
+	IssueLoopForward                // loop closer jumps forward (cannot terminate)
+	IssueCondNoDecode               // conditional branch cycle without a branch decode
+	IssueCondRange                  // taken-path target outside the image
+	IssueBadDispatch                // dispatch with an IB function that cannot dispatch
+	IssueUnknownSeq                 // sequencer function outside the defined set
+	IssueStallMem                   // IB-stall location with a memory function
+	IssueStallNoRedisp              // IB-stall location that does not re-dispatch
+	IssueMemReadWrite               // memory function both reads and writes
+	IssueNoRegion                   // location outside any region
+	IssueLoopLoadConflict           // loop counter load with both a source and an immediate
+	IssueUnreachable                // no flow can reach the location
+	NumIssueKinds
+)
+
+var issueKindNames = [...]string{
+	"unknown", "fall-through-end", "jump-range", "jump-no-label",
+	"loop-range", "loop-forward", "cond-no-decode", "cond-range",
+	"bad-dispatch", "unknown-seq", "stall-mem", "stall-no-redispatch",
+	"mem-read-write", "no-region", "loop-load-conflict", "unreachable",
 }
 
+func (k IssueKind) String() string {
+	if int(k) < len(issueKindNames) {
+		return issueKindNames[k]
+	}
+	return fmt.Sprintf("IssueKind(%d)", k)
+}
+
+// Severity grades a finding. Errors mean the image cannot execute
+// correctly; warnings mean the image wastes control store or relies on
+// an unlabelled target but still runs.
+type Severity uint8
+
+// Severities.
+const (
+	SevError Severity = iota
+	SevWarning
+)
+
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// severityFor grades each issue kind. Unlabelled jump targets and
+// unreachable words are layout hygiene; everything else breaks the
+// microprogram.
+func severityFor(k IssueKind) Severity {
+	switch k {
+	case IssueJumpNoLabel, IssueUnreachable:
+		return SevWarning
+	}
+	return SevError
+}
+
+// Issue is one static-analysis finding in a control-store image.
+type Issue struct {
+	Kind     IssueKind
+	Severity Severity
+	Addr     uint16
+	Msg      string
+}
+
+// String keeps the historical "%05o: msg" rendering; tooling that parsed
+// the free-form output continues to work unchanged.
 func (i Issue) String() string {
 	return fmt.Sprintf("%05o: %s", i.Addr, i.Msg)
+}
+
+// FilterKind returns the subset of issues with the given kind.
+func FilterKind(issues []Issue, k IssueKind) []Issue {
+	var out []Issue
+	for _, i := range issues {
+		if i.Kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Verify statically checks an assembled control store for the classes of
@@ -22,8 +106,13 @@ func (i Issue) String() string {
 func Verify(img *Image) []Issue {
 	var issues []Issue
 	n := img.Size()
-	add := func(addr uint16, format string, args ...interface{}) {
-		issues = append(issues, Issue{Addr: addr, Msg: fmt.Sprintf(format, args...)})
+	add := func(addr uint16, k IssueKind, format string, args ...interface{}) {
+		issues = append(issues, Issue{
+			Kind:     k,
+			Severity: severityFor(k),
+			Addr:     addr,
+			Msg:      fmt.Sprintf(format, args...),
+		})
 	}
 
 	labelled := make(map[uint16]bool, len(img.Labels))
@@ -38,26 +127,26 @@ func Verify(img *Image) []Issue {
 		switch mi.Seq {
 		case SeqNext:
 			if addr == n-1 {
-				add(a, "falls through past the end of the control store")
+				add(a, IssueFallThroughEnd, "falls through past the end of the control store")
 			}
 		case SeqJump:
 			if int(mi.Target) >= n {
-				add(a, "jump target %05o out of range", mi.Target)
+				add(a, IssueJumpRange, "jump target %05o out of range", mi.Target)
 			} else if !labelled[mi.Target] && mi.Target != 0 {
-				add(a, "jump target %05o has no label", mi.Target)
+				add(a, IssueJumpNoLabel, "jump target %05o has no label", mi.Target)
 			}
 		case SeqLoop:
 			if int(mi.Target) >= n {
-				add(a, "loop target %05o out of range", mi.Target)
+				add(a, IssueLoopRange, "loop target %05o out of range", mi.Target)
 			} else if mi.Target >= a {
-				add(a, "loop closer jumps forward to %05o (cannot terminate)", mi.Target)
+				add(a, IssueLoopForward, "loop closer jumps forward to %05o (cannot terminate)", mi.Target)
 			}
 		case SeqCondTaken:
 			if mi.IB != IBDecodeBranch {
-				add(a, "conditional branch cycle without a branch decode")
+				add(a, IssueCondNoDecode, "conditional branch cycle without a branch decode")
 			}
 			if int(mi.Target) >= n {
-				add(a, "taken-path target %05o out of range", mi.Target)
+				add(a, IssueCondRange, "taken-path target %05o out of range", mi.Target)
 			}
 		case SeqDispatch:
 			// Dispatch needs a decode function or a pending-base dispatch
@@ -65,33 +154,33 @@ func Verify(img *Image) []Issue {
 			switch mi.IB {
 			case IBDecodeInstr, IBDecodeSpec, IBDecodeBranch, IBNone:
 			default:
-				add(a, "dispatch with IB function %v", mi.IB)
+				add(a, IssueBadDispatch, "dispatch with IB function %v", mi.IB)
 			}
 		case SeqEndInstr, SeqStore, SeqTrapRet, SeqURet:
 			// terminators are always fine
 		default:
-			add(a, "unknown sequencer function %d", mi.Seq)
+			add(a, IssueUnknownSeq, "unknown sequencer function %d", mi.Seq)
 		}
 
 		if mi.IBStall {
 			if mi.Mem != MemNone {
-				add(a, "IB-stall location with a memory function")
+				add(a, IssueStallMem, "IB-stall location with a memory function")
 			}
 			if mi.Seq != SeqDispatch {
-				add(a, "IB-stall location must re-dispatch")
+				add(a, IssueStallNoRedisp, "IB-stall location must re-dispatch")
 			}
 		}
 
 		if mi.Mem.IsRead() && mi.Mem.IsWrite() {
-			add(a, "memory function both reads and writes")
+			add(a, IssueMemReadWrite, "memory function both reads and writes")
 		}
 
 		if mi.Region == RegNone && addr != 0 {
-			add(a, "location outside any region")
+			add(a, IssueNoRegion, "location outside any region")
 		}
 
 		if mi.Loop != LoopNone && mi.Loop != LoopImm && mi.N != 0 {
-			add(a, "loop counter load with both source %d and immediate %d", mi.Loop, mi.N)
+			add(a, IssueLoopLoadConflict, "loop counter load with both source %d and immediate %d", mi.Loop, mi.N)
 		}
 	}
 
@@ -102,6 +191,10 @@ func Verify(img *Image) []Issue {
 // verifyReachability walks the static successor graph from every label
 // (flow entries are entered via dispatch tables, so labels are roots) and
 // reports locations no flow can reach.
+//
+// This is the label-rooted check: it trusts that every label is a real
+// entry point. The ulint analyzer performs the stricter dispatch-rooted
+// walk, which also finds labelled flows nothing dispatches into.
 func verifyReachability(img *Image, labelled map[uint16]bool) []Issue {
 	n := img.Size()
 	reached := make([]bool, n)
@@ -131,7 +224,12 @@ func verifyReachability(img *Image, labelled map[uint16]bool) []Issue {
 	var issues []Issue
 	for a := 1; a < n; a++ {
 		if !reached[a] {
-			issues = append(issues, Issue{Addr: uint16(a), Msg: "unreachable location"})
+			issues = append(issues, Issue{
+				Kind:     IssueUnreachable,
+				Severity: severityFor(IssueUnreachable),
+				Addr:     uint16(a),
+				Msg:      "unreachable location",
+			})
 		}
 	}
 	return issues

@@ -1,0 +1,176 @@
+package ulint
+
+import (
+	"sort"
+
+	"vax780/internal/urom"
+	"vax780/internal/vax"
+)
+
+// Roots is the set of control-store entry points the I-Decode stage and
+// the EBOX trap machinery can transfer to: the inputs the CFG builder
+// needs beyond the image itself. Address 0 is the reserved reset word,
+// so 0 encodes "absent" for the scalar entries (small test images leave
+// most of them absent).
+type Roots struct {
+	// IRD is the instruction-decode dispatch location.
+	IRD uint16
+
+	// IB-stall wait locations by decode context.
+	StallInstr uint16
+	StallSpec1 uint16
+	StallSpecN uint16
+	StallBDisp uint16
+
+	// Spec1 and SpecN are the deduplicated non-indexed specifier flow
+	// entries for the first and later specifier positions; Idx holds the
+	// index-mode preambles (pos 0 = first specifier).
+	Spec1 []uint16
+	SpecN []uint16
+	Idx   [2]uint16
+
+	// BDisp is the shared branch-displacement micro-subroutine entry.
+	BDisp uint16
+
+	// RStore are the memory result-store flow entries by position.
+	RStore [2]uint16
+
+	// Exec is the deduplicated set of execute-flow entries: base,
+	// optimized, and memory-variant entries plus the SIRR exit.
+	Exec []uint16
+
+	// Trap are the microtrap service entries (TB miss, unaligned read,
+	// unaligned write), entered through the abort cycle.
+	Trap []uint16
+
+	// Interrupt is the interrupt/exception delivery flow entry; Abort is
+	// the one-cycle abort location every microtrap passes through.
+	Interrupt uint16
+	Abort     uint16
+}
+
+// RootsFromROM extracts the analyzer's root set from the assembled
+// dispatch tables.
+func RootsFromROM(rom *urom.ROM) Roots {
+	r := Roots{
+		IRD:        rom.IRD,
+		StallInstr: rom.IBStallInstr,
+		StallSpec1: rom.IBStallSpec1,
+		StallSpecN: rom.IBStallSpecN,
+		StallBDisp: rom.IBStallBDisp,
+		Idx:        rom.IdxEntry,
+		BDisp:      rom.BDisp,
+		RStore:     rom.RStore,
+		Interrupt:  rom.Interrupt,
+		Abort:      rom.Abort,
+	}
+
+	for pos := 0; pos < 2; pos++ {
+		set := make(map[uint16]bool)
+		for m := vax.AddrMode(0); m < vax.NumAddrModes; m++ {
+			for v := urom.AccVariant(0); v < urom.NumAccVariants; v++ {
+				set[rom.SpecEntry[pos][m][v]] = true
+			}
+		}
+		if pos == 0 {
+			r.Spec1 = sortedSet(set)
+		} else {
+			r.SpecN = sortedSet(set)
+		}
+	}
+
+	exec := make(map[uint16]bool)
+	for op := 0; op < 256; op++ {
+		if !rom.HasExecFlow[op] {
+			continue
+		}
+		exec[rom.ExecEntry[op]] = true
+		if rom.ExecEntryOpt[op] != 0 {
+			exec[rom.ExecEntryOpt[op]] = true
+		}
+		if rom.ExecEntryMem[op] != 0 {
+			exec[rom.ExecEntryMem[op]] = true
+		}
+	}
+	if rom.ExecEntrySIRR != 0 {
+		exec[rom.ExecEntrySIRR] = true
+	}
+	r.Exec = sortedSet(exec)
+
+	trap := make(map[uint16]bool)
+	for _, t := range []uint16{rom.TBMiss, rom.UnalignedRead, rom.UnalignedWrite} {
+		if t != 0 {
+			trap[t] = true
+		}
+	}
+	r.Trap = sortedSet(trap)
+	return r
+}
+
+func sortedSet(set map[uint16]bool) []uint16 {
+	out := make([]uint16, 0, len(set))
+	for a := range set {
+		if a != 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type rootEntry struct {
+	addr uint16
+	what string
+}
+
+// all enumerates every present root for validation, with a description
+// for the bad-root finding.
+func (r *Roots) all() []rootEntry {
+	var out []rootEntry
+	add := func(addr uint16, what string) {
+		if addr != 0 {
+			out = append(out, rootEntry{addr, what})
+		}
+	}
+	add(r.IRD, "IRD")
+	add(r.StallInstr, "instr-stall")
+	add(r.StallSpec1, "spec1-stall")
+	add(r.StallSpecN, "specN-stall")
+	add(r.StallBDisp, "bdisp-stall")
+	for _, a := range r.Spec1 {
+		add(a, "spec1")
+	}
+	for _, a := range r.SpecN {
+		add(a, "specN")
+	}
+	add(r.Idx[0], "idx1")
+	add(r.Idx[1], "idxN")
+	add(r.BDisp, "bdisp")
+	add(r.RStore[0], "rstore1")
+	add(r.RStore[1], "rstoreN")
+	for _, a := range r.Exec {
+		add(a, "exec")
+	}
+	for _, a := range r.Trap {
+		add(a, "trap")
+	}
+	add(r.Interrupt, "interrupt")
+	add(r.Abort, "abort")
+	return out
+}
+
+// globals returns the reachability roots: the locations control enters
+// without any predecessor microword — the decode dispatch, interrupt
+// delivery, and the microtrap path (abort plus the service entries,
+// which the trap machinery enters directly from any trapping memory
+// reference).
+func (r *Roots) globals() []uint16 {
+	var out []uint16
+	for _, a := range []uint16{r.IRD, r.Interrupt, r.Abort} {
+		if a != 0 {
+			out = append(out, a)
+		}
+	}
+	out = append(out, r.Trap...)
+	return out
+}
