@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-all bench-smoke experiments clean
 
 all: fmt-check vet lint build test
 
@@ -48,6 +48,20 @@ bench-faults:
 # against BENCH_parallel.json (which records the measurement method).
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelRun|BenchmarkSimulatorThroughput' -benchtime 10x -count 3 .
+
+# The longitudinal record: run the three per-change benchmark suites
+# and append one dated medians entry to BENCH_history.json (cmd/vaxbench).
+# LABEL names the change being measured.
+bench-all:
+	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun' \
+		-benchtime 20x -count 3 . | $(GO) run ./cmd/vaxbench -label "$(LABEL)"
+
+# CI's cheap variant: one iteration of each suite piped through the
+# vaxbench parser (into a throwaway history) to prove the toolchain works.
+bench-smoke:
+	@rm -f /tmp/vaxbench_smoke.json
+	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun' \
+		-benchtime 1x -count 1 . | $(GO) run ./cmd/vaxbench -history /tmp/vaxbench_smoke.json -label smoke
 
 experiments:
 	$(GO) run ./cmd/vaxtables -n 200000 -o EXPERIMENTS.md

@@ -1,0 +1,222 @@
+// Command vaxbench maintains BENCH_history.json, the repo's
+// longitudinal benchmark record: it parses `go test -bench` output on
+// stdin, reduces each benchmark's repetitions to medians (ns/op plus
+// the sim_cycles/op metric the perf benchmarks report, from which it
+// derives ns per simulated cycle), and appends one dated entry. The
+// per-PR BENCH_*.json files freeze each change's measurement method
+// and adjudication; the history file strings their headline numbers
+// into one comparable series.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'Faults|Telemetry|ParallelRun' -count 3 . | vaxbench -label "my change"
+//	vaxbench -print
+//
+// -history selects the file (default BENCH_history.json). -print
+// renders the recorded series as a table instead of appending. Exit
+// codes: 0 on success, 1 when parsing or the file fails, 2 on usage
+// errors (e.g. no benchmark lines on stdin).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// benchLine matches one `go test -bench` result line; repetition
+// suffixes like -8 (GOMAXPROCS) are stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)((?:\s+[\d.e+]+ \S+)+)$`)
+
+// metricPair matches one "value unit" column.
+var metricPair = regexp.MustCompile(`([\d.e+]+) (\S+)`)
+
+// Result is one benchmark's reduced measurement in a history entry.
+type Result struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	SimCyclesPerOp float64 `json:"sim_cycles_per_op,omitempty"`
+	NsPerSimCycle  float64 `json:"ns_per_sim_cycle,omitempty"`
+	Runs           int     `json:"runs"`
+}
+
+// Entry is one dated benchmark session.
+type Entry struct {
+	Date    string            `json:"date"`
+	Label   string            `json:"label"`
+	GOOS    string            `json:"goos"`
+	GOARCH  string            `json:"goarch"`
+	Results map[string]Result `json:"results"`
+}
+
+// History is the whole BENCH_history.json document.
+type History struct {
+	Description string  `json:"description"`
+	Entries     []Entry `json:"entries"`
+}
+
+func main() {
+	historyPath := flag.String("history", "BENCH_history.json", "history file to append to / print")
+	label := flag.String("label", "", "label of the appended entry (e.g. the change being measured)")
+	printOnly := flag.Bool("print", false, "print the recorded series instead of appending")
+	flag.Parse()
+
+	hist, err := loadHistory(*historyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxbench:", err)
+		os.Exit(1)
+	}
+
+	if *printOnly {
+		printHistory(hist)
+		return
+	}
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxbench:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "vaxbench: no benchmark result lines on stdin (pipe `go test -bench` output in)")
+		os.Exit(2)
+	}
+	hist.Entries = append(hist.Entries, Entry{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Label:   *label,
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Results: results,
+	})
+	if err := saveHistory(*historyPath, hist); err != nil {
+		fmt.Fprintln(os.Stderr, "vaxbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vaxbench: appended %d benchmark(s) to %s\n", len(results), *historyPath)
+	for _, name := range sortedKeys(results) {
+		r := results[name]
+		if r.NsPerSimCycle > 0 {
+			fmt.Printf("  %-40s %14.0f ns/op  %6.1f ns/sim-cycle  (median of %d)\n",
+				name, r.NsPerOp, r.NsPerSimCycle, r.Runs)
+		} else {
+			fmt.Printf("  %-40s %14.0f ns/op  (median of %d)\n", name, r.NsPerOp, r.Runs)
+		}
+	}
+}
+
+// loadHistory reads the history file; a missing file starts an empty
+// history rather than failing, so the first append bootstraps it.
+func loadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) || (err == nil && len(data) == 0) {
+		return &History{
+			Description: "Longitudinal benchmark record: one dated entry per session, medians over -count repetitions. Appended by cmd/vaxbench (make bench-all); per-change measurement methods live in the BENCH_*.json files.",
+		}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &h, nil
+}
+
+func saveHistory(path string, h *History) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parseBench reduces `go test -bench` output to per-benchmark medians.
+func parseBench(f io.Reader) (map[string]Result, error) {
+	nsRuns := map[string][]float64{}
+	cycleRuns := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		for _, mp := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mp[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mp[2] {
+			case "ns/op":
+				nsRuns[name] = append(nsRuns[name], v)
+			case "sim_cycles/op":
+				cycleRuns[name] = append(cycleRuns[name], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result, len(nsRuns))
+	for name, runs := range nsRuns {
+		r := Result{NsPerOp: median(runs), Runs: len(runs)}
+		if cycles := cycleRuns[name]; len(cycles) > 0 {
+			r.SimCyclesPerOp = median(cycles)
+			if r.SimCyclesPerOp > 0 {
+				r.NsPerSimCycle = r.NsPerOp / r.SimCyclesPerOp
+			}
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func printHistory(h *History) {
+	if len(h.Entries) == 0 {
+		fmt.Println("vaxbench: history is empty")
+		return
+	}
+	for _, e := range h.Entries {
+		fmt.Printf("%s  %s  (%s/%s)\n", e.Date, e.Label, e.GOOS, e.GOARCH)
+		for _, name := range sortedKeys(e.Results) {
+			r := e.Results[name]
+			if r.NsPerSimCycle > 0 {
+				fmt.Printf("  %-40s %14.0f ns/op  %6.1f ns/sim-cycle\n", name, r.NsPerOp, r.NsPerSimCycle)
+			} else {
+				fmt.Printf("  %-40s %14.0f ns/op\n", name, r.NsPerOp)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

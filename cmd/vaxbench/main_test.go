@@ -1,0 +1,56 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseBenchMedians: repetition lines reduce to medians, the
+// GOMAXPROCS suffix strips from names, sim_cycles/op produces the
+// derived ns-per-sim-cycle, and non-benchmark noise is skipped.
+func TestParseBenchMedians(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: vax780
+BenchmarkFaults/off-8            100   6000000 ns/op   100000 sim_cycles/op
+BenchmarkFaults/off-8            100   6600000 ns/op   100000 sim_cycles/op
+BenchmarkFaults/off-8            100   6300000 ns/op   100000 sim_cycles/op
+BenchmarkAlloc-8                 500      2000 ns/op      3 allocs/op
+PASS
+ok  	vax780	1.234s
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(results), results)
+	}
+
+	r, ok := results["BenchmarkFaults/off"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from BenchmarkFaults/off-8")
+	}
+	if r.NsPerOp != 6300000 || r.Runs != 3 {
+		t.Errorf("median = %v over %d runs, want 6300000 over 3", r.NsPerOp, r.Runs)
+	}
+	if math.Abs(r.NsPerSimCycle-63.0) > 1e-9 {
+		t.Errorf("ns_per_sim_cycle = %v, want 63.0", r.NsPerSimCycle)
+	}
+
+	a := results["BenchmarkAlloc"]
+	if a.NsPerOp != 2000 || a.NsPerSimCycle != 0 {
+		t.Errorf("no-cycles benchmark = %+v, want bare ns/op", a)
+	}
+}
+
+// TestMedianEvenCount: even repetition counts average the middle pair.
+func TestMedianEvenCount(t *testing.T) {
+	if got := median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("median(1,2,3,4) = %v, want 2.5", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %v, want 0", got)
+	}
+}

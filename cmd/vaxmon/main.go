@@ -5,9 +5,10 @@
 // Usage:
 //
 //	vaxmon [-workload NAME] [-n INSTRUCTIONS] [-strict] [-hot N] [-j N]
-//	       [-save FILE] [-load FILE] [-compare]
+//	       [-save FILE] [-load FILE] [-compare] [-quiet]
 //	       [-faults RATE] [-fault-seed SEED]
 //	       [-checkpoint FILE] [-resume]
+//	       [-ledger FILE] [-progress]
 //	       [-serve ADDR] [-interval-cycles N] [-trace FILE]
 //	       [-intervals-csv FILE] [-intervals-json FILE]
 //
@@ -30,11 +31,25 @@
 // useful at -j 1.
 //
 // -serve starts the live monitor before the run: Prometheus-text
-// /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/, and the
+// /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/, the
 // histogram board's Unibus register mirror at /board/{start,stop,clear,
-// csr,read}. -trace writes a Chrome trace-event JSON of the run
-// (chrome://tracing, Perfetto); -intervals-csv / -intervals-json export
-// the per-interval CPI-decomposition time series.
+// csr,read}, the run-ledger event stream as SSE at /events, and the
+// fleet-progress snapshot at /progress. -trace writes a Chrome
+// trace-event JSON of the run (chrome://tracing, Perfetto);
+// -intervals-csv / -intervals-json export the per-interval
+// CPI-decomposition time series.
+//
+// -ledger FILE writes the run ledger — one JSONL event per run action
+// (see vaxdiag -ledger for a pretty-printer) — to FILE ("-" for
+// stderr). -progress prints a live fleet-progress line to stderr while
+// the run executes; vaxtop renders the same feed against -serve.
+// -quiet suppresses the paper tables, leaving the per-workload summary
+// (and any -hot/-compare extras); use it when the ledger or exports
+// are the product.
+//
+// Exit codes: 0 on success, 1 when the run or analysis fails (a
+// machine fault prints its micro-PC flight-recorder tail), 2 on a
+// usage error.
 package main
 
 import (
@@ -60,6 +75,10 @@ func main() {
 		jobs      = flag.Int("j", 0, "workload machines to run concurrently (0 = GOMAXPROCS; results are bit-exact at any -j)")
 		intervals = flag.Int("intervals", 0, "also run an interval-variation study with this snapshot interval")
 
+		ledgerOut = flag.String("ledger", "", "write the run ledger (JSONL, one event per run action) to FILE (\"-\" = stderr)")
+		progress  = flag.Bool("progress", false, "print a live fleet-progress line to stderr during the run")
+		quiet     = flag.Bool("quiet", false, "suppress the paper tables; print only the per-workload summary")
+
 		faultRate  = flag.Float64("faults", 0, "inject faults at this per-event rate in every class (0 = off)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 		checkpoint = flag.String("checkpoint", "", "snapshot the run state to FILE after each completed workload")
@@ -81,8 +100,8 @@ func main() {
 	}
 
 	tel := buildTelemetry(*serve, *interval, *traceOut, *traceMax, *csvOut, *jsonOut)
-	if tel != nil && *load != "" {
-		fmt.Fprintln(os.Stderr, "vaxmon: telemetry flags need a live run, not -load")
+	if *load != "" && (tel != nil || *ledgerOut != "" || *progress) {
+		fmt.Fprintln(os.Stderr, "vaxmon: telemetry, -ledger, and -progress need a live run, not -load")
 		os.Exit(2)
 	}
 	if *serve != "" {
@@ -114,6 +133,18 @@ func main() {
 			Checkpoint: *checkpoint, Resume: *resume,
 			Parallelism: parallelism,
 		}
+		if *ledgerOut != "" {
+			w, closeLedger, err := openLedger(*ledgerOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vaxmon:", err)
+				os.Exit(1)
+			}
+			defer closeLedger()
+			cfg.Ledger = w
+		}
+		if *progress {
+			cfg.Progress = printProgress
+		}
 		if *faultRate > 0 {
 			cfg.Faults = vax780.UniformFaults(*faultSeed, *faultRate)
 		}
@@ -136,6 +167,7 @@ func main() {
 			if errors.As(err, &mf) {
 				fmt.Fprintf(os.Stderr, "vaxmon: %v\n  at uPC %05o, cycle %d, site %s (%s)\n",
 					err, mf.UPC, mf.Cycle, mf.Site, mf.Cause)
+				printFlightTail(os.Stderr, mf, 8)
 				if *checkpoint != "" {
 					fmt.Fprintf(os.Stderr, "  completed workloads are checkpointed in %s; rerun with -resume\n", *checkpoint)
 				}
@@ -161,8 +193,10 @@ func main() {
 			fmt.Printf("  transient faults retried: %d\n", res.Retries)
 		}
 	}
-	fmt.Println()
-	fmt.Println(res.Report())
+	if !*quiet {
+		fmt.Println()
+		fmt.Println(res.Report())
+	}
 
 	if *compare {
 		fmt.Println(res.WorkloadComparison())
@@ -254,6 +288,69 @@ func exportTelemetry(tel *vax780.Telemetry, traceOut, csvOut, jsonOut string) {
 	write(traceOut, "Chrome trace (chrome://tracing, Perfetto)", tel.WriteTrace)
 	write(csvOut, "interval time series (CSV)", tel.WriteIntervalsCSV)
 	write(jsonOut, "interval time series (JSON)", tel.WriteIntervalsJSON)
+}
+
+// openLedger resolves the -ledger destination: "-" streams to stderr
+// (so the event stream interleaves with the progress line, not the
+// report), anything else creates the file.
+func openLedger(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stderr, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// printProgress renders one fleet snapshot as a single overwritten
+// stderr line (plain carriage-return animation; the final snapshot
+// ends the line).
+func printProgress(p vax780.Progress) {
+	fmt.Fprintf(os.Stderr, "\r\x1b[K%s", progressLine(p))
+	if p.Final {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+// progressLine renders one snapshot's text (sans terminal control).
+func progressLine(p vax780.Progress) string {
+	busy := ""
+	for _, w := range p.Workers {
+		if w.Busy {
+			if busy != "" {
+				busy += ","
+			}
+			busy += w.Label
+		}
+	}
+	if busy == "" {
+		busy = "-"
+	}
+	return fmt.Sprintf("vaxmon: %d/%d workloads  %s  %.0f instr/s  eta %.0fs  faults %d retries %d",
+		p.DoneUnits, p.TotalUnits, busy, p.InstrRate, p.ETASeconds, p.Faults, p.Retries)
+}
+
+// printFlightTail prints the last n annotated flight-recorder entries
+// of a machine fault — the post-mortem the recorder exists for.
+func printFlightTail(w io.Writer, mf *vax780.MachineFault, n int) {
+	if len(mf.Flight) == 0 {
+		return
+	}
+	tail := mf.Flight
+	if len(tail) > n {
+		tail = tail[len(tail)-n:]
+	}
+	fmt.Fprintf(w, "  flight recorder (last %d of %d cycles):\n", len(tail), len(mf.Flight))
+	for _, e := range tail {
+		stall := ""
+		if e.Stalled {
+			stall = "  STALLED"
+		}
+		fmt.Fprintf(w, "    cycle %9d  uPC %05o  %-12s %s%s\n",
+			e.Cycle, e.UPC, e.Class, e.Region, stall)
+	}
 }
 
 func printHotBuckets(res *vax780.Results, n int) {

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"vax780"
 )
 
 func TestJobsParallelism(t *testing.T) {
@@ -33,5 +37,101 @@ func TestJobsParallelism(t *testing.T) {
 		} else if !strings.Contains(err.Error(), "-j") {
 			t.Errorf("jobsParallelism(%d): error %q does not name the flag", c.in, err)
 		}
+	}
+}
+
+// TestOpenLedger: "-" aliases stderr without a real close; a path
+// creates the file and the returned closer flushes it.
+func TestOpenLedger(t *testing.T) {
+	w, closeFn, err := openLedger("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != os.Stderr {
+		t.Error(`openLedger("-") did not return stderr`)
+	}
+	closeFn()
+
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, closeFn, err = openLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	closeFn()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "x\n" {
+		t.Errorf("ledger file holds %q", data)
+	}
+
+	if _, _, err := openLedger(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("openLedger into a missing directory did not fail")
+	}
+}
+
+// TestProgressLine: the -progress stderr line carries the fleet state
+// a user scans for — completed units, busy workloads, fault tallies.
+func TestProgressLine(t *testing.T) {
+	line := progressLine(vax780.Progress{
+		DoneUnits: 2, TotalUnits: 5,
+		InstrRate: 1500, ETASeconds: 12,
+		Faults: 1, Retries: 3,
+		Workers: []vax780.ProgressWorker{
+			{Label: "TIMESHARING-A", Busy: true},
+			{Label: "(old)", Busy: false},
+			{Label: "RTE-SCIENTIFIC", Busy: true},
+		},
+	})
+	for _, want := range []string{
+		"2/5 workloads", "TIMESHARING-A,RTE-SCIENTIFIC",
+		"1500 instr/s", "eta 12s", "faults 1 retries 3",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q lacks %q", line, want)
+		}
+	}
+	if strings.Contains(line, "(old)") {
+		t.Error("progress line shows an idle worker's stale label")
+	}
+
+	idle := progressLine(vax780.Progress{TotalUnits: 5})
+	if !strings.Contains(idle, "0/5 workloads  -") {
+		t.Errorf("idle progress line %q lacks the '-' placeholder", idle)
+	}
+}
+
+// TestPrintFlightTail: the fault post-mortem prints the last n flight
+// entries, octal micro-PCs, with stalls flagged.
+func TestPrintFlightTail(t *testing.T) {
+	mf := &vax780.MachineFault{}
+	for i := 0; i < 12; i++ {
+		mf.Flight = append(mf.Flight, vax780.FlightEntry{
+			Cycle: uint64(100 + i), UPC: uint16(i), Class: "COMPUTE", Region: "IFETCH",
+			Stalled: i == 11,
+		})
+	}
+	var b strings.Builder
+	printFlightTail(&b, mf, 8)
+	out := b.String()
+	for _, want := range []string{
+		"last 8 of 12 cycles", "uPC 00013", "COMPUTE", "IFETCH", "STALLED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight tail output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "uPC 00003") {
+		t.Error("flight tail printed entries outside the last 8")
+	}
+
+	b.Reset()
+	printFlightTail(&b, &vax780.MachineFault{}, 8)
+	if b.Len() != 0 {
+		t.Errorf("empty flight printed %q", b.String())
 	}
 }

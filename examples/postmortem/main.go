@@ -1,0 +1,204 @@
+// Postmortem: a fault autopsy from the run ledger and the micro-PC
+// flight recorder.
+//
+// A machine check on the real 11/780 left the operator two artifacts:
+// the console's micro-PC trace and whatever the run log recorded. This
+// example rebuilds that workflow end to end. It runs a workload under
+// memory-parity rates high enough to exhaust the supervisor's retries,
+// writing the run ledger to a JSONL file; the run fails with a typed
+// *vax780.MachineFault carrying the flight-recorder snapshot — the
+// last N micro-PCs before the abort, each annotated with its
+// control-store region and Table 8 cycle class, the final entry being
+// the faulting cycle itself.
+//
+// The autopsy then proceeds from both artifacts:
+//
+//  1. From the error: the flight tail is summarized by region and
+//     class — which microcode the machine was executing on the way
+//     into the fault, and how much of that path was stalled.
+//  2. From the ledger: the JSONL is re-read and validated against the
+//     golden schema, the retry/backoff history is reconstructed, and
+//     the machine-fault event's embedded snapshot is cross-checked
+//     against the in-memory one (they are the same snapshot).
+//
+// Because the fault plan is seed-deterministic, the whole autopsy is
+// reproducible: same seed, same faulting micro-PC, same flight path.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vax780"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 20_000, "instructions")
+		seed = flag.Uint64("seed", 3, "fault plan seed")
+		tail = flag.Int("tail", 12, "flight entries to print")
+	)
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "postmortem")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ledgerPath := filepath.Join(dir, "run.jsonl")
+
+	fmt.Println("== the run ==")
+	mf := crash(*n, *seed, ledgerPath)
+	fmt.Printf("workload %s aborted: %s at uPC %05o, cycle %d (attempt %d)\n\n",
+		mf.Workload, mf.Cause, mf.UPC, mf.Cycle, mf.Attempts)
+
+	fmt.Println("== autopsy 1: the flight recorder ==")
+	autopsyFlight(mf, *tail)
+
+	fmt.Println("== autopsy 2: the ledger ==")
+	autopsyLedger(ledgerPath, mf)
+}
+
+// crash runs until the parity rate defeats the retry budget and
+// returns the typed fault. The ledger lands in ledgerPath.
+func crash(n int, seed uint64, ledgerPath string) *vax780.MachineFault {
+	f, err := os.Create(ledgerPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	_, err = vax780.Run(vax780.RunConfig{
+		Instructions: n,
+		Workloads:    []vax780.WorkloadID{vax780.TimesharingA},
+		Ledger:       f,
+		Faults: &vax780.FaultConfig{
+			Seed:       seed,
+			MemParity:  0.01, // far beyond what retries can clear
+			MaxRetries: 2, RetryBackoff: 1,
+		},
+	})
+	if err == nil {
+		log.Fatal("the run survived; raise the parity rate")
+	}
+	var mf *vax780.MachineFault
+	if !errors.As(err, &mf) {
+		log.Fatalf("not a machine fault: %v", err)
+	}
+	if len(mf.Flight) == 0 {
+		log.Fatal("no flight snapshot (recorder auto-enables under a fault plan)")
+	}
+	return mf
+}
+
+// autopsyFlight reads the microcode path out of the snapshot: the tail
+// itself, then the region/class mix of the whole recorded window.
+func autopsyFlight(mf *vax780.MachineFault, tail int) {
+	fl := mf.Flight
+	if last := fl[len(fl)-1]; last.UPC != mf.UPC {
+		log.Fatalf("snapshot ends at uPC %05o, fault at %05o", last.UPC, mf.UPC)
+	}
+
+	fmt.Printf("last %d of %d recorded cycles:\n", tail, len(fl))
+	start := len(fl) - tail
+	if start < 0 {
+		start = 0
+	}
+	for _, e := range fl[start:] {
+		stall := ""
+		if e.Stalled {
+			stall = "  STALLED"
+		}
+		fmt.Printf("  cycle %8d  uPC %05o  %-12s %s%s\n", e.Cycle, e.UPC, e.Class, e.Region, stall)
+	}
+
+	regions, classes := map[string]int{}, map[string]int{}
+	stalled := 0
+	for _, e := range fl {
+		regions[e.Region]++
+		classes[e.Class]++
+		if e.Stalled {
+			stalled++
+		}
+	}
+	fmt.Printf("\npath into the fault (%d cycles, %d stalled):\n", len(fl), stalled)
+	fmt.Printf("  regions: %s\n", tally(regions, len(fl)))
+	fmt.Printf("  classes: %s\n\n", tally(classes, len(fl)))
+}
+
+// autopsyLedger re-reads the JSONL: validates it, replays the retry
+// history, and cross-checks the persisted snapshot against the typed
+// error's.
+func autopsyLedger(path string, mf *vax780.MachineFault) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vax780.ValidateLedger(data); err != nil {
+		log.Fatalf("ledger fails the golden schema: %v", err)
+	}
+	fmt.Printf("%s validates against the golden schema\n", filepath.Base(path))
+
+	var persisted []vax780.FlightEntry
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Msg     string               `json:"msg"`
+			Attempt int                  `json:"attempt"`
+			Cause   string               `json:"cause"`
+			Backoff int                  `json:"backoff_ms"`
+			UPC     uint16               `json:"upc"`
+			Flight  []vax780.FlightEntry `json:"flight"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			log.Fatal(err)
+		}
+		switch rec.Msg {
+		case "retry":
+			fmt.Printf("  retry %d: %s cleared, backoff %dms\n", rec.Attempt, rec.Cause, rec.Backoff)
+		case "machine-fault":
+			persisted = rec.Flight
+			fmt.Printf("  machine-fault at uPC %05o with %d flight entries\n", rec.UPC, len(rec.Flight))
+		}
+	}
+	if len(persisted) != len(mf.Flight) {
+		log.Fatalf("ledger snapshot has %d entries, error carries %d", len(persisted), len(mf.Flight))
+	}
+	for i := range persisted {
+		if persisted[i] != mf.Flight[i] {
+			log.Fatalf("snapshot divergence at entry %d: %+v vs %+v", i, persisted[i], mf.Flight[i])
+		}
+	}
+	fmt.Println("  ledger snapshot == MachineFault.Flight, entry for entry")
+	fmt.Println("\nrerun with the same -seed to reproduce this exact autopsy;")
+	fmt.Println("pretty-print the full ledger with: vaxdiag -ledger <file>")
+}
+
+// tally renders a count map as "NAME 62%" terms, largest first.
+func tally(m map[string]int, total int) string {
+	type kv struct {
+		k string
+		v int
+	}
+	var s []kv
+	for k, v := range m {
+		s = append(s, kv{k, v})
+	}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j].v > s[i].v {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = fmt.Sprintf("%s %d%%", e.k, 100*e.v/total)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -83,6 +83,11 @@ type EBOX struct {
 	// D-stream TB misses).
 	Probe Probe
 
+	// FR, when non-nil, is the micro-PC flight recorder: a fixed ring of
+	// the last N cycles for post-mortems. Concrete type, so the per-cycle
+	// call devirtualizes; disabled cost is this one pointer test.
+	FR *upc.FlightRecorder
+
 	// Now is the cycle counter (200 ns units).
 	Now uint64
 
@@ -163,6 +168,9 @@ func (e *EBOX) tick(addr uint16, stalled, portBusy bool) {
 	}
 	if e.Probe != nil {
 		e.Probe.Cycle(e.Now, addr, stalled)
+	}
+	if e.FR != nil {
+		e.FR.Record(e.Now, addr, stalled)
 	}
 	e.IB.Tick(e.Now, !portBusy)
 	e.Now++
@@ -353,6 +361,12 @@ func (e *EBOX) memVA(f ucode.MemFunc, trapBase uint32) (va uint32, spec *vax.Spe
 // injected and organic — report through here.
 func (e *EBOX) machineCheck(code faults.Code, site string, va uint32, detail error) *faults.MachineCheck {
 	e.tick(e.ROM.Abort, false, false)
+	// The recorder's last word is the faulting micro-PC itself (after
+	// the abort cycle above), so a flight snapshot always ends at the
+	// same address the typed fault reports.
+	if e.FR != nil {
+		e.FR.Record(e.Now, e.upc, false)
+	}
 	return &faults.MachineCheck{
 		Code:  code,
 		UPC:   e.upc,

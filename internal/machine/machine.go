@@ -8,6 +8,7 @@ package machine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"vax780/internal/ebox"
 	"vax780/internal/ibox"
@@ -87,6 +88,39 @@ type Config struct {
 	// are threaded through the monitor, memory subsystem, and I-Fetch
 	// stage, and the EBOX polls for latched parity errors.
 	Faults FaultPlan
+
+	// Flight, when non-nil, attaches the micro-PC flight recorder to the
+	// EBOX (one pointer test per cycle when absent).
+	Flight *upc.FlightRecorder
+
+	// Progress, when non-nil, receives this machine's live position:
+	// instructions retired and cycles simulated, stored atomically once
+	// per trace item (never per cycle — the cycle loop stays clean).
+	Progress *ProgressCell
+}
+
+// ProgressCell is the machine's live-progress mailbox: written by the
+// running machine's goroutine, read by the progress tracker's sampler.
+type ProgressCell struct {
+	Instrs atomic.Uint64
+	Cycles atomic.Uint64
+}
+
+// Set publishes the machine's current position. Nil-safe.
+func (p *ProgressCell) Set(instrs, cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.Instrs.Store(instrs)
+	p.Cycles.Store(cycles)
+}
+
+// Load reads the current position. Nil-safe (zeroes).
+func (p *ProgressCell) Load() (instrs, cycles uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.Instrs.Load(), p.Cycles.Load()
 }
 
 // RunStats are execution-level counters kept by the machine itself.
@@ -111,6 +145,9 @@ type Machine struct {
 
 	// faults is the attached fault plan (nil: healthy machine).
 	faults FaultPlan
+
+	// progress is the attached live-progress cell (nil: untracked).
+	progress *ProgressCell
 
 	prog    *workload.Program
 	started bool
@@ -186,6 +223,8 @@ func New(cfg Config, prog *workload.Program) *Machine {
 		m.IB.Fault = cfg.Faults
 		m.E.CheckFaults = true
 	}
+	m.E.FR = cfg.Flight
+	m.progress = cfg.Progress
 	m.setProcess(1)
 	return m
 }
@@ -214,8 +253,10 @@ func (m *Machine) Run(s workload.Stream) error {
 			return nil
 		}
 		if err := m.Step(it); err != nil {
+			m.progress.Set(m.Stats.Instrs, m.E.Now)
 			return err
 		}
+		m.progress.Set(m.Stats.Instrs, m.E.Now)
 	}
 }
 
@@ -241,6 +282,7 @@ func (m *Machine) RunIntervals(s workload.Stream, interval uint64) ([]*upc.Histo
 		if err := m.Step(it); err != nil {
 			return nil, err
 		}
+		m.progress.Set(m.Stats.Instrs, m.E.Now)
 		if m.Stats.Instrs >= next {
 			cur := m.Mon.Snapshot()
 			out = append(out, cur.Diff(prev))

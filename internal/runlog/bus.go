@@ -1,0 +1,151 @@
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sync"
+)
+
+// Bus is the live event fan-out: bounded, non-blocking publication to
+// any number of subscribers. A slow or stalled subscriber loses events
+// (its drop counter ticks) — the run is never wedged by an observer,
+// the same passivity discipline as the histogram board itself.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[int]*subscriber
+	next int
+}
+
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]*subscriber)}
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (minimum 1) and returns its event channel plus a cancel function.
+// Cancel closes the channel; events published while the buffer is full
+// are dropped, never blocked on. Safe on a nil bus (returns a closed
+// channel and a no-op cancel).
+func (b *Bus) Subscribe(buf int) (<-chan Event, func()) {
+	if b == nil {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	s := &subscriber{ch: make(chan Event, buf)}
+	b.mu.Lock()
+	id := b.next
+	b.next++
+	b.subs[id] = s
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, id)
+			b.mu.Unlock()
+			close(s.ch)
+		})
+	}
+	return s.ch, cancel
+}
+
+// Publish delivers the event to every subscriber whose buffer has
+// room; full buffers drop. No-op on nil.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Subscribers reports how many subscribers are attached.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// JSON renders the event as one JSON object — {"ev": type, attrs...} —
+// the wire form of the SSE /events stream and the vaxtop feed. Attr
+// order follows the schema order, like the JSONL file.
+func (e Event) JSON() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	buf.WriteString(`"ev":`)
+	writeJSONString(&buf, e.Type)
+	for _, a := range e.Attrs {
+		buf.WriteByte(',')
+		writeJSONString(&buf, a.Key)
+		buf.WriteByte(':')
+		writeJSONValue(&buf, a.Value)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes()
+}
+
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, _ := json.Marshal(s)
+	buf.Write(b)
+}
+
+func writeJSONValue(buf *bytes.Buffer, v slog.Value) {
+	v = v.Resolve()
+	switch v.Kind() {
+	case slog.KindString:
+		writeJSONString(buf, v.String())
+	case slog.KindInt64:
+		fmt.Fprintf(buf, "%d", v.Int64())
+	case slog.KindUint64:
+		fmt.Fprintf(buf, "%d", v.Uint64())
+	case slog.KindFloat64:
+		b, err := json.Marshal(v.Float64())
+		if err != nil {
+			buf.WriteString("null")
+			return
+		}
+		buf.Write(b)
+	case slog.KindBool:
+		fmt.Fprintf(buf, "%t", v.Bool())
+	case slog.KindGroup:
+		buf.WriteByte('{')
+		for i, a := range v.Group() {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeJSONString(buf, a.Key)
+			buf.WriteByte(':')
+			writeJSONValue(buf, a.Value)
+		}
+		buf.WriteByte('}')
+	default:
+		b, err := json.Marshal(v.Any())
+		if err != nil {
+			buf.WriteString("null")
+			return
+		}
+		buf.Write(b)
+	}
+}

@@ -1,0 +1,188 @@
+package runlog
+
+// Event constructors: one per ledger event type, each producing the
+// exact attribute set Schema() pins. Keeping construction here (rather
+// than ad-hoc attr lists at call sites) is what makes the golden-schema
+// test a real invariant: a new field must be added in both places or
+// the test fails.
+
+import "log/slog"
+
+// RunStartEvent opens a run's ledger: the configuration fingerprint
+// (the same FNV-64a hash the checkpoint format uses, so a ledger can be
+// matched against a checkpoint file), the workload list, and the fault
+// plan's identity when one is attached. Parallelism is deliberately
+// absent: the ledger is specified to be byte-identical across -j.
+func RunStartEvent(configHash uint64, workloads string, count, instructions int,
+	faultSeed uint64, hasFaults bool) Event {
+
+	attrs := []slog.Attr{
+		slog.String("config", hexHash(configHash)),
+		slog.String("workloads", workloads),
+		slog.Int("count", count),
+		slog.Int("instructions", instructions),
+		slog.Bool("faults", hasFaults),
+	}
+	if hasFaults {
+		attrs = append(attrs, slog.Uint64("fault_seed", faultSeed))
+	}
+	return Event{Type: EvRunStart, Attrs: attrs}
+}
+
+// ResumeEvent records workloads folded back in from a checkpoint.
+func ResumeEvent(path string, restored int) Event {
+	return Event{Type: EvResume, Attrs: []slog.Attr{
+		slog.String("path", path),
+		slog.Int("restored", restored),
+	}}
+}
+
+// WlStartEvent records one workload machine starting.
+func WlStartEvent(workload string, index, instructions int) Event {
+	return Event{Type: EvWlStart, Attrs: []slog.Attr{
+		slog.String("workload", workload),
+		slog.Int("index", index),
+		slog.Int("instructions", instructions),
+	}}
+}
+
+// WlDoneEvent records one workload machine completing.
+func WlDoneEvent(workload string, index int, instrs, cycles uint64,
+	cpi float64, retries int, saturated bool) Event {
+
+	return Event{Type: EvWlDone, Attrs: []slog.Attr{
+		slog.String("workload", workload),
+		slog.Int("index", index),
+		slog.Uint64("instructions", instrs),
+		slog.Uint64("cycles", cycles),
+		slog.Float64("cpi", cpi),
+		slog.Int("retries", retries),
+		slog.Bool("saturated", saturated),
+	}}
+}
+
+// CheckpointEvent records an atomic checkpoint write.
+func CheckpointEvent(path string, records int) Event {
+	return Event{Type: EvCheckpoint, Attrs: []slog.Attr{
+		slog.String("path", path),
+		slog.Int("records", records),
+	}}
+}
+
+// RetryEvent records a transient machine check the supervisor is
+// retrying: the fault's identity plus the backoff it cost.
+func RetryEvent(workload string, index, attempt int, cause string,
+	upc uint16, cycle uint64, backoffMS int64) Event {
+
+	return Event{Type: EvRetry, Level: slog.LevelWarn, Attrs: []slog.Attr{
+		slog.String("workload", workload),
+		slog.Int("index", index),
+		slog.Int("attempt", attempt),
+		slog.String("cause", cause),
+		slog.Uint64("upc", uint64(upc)),
+		slog.Uint64("cycle", cycle),
+		slog.Int64("backoff_ms", backoffMS),
+	}}
+}
+
+// FaultsEvent records a workload's fault-injection tally (emitted once
+// per workload when a plan is attached, including all-zero tallies, so
+// a fault-configured run's ledger always documents what was injected).
+func FaultsEvent(workload string, index int, total uint64, classes string) Event {
+	return Event{Type: EvFaults, Attrs: []slog.Attr{
+		slog.String("workload", workload),
+		slog.Int("index", index),
+		slog.Uint64("total", total),
+		slog.String("classes", classes),
+	}}
+}
+
+// FaultEvent records a workload abort: the typed machine fault plus the
+// flight-recorder snapshot of the microcode path that led to it.
+// flight must be a json-marshalable slice of flight entries; its final
+// entry's micro-PC equals the fault's upc by construction (the EBOX
+// records the faulting micro-PC as the recorder's last word).
+func FaultEvent(workload string, attempts int, upc uint16, cycle uint64,
+	site, cause string, transient bool, flight any) Event {
+
+	return Event{Type: EvFault, Level: slog.LevelWarn, Attrs: []slog.Attr{
+		slog.String("workload", workload),
+		slog.Int("attempts", attempts),
+		slog.Uint64("upc", uint64(upc)),
+		slog.Uint64("cycle", cycle),
+		slog.String("site", site),
+		slog.String("cause", cause),
+		slog.Bool("transient", transient),
+		slog.Any("flight", flight),
+	}}
+}
+
+// RunDoneEvent closes a run's ledger: composite totals, the Table 8
+// summary (cycles per average instruction by activity row), and the
+// host self-profile. The host group is wall-clock data and is stripped
+// by StripWallClock; everything else is a pure function of seed and
+// configuration.
+func RunDoneEvent(workloads int, instrs, cycles uint64, cpi float64,
+	retries, resumed int, faults string, table8 []slog.Attr, host HostStats) Event {
+
+	return Event{Type: EvRunDone, Attrs: []slog.Attr{
+		slog.Int("workloads", workloads),
+		slog.Uint64("instructions", instrs),
+		slog.Uint64("cycles", cycles),
+		slog.Float64("cpi", cpi),
+		slog.Int("retries", retries),
+		slog.Int("resumed", resumed),
+		slog.String("faults", faults),
+		slog.Attr{Key: "table8", Value: slog.GroupValue(table8...)},
+		slog.Any("host", host),
+	}}
+}
+
+// SweepStartEvent opens a sweep ledger.
+func SweepStartEvent(points int) Event {
+	return Event{Type: EvSweepStart, Attrs: []slog.Attr{
+		slog.Int("points", points),
+	}}
+}
+
+// PointDoneEvent records one design point's outcome. Exactly one of
+// cpi/errMsg is meaningful; err is the empty string on success.
+func PointDoneEvent(label string, index int, instrs, cycles uint64,
+	cpi float64, errMsg string) Event {
+
+	return Event{Type: EvPointDone, Attrs: []slog.Attr{
+		slog.String("label", label),
+		slog.Int("index", index),
+		slog.Uint64("instructions", instrs),
+		slog.Uint64("cycles", cycles),
+		slog.Float64("cpi", cpi),
+		slog.String("error", errMsg),
+	}}
+}
+
+// SweepDoneEvent closes a sweep ledger.
+func SweepDoneEvent(points, errors int) Event {
+	return Event{Type: EvSweepDone, Attrs: []slog.Attr{
+		slog.Int("points", points),
+		slog.Int("errors", errors),
+	}}
+}
+
+// ProgressEvent wraps a fleet snapshot for the live bus. It is never
+// persisted: progress is wall-clock data.
+func ProgressEvent(s Snapshot) Event {
+	return Event{Type: EvProgress, Attrs: []slog.Attr{
+		slog.Any("progress", s),
+	}}
+}
+
+// hexHash renders a configuration hash the way checkpoint errors do.
+func hexHash(h uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}

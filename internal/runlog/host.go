@@ -1,0 +1,53 @@
+package runlog
+
+// Host self-profile: the simulator measuring the machine it runs on,
+// the complement of the simulated measurements. Captured once at
+// run-done (into the ledger's "host" group, stripped for determinism
+// comparison) and periodically by the telemetry /metrics gauges.
+
+import (
+	"runtime"
+	"time"
+)
+
+// HostStats is a point-in-time host self-profile.
+type HostStats struct {
+	ElapsedSeconds  float64 `json:"elapsed_s"`
+	NsPerSimCycle   float64 `json:"ns_per_sim_cycle"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	SysBytes        uint64  `json:"sys_bytes"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalNs  uint64  `json:"gc_pause_total_ns"`
+	Goroutines      int     `json:"goroutines"`
+}
+
+// CaptureHost reads the runtime's memory statistics and derives
+// ns-per-simulated-cycle from the elapsed wall time and the simulated
+// cycle count (zero cycles: the gauge reads zero).
+func CaptureHost(elapsed time.Duration, simCycles uint64) HostStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := HostStats{
+		ElapsedSeconds:  elapsed.Seconds(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		SysBytes:        ms.Sys,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNs:  ms.PauseTotalNs,
+		Goroutines:      runtime.NumGoroutine(),
+	}
+	if simCycles > 0 {
+		h.NsPerSimCycle = float64(elapsed.Nanoseconds()) / float64(simCycles)
+	}
+	return h
+}
+
+// Host captures the host self-profile against the ledger's own wall
+// clock. Zero value on a nil ledger.
+func (l *Ledger) Host(simCycles uint64) HostStats {
+	if l == nil {
+		return HostStats{}
+	}
+	return CaptureHost(time.Since(l.start), simCycles)
+}

@@ -1,0 +1,247 @@
+package runlog
+
+// Live fleet progress: a Tracker periodically samples the run's worker
+// slots (via an injected closure, so the measurement packages never
+// read the clock themselves), derives rates and ETAs, and publishes
+// snapshots — to an atomic "latest" cell for /progress, to the bus for
+// SSE and vaxtop, and to an optional callback for RunConfig.Progress.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerSample is one worker slot's instantaneous state, as sampled
+// from the run's atomics.
+type WorkerSample struct {
+	Worker      int    // slot index
+	Label       string // current workload name ("" when idle)
+	Instrs      uint64 // instructions retired in the current unit
+	TotalInstrs uint64 // instruction target of the current unit
+	Cycles      uint64 // cycles simulated in the current unit
+	Faults      uint64 // machine faults seen by this slot so far
+	Retries     uint64 // retries performed by this slot so far
+	Busy        bool
+}
+
+// FleetSample is one whole-fleet observation: the worker slots plus the
+// run-level totals the workers alone cannot see (completed units and
+// the overall instruction budget, for ETA).
+type FleetSample struct {
+	Workers     []WorkerSample
+	DoneUnits   int    // workloads / sweep points completed
+	TotalUnits  int    // workloads / sweep points overall
+	DoneInstrs  uint64 // instructions retired by completed units
+	DoneCycles  uint64 // cycles simulated by completed units
+	TotalInstrs uint64 // instruction budget of the whole run (0: unknown)
+}
+
+// WorkerProgress is the derived per-worker view in a Snapshot.
+type WorkerProgress struct {
+	Worker      int     `json:"worker"`
+	Label       string  `json:"label"`
+	Instrs      uint64  `json:"instructions"`
+	TotalInstrs uint64  `json:"total_instructions"`
+	Cycles      uint64  `json:"cycles"`
+	InstrRate   float64 `json:"instr_per_s"`
+	ETASeconds  float64 `json:"eta_s"`
+	Faults      uint64  `json:"faults"`
+	Retries     uint64  `json:"retries"`
+	Busy        bool    `json:"busy"`
+}
+
+// Snapshot is one derived fleet-progress observation, the payload of
+// the bus-only progress event, the /progress endpoint, and vaxtop.
+type Snapshot struct {
+	ElapsedSeconds float64          `json:"elapsed_s"`
+	DoneUnits      int              `json:"done_units"`
+	TotalUnits     int              `json:"total_units"`
+	Instrs         uint64           `json:"instructions"`
+	Cycles         uint64           `json:"cycles"`
+	InstrRate      float64          `json:"instr_per_s"`
+	NsPerSimCycle  float64          `json:"ns_per_sim_cycle"`
+	ETASeconds     float64          `json:"eta_s"`
+	Faults         uint64           `json:"faults"`
+	Retries        uint64           `json:"retries"`
+	Workers        []WorkerProgress `json:"workers"`
+	Final          bool             `json:"final"`
+}
+
+// Tracker derives periodic Snapshots from a FleetSample closure.
+type Tracker struct {
+	interval time.Duration
+	sample   func() FleetSample
+	sink     func(Snapshot) // optional callback (RunConfig.Progress)
+	led      *Ledger        // optional: snapshots published on its bus
+
+	latest atomic.Pointer[Snapshot]
+
+	mu         sync.Mutex
+	start      time.Time
+	prevAt     time.Time
+	prevInstrs uint64
+	prevWorker map[int]uint64 // worker slot -> instrs at previous tick
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTracker builds a tracker sampling every interval (minimum 10ms;
+// zero means the 1s default). sink may be nil.
+func NewTracker(interval time.Duration, sample func() FleetSample, sink func(Snapshot)) *Tracker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Tracker{
+		interval:   interval,
+		sample:     sample,
+		sink:       sink,
+		prevWorker: make(map[int]uint64),
+	}
+}
+
+// Attach routes snapshots onto the ledger's live bus as progress
+// events (never into the JSONL file).
+func (t *Tracker) Attach(l *Ledger) {
+	if t == nil {
+		return
+	}
+	t.led = l
+}
+
+// Start launches the sampling goroutine. No-op on nil.
+func (t *Tracker) Start() {
+	if t == nil || t.stop != nil {
+		return
+	}
+	now := time.Now()
+	t.start = now
+	t.prevAt = now
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go t.loop()
+}
+
+func (t *Tracker) loop() {
+	defer close(t.done)
+	tick := time.NewTicker(t.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.publish(t.observe(false))
+		}
+	}
+}
+
+// Stop halts sampling, takes one final snapshot (marked Final), and
+// returns it. Safe to call more than once; nil-safe.
+func (t *Tracker) Stop() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	if t.stop != nil {
+		select {
+		case <-t.stop:
+		default:
+			close(t.stop)
+		}
+		<-t.done
+	}
+	s := t.observe(true)
+	t.publish(s)
+	return s
+}
+
+// Latest returns the most recent snapshot, if any.
+func (t *Tracker) Latest() (Snapshot, bool) {
+	if t == nil {
+		return Snapshot{}, false
+	}
+	p := t.latest.Load()
+	if p == nil {
+		return Snapshot{}, false
+	}
+	return *p, true
+}
+
+func (t *Tracker) publish(s Snapshot) {
+	t.latest.Store(&s)
+	if t.sink != nil {
+		t.sink(s)
+	}
+	if t.led != nil {
+		t.led.Publish(ProgressEvent(s))
+	}
+}
+
+// observe samples the fleet and derives rates against the previous
+// observation window.
+func (t *Tracker) observe(final bool) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	now := time.Now()
+	if t.start.IsZero() {
+		t.start = now
+		t.prevAt = now
+	}
+	fs := t.sample()
+
+	s := Snapshot{
+		ElapsedSeconds: now.Sub(t.start).Seconds(),
+		DoneUnits:      fs.DoneUnits,
+		TotalUnits:     fs.TotalUnits,
+		Instrs:         fs.DoneInstrs,
+		Cycles:         fs.DoneCycles,
+		Final:          final,
+	}
+	window := now.Sub(t.prevAt).Seconds()
+	for _, w := range fs.Workers {
+		wp := WorkerProgress{
+			Worker:      w.Worker,
+			Label:       w.Label,
+			Instrs:      w.Instrs,
+			TotalInstrs: w.TotalInstrs,
+			Cycles:      w.Cycles,
+			Faults:      w.Faults,
+			Retries:     w.Retries,
+			Busy:        w.Busy,
+		}
+		s.Faults += w.Faults
+		s.Retries += w.Retries
+		if w.Busy {
+			s.Instrs += w.Instrs
+			s.Cycles += w.Cycles
+		}
+		if window > 0 {
+			prev := t.prevWorker[w.Worker]
+			if w.Instrs >= prev {
+				wp.InstrRate = float64(w.Instrs-prev) / window
+			}
+			if wp.InstrRate > 0 && w.TotalInstrs > w.Instrs {
+				wp.ETASeconds = float64(w.TotalInstrs-w.Instrs) / wp.InstrRate
+			}
+		}
+		t.prevWorker[w.Worker] = w.Instrs
+		s.Workers = append(s.Workers, wp)
+	}
+	if window > 0 && s.Instrs >= t.prevInstrs {
+		s.InstrRate = float64(s.Instrs-t.prevInstrs) / window
+	}
+	if s.Cycles > 0 {
+		s.NsPerSimCycle = now.Sub(t.start).Seconds() * 1e9 / float64(s.Cycles)
+	}
+	if s.InstrRate > 0 && fs.TotalInstrs > s.Instrs {
+		s.ETASeconds = float64(fs.TotalInstrs-s.Instrs) / s.InstrRate
+	}
+	t.prevAt = now
+	t.prevInstrs = s.Instrs
+	return s
+}

@@ -1,0 +1,193 @@
+// Package runlog is the run ledger: a structured, append-only record of
+// what a measurement run did — started, executed, checkpointed, faulted,
+// retried, finished — as one JSONL event stream. The paper's monitor was
+// passive and always-on, but its *runs* were opaque: the board answered
+// "what happened over the whole interval", never "what is happening now"
+// or "what led up to this fault". The ledger closes that gap the way
+// Röhl et al. (2017) argue event data must be closed: the measurement
+// run itself is documented and auditable, one machine-readable record
+// per event, so any result can be traced back to the run that produced
+// it.
+//
+// Three views share one event stream:
+//
+//   - the JSONL file (log/slog JSON handler): the durable, auditable
+//     ledger. Its event order is canonical — workload-scoped events are
+//     buffered per workload (Child) and persisted at merge time in
+//     workload order, so the file is byte-identical across sequential
+//     and parallel runs once wall-clock fields are stripped;
+//   - the Bus: the live view. Subscribers (the SSE /events endpoint,
+//     vaxtop, a Progress callback) see events the moment they happen,
+//     in execution order, with bounded buffers that drop rather than
+//     wedge the run;
+//   - the progress Tracker: periodic fleet snapshots (per-worker
+//     workload, simulated cycles, instr/s, ETA) published on the Bus
+//     and to a callback.
+//
+// This package is the repository's one sanctioned home for wall-clock
+// reads (see internal/golint's determinism exemptions): timestamps,
+// rates, and host statistics measure the *host*, never the simulation,
+// and nothing here feeds back into simulated state. Every wall-derived
+// field lives either in the "time" attribute or under the "host" event
+// group, which StripWallClock removes for determinism comparisons.
+package runlog
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event types of the ledger schema (the slog message). Schema() pins
+// the attribute set of each.
+const (
+	EvRunStart   = "run-start"
+	EvResume     = "checkpoint-resumed"
+	EvWlStart    = "workload-start"
+	EvWlDone     = "workload-done"
+	EvCheckpoint = "checkpoint-written"
+	EvRetry      = "retry"
+	EvFaults     = "faults-injected"
+	EvFault      = "machine-fault"
+	EvRunDone    = "run-done"
+	EvSweepStart = "sweep-start"
+	EvPointDone  = "sweep-point-done"
+	EvSweepDone  = "sweep-done"
+
+	// EvProgress is bus-only: periodic fleet snapshots are wall-clock
+	// data and never enter the JSONL file.
+	EvProgress = "progress"
+)
+
+// Event is one ledger record: a type (the slog message) plus an ordered
+// attribute list. The same Event feeds the JSONL file (via slog) and
+// the live Bus (via JSON); the attribute order is the schema order.
+type Event struct {
+	Type  string
+	Level slog.Level
+	Attrs []slog.Attr
+}
+
+// Ledger writes the canonical JSONL event stream and fans live events
+// out on its Bus. A nil *Ledger is a valid "no ledger" for every
+// method, so call sites need no guards. All persistence goes through
+// one mutex: events are serialized in the order Emit sees them.
+type Ledger struct {
+	mu    sync.Mutex
+	log   *slog.Logger // nil: bus-only ledger (no JSONL sink)
+	bus   *Bus
+	seq   uint64
+	start time.Time
+}
+
+// New builds a ledger writing JSONL to w (nil w: bus-only). The wall
+// clock starts now; host statistics report elapsed time against it.
+func New(w io.Writer) *Ledger {
+	l := &Ledger{bus: NewBus(), start: time.Now()}
+	if w != nil {
+		l.log = slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return l
+}
+
+// Bus returns the live event bus (nil on a nil ledger).
+func (l *Ledger) Bus() *Bus {
+	if l == nil {
+		return nil
+	}
+	return l.bus
+}
+
+// Start returns the wall-clock instant the ledger was created.
+func (l *Ledger) Start() time.Time {
+	if l == nil {
+		return time.Time{}
+	}
+	return l.start
+}
+
+// Emit persists one event to the JSONL stream (sequence-numbered) and
+// publishes it on the bus. Safe for concurrent use; no-op on nil.
+func (l *Ledger) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.persistLocked(ev)
+	l.mu.Unlock()
+	l.bus.Publish(ev)
+}
+
+// Publish puts an event on the live bus without persisting it (the
+// progress tracker's periodic snapshots use this).
+func (l *Ledger) Publish(ev Event) {
+	if l == nil {
+		return
+	}
+	l.bus.Publish(ev)
+}
+
+func (l *Ledger) persistLocked(ev Event) {
+	if l.log == nil {
+		l.seq++
+		return
+	}
+	attrs := make([]slog.Attr, 0, len(ev.Attrs)+1)
+	attrs = append(attrs, slog.Uint64("seq", l.seq))
+	attrs = append(attrs, ev.Attrs...)
+	l.seq++
+	l.log.LogAttrs(context.Background(), ev.Level, ev.Type, attrs...)
+}
+
+// Child returns a workload-scoped emitter: events published live
+// immediately, buffered for canonical persistence at Absorb time. A
+// nil ledger returns a nil child; a nil child ignores Emit.
+func (l *Ledger) Child() *Child {
+	if l == nil {
+		return nil
+	}
+	return &Child{led: l}
+}
+
+// Child buffers one workload's events. Emit is single-goroutine (the
+// workload's supervisor); Absorb happens on the merging goroutine
+// after the worker is done with it.
+type Child struct {
+	led    *Ledger
+	events []Event
+}
+
+// Emit publishes the event live and buffers it for persistence.
+func (c *Child) Emit(ev Event) {
+	if c == nil {
+		return
+	}
+	c.events = append(c.events, ev)
+	c.led.bus.Publish(ev)
+}
+
+// Absorb persists a child's buffered events, in emission order, without
+// re-publishing them (the bus already saw them live). Called in
+// workload order by the merge, this is what makes the JSONL file
+// byte-identical across sequential and parallel runs.
+func (l *Ledger) Absorb(c *Child) {
+	if l == nil || c == nil {
+		return
+	}
+	l.mu.Lock()
+	for _, ev := range c.events {
+		l.persistLocked(ev)
+	}
+	l.mu.Unlock()
+	c.events = c.events[:0]
+}
+
+// Elapsed returns wall seconds since the ledger was created.
+func (l *Ledger) Elapsed() float64 {
+	if l == nil {
+		return 0
+	}
+	return time.Since(l.start).Seconds()
+}

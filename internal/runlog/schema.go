@@ -1,0 +1,188 @@
+package runlog
+
+// The ledger's golden schema: for every event type, the exact attribute
+// keys a JSONL record may carry. TestLedgerSchema pins this against the
+// constructors; Validate is reused by vaxdiag -ledger -check and CI so
+// a drifting format fails loudly everywhere at once.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventSchema lists an event type's required and optional attribute
+// keys (beyond the standard slog time/level/msg envelope and the
+// ledger's seq counter).
+type EventSchema struct {
+	Required []string
+	Optional []string
+}
+
+// stdKeys is the envelope every JSONL record carries: slog's handler
+// fields plus the ledger sequence number.
+var stdKeys = []string{"time", "level", "msg", "seq"}
+
+// Schema returns the golden ledger schema, keyed by event type. The
+// bus-only progress event is deliberately absent: its presence in a
+// JSONL file is a validation error.
+func Schema() map[string]EventSchema {
+	return map[string]EventSchema{
+		EvRunStart: {
+			Required: []string{"config", "workloads", "count", "instructions", "faults"},
+			Optional: []string{"fault_seed"},
+		},
+		EvResume: {
+			Required: []string{"path", "restored"},
+		},
+		EvWlStart: {
+			Required: []string{"workload", "index", "instructions"},
+		},
+		EvWlDone: {
+			Required: []string{"workload", "index", "instructions", "cycles",
+				"cpi", "retries", "saturated"},
+		},
+		EvCheckpoint: {
+			Required: []string{"path", "records"},
+		},
+		EvRetry: {
+			Required: []string{"workload", "index", "attempt", "cause", "upc",
+				"cycle", "backoff_ms"},
+		},
+		EvFaults: {
+			Required: []string{"workload", "index", "total", "classes"},
+		},
+		EvFault: {
+			Required: []string{"workload", "attempts", "upc", "cycle", "site",
+				"cause", "transient", "flight"},
+		},
+		EvRunDone: {
+			Required: []string{"workloads", "instructions", "cycles", "cpi",
+				"retries", "resumed", "faults", "table8", "host"},
+		},
+		EvSweepStart: {
+			Required: []string{"points"},
+		},
+		EvPointDone: {
+			Required: []string{"label", "index", "instructions", "cycles",
+				"cpi", "error"},
+		},
+		EvSweepDone: {
+			Required: []string{"points", "errors"},
+		},
+	}
+}
+
+// ValidateLine checks one JSONL record against the golden schema:
+// envelope present, known event type, all required attributes present,
+// no attributes outside the schema.
+func ValidateLine(line []byte) error {
+	var rec map[string]json.RawMessage
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	var typ string
+	if raw, ok := rec["msg"]; !ok {
+		return fmt.Errorf("missing msg field")
+	} else if err := json.Unmarshal(raw, &typ); err != nil {
+		return fmt.Errorf("msg is not a string: %w", err)
+	}
+	es, ok := Schema()[typ]
+	if !ok {
+		return fmt.Errorf("unknown event type %q", typ)
+	}
+	allowed := make(map[string]bool, len(stdKeys)+len(es.Required)+len(es.Optional))
+	for _, k := range stdKeys {
+		allowed[k] = true
+	}
+	for _, k := range es.Required {
+		allowed[k] = true
+		if _, ok := rec[k]; !ok {
+			return fmt.Errorf("%s: missing required attribute %q", typ, k)
+		}
+	}
+	for _, k := range es.Optional {
+		allowed[k] = true
+	}
+	var extra []string
+	for k := range rec {
+		if !allowed[k] {
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		return fmt.Errorf("%s: attributes outside schema: %v", typ, extra)
+	}
+	return nil
+}
+
+// Validate checks a whole JSONL stream, returning the first offending
+// line number (1-based) in the error.
+func Validate(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := ValidateLine(line); err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading ledger: %w", err)
+	}
+	if n == 0 {
+		return fmt.Errorf("empty ledger")
+	}
+	return nil
+}
+
+// wallKeys are the attributes StripWallClock removes: the slog
+// timestamp on every record, and the run-done host self-profile (both
+// measure the host, not the simulation).
+var wallKeys = []string{"time", "host"}
+
+// StripWallClock canonicalizes a JSONL ledger for determinism
+// comparison: wall-clock attributes removed, remaining keys re-encoded
+// in sorted order, one record per line. Two runs of the same
+// configuration must strip to identical bytes regardless of
+// parallelism.
+func StripWallClock(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", n, err)
+		}
+		for _, k := range wallKeys {
+			delete(rec, k)
+		}
+		// encoding/json sorts map keys, giving the canonical order.
+		enc, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", n, err)
+		}
+		out.Write(enc)
+		out.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,207 @@
+package telemetry_test
+
+// Tests of the live observability endpoints: /events streams the run
+// ledger's bus as SSE in publication order, a subscriber connecting
+// mid-run only sees events from its subscription on, a disconnecting
+// subscriber never wedges the publisher, /progress serves the fleet
+// tracker's latest snapshot, and /metrics carries the host
+// self-profile gauges.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vax780/internal/machine"
+	"vax780/internal/runlog"
+	"vax780/internal/telemetry"
+)
+
+func newServer(t *testing.T) (*telemetry.Telemetry, *httptest.Server) {
+	t.Helper()
+	tel := telemetry.New(telemetry.Options{ROM: machine.ROM(), IntervalCycles: 500})
+	srv := httptest.NewServer(tel.Handler())
+	t.Cleanup(srv.Close)
+	return tel, srv
+}
+
+// sseEvent is one parsed "event:"/"data:" frame.
+type sseEvent struct {
+	Type string
+	Data map[string]any
+}
+
+// readFrames parses n SSE frames off the stream.
+func readFrames(t *testing.T, r *bufio.Reader, n int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	cur := sseEvent{}
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended after %d of %d frames: %v", len(out), n, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.Data); err != nil {
+				t.Fatalf("SSE data line is not JSON: %v (%q)", err, line)
+			}
+		case line == "" && cur.Type != "":
+			out = append(out, cur)
+			cur = sseEvent{}
+		}
+	}
+	return out
+}
+
+// TestEventsBeforeAttach: with no run attached, the live endpoints
+// degrade to 503 instead of hanging or erroring out the mux.
+func TestEventsBeforeAttach(t *testing.T) {
+	_, srv := newServer(t)
+	for _, path := range []string{"/events", "/progress"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s before attach: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEventsStreamOrdered: a subscriber receives every event published
+// after it connected, in publication order, with the ledger's sequence
+// numbers intact.
+func TestEventsStreamOrdered(t *testing.T) {
+	tel, srv := newServer(t)
+	led := runlog.New(io.Discard)
+	tel.SetEvents(led.Bus())
+
+	// Events emitted before the subscriber exist only in the file.
+	led.Emit(runlog.WlStartEvent("EARLY", 0, 100))
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// http.Get returns once headers arrive, and the handler subscribes
+	// before writing them — so everything from here on is received.
+	const n = 5
+	for i := 0; i < n; i++ {
+		led.Emit(runlog.WlDoneEvent("WL", i, 1000, 10000, 10.0, 0, false))
+	}
+
+	frames := readFrames(t, bufio.NewReader(resp.Body), n)
+	for i, f := range frames {
+		if f.Type != "workload-done" {
+			t.Errorf("frame %d type = %q, want workload-done (pre-subscription events must not replay)", i, f.Type)
+		}
+		if ev, _ := f.Data["ev"].(string); ev != f.Type {
+			t.Errorf("frame %d data tags itself %q, SSE event line says %q", i, ev, f.Type)
+		}
+		if idx, _ := f.Data["index"].(float64); int(idx) != i {
+			t.Errorf("frame %d carries index %v — events out of order", i, f.Data["index"])
+		}
+	}
+}
+
+// TestEventsDisconnectDoesNotWedge: a subscriber that goes away must
+// not block the publisher — the bus drops on full buffers and the
+// handler unsubscribes when the request context ends.
+func TestEventsDisconnectDoesNotWedge(t *testing.T) {
+	tel, srv := newServer(t)
+	led := runlog.New(io.Discard)
+	bus := led.Bus()
+	tel.SetEvents(bus)
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d after connect, want 1", bus.Subscribers())
+	}
+	resp.Body.Close()
+
+	// Publish far more events than any buffer holds; a wedged publisher
+	// would hang the test here.
+	for i := 0; i < 4096; i++ {
+		led.Emit(runlog.CheckpointEvent("x", i))
+	}
+
+	// The handler notices the dead connection and unsubscribes.
+	deadline := time.Now().Add(5 * time.Second)
+	for bus.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscribers = %d long after disconnect, want 0", bus.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProgressEndpointAndHostGauges: /progress serves the tracker's
+// latest snapshot as JSON, and /metrics grows the host self-profile
+// gauges — including ns-per-sim-cycle once a snapshot exists.
+func TestProgressEndpointAndHostGauges(t *testing.T) {
+	tel, srv := newServer(t)
+	snap := runlog.Snapshot{
+		ElapsedSeconds: 1.5,
+		DoneUnits:      2, TotalUnits: 5,
+		Instrs: 12345, Cycles: 98765,
+		InstrRate: 1e6, NsPerSimCycle: 61.5, ETASeconds: 3.5,
+		Workers: []runlog.WorkerProgress{{Worker: 0, Label: "TIMESHARING-A", Busy: true}},
+	}
+	tel.SetProgress(func() (runlog.Snapshot, bool) { return snap, true })
+	led := runlog.New(io.Discard)
+	tel.SetEvents(led.Bus())
+
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/progress status %d", resp.StatusCode)
+	}
+	var got runlog.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Instrs != snap.Instrs || got.NsPerSimCycle != snap.NsPerSimCycle ||
+		len(got.Workers) != 1 || got.Workers[0].Label != "TIMESHARING-A" {
+		t.Errorf("/progress returned %+v, want %+v", got, snap)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"vax780_host_heap_alloc_bytes",
+		"vax780_host_gc_total",
+		"vax780_host_goroutines",
+		"vax780_host_ns_per_sim_cycle 61.5",
+		"vax780_progress_instr_per_s 1e+06",
+		"vax780_event_subscribers 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}

@@ -98,6 +98,8 @@ func (t *Telemetry) Handler() http.Handler {
 	}
 	mux.HandleFunc("/board/csr", t.serveCSR)
 	mux.HandleFunc("/board/read", t.serveRead)
+	mux.HandleFunc("/events", t.serveEvents)
+	mux.HandleFunc("/progress", t.serveProgress)
 	return mux
 }
 
@@ -138,6 +140,7 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("vax780_board_running", "UPC board collecting (CSR run bit)", running)
 	gauge("vax780_board_saturated", "a board counter saturated (CSR sat bit)", saturated)
+	t.writeHostMetrics(w)
 }
 
 // serveCSR reports the board status the way a CSR read would.

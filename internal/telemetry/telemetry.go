@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"vax780/internal/mem"
+	"vax780/internal/runlog"
 	"vax780/internal/upc"
 	"vax780/internal/urom"
 	"vax780/internal/vax"
@@ -110,6 +111,12 @@ type Telemetry struct {
 	cmd    atomic.Uint32                 // pending board commands
 	status atomic.Uint32                 // published CSR status bits
 	snap   atomic.Pointer[boardSnapshot] // latest published histogram
+
+	// Live feeds attached by the run (events.go): the ledger's event bus
+	// behind /events and the fleet tracker's snapshot closure behind
+	// /progress and the host gauges.
+	evBus  atomic.Pointer[runlog.Bus]
+	progFn atomic.Pointer[progressFunc]
 
 	finished bool
 }

@@ -1,0 +1,88 @@
+package upc
+
+import "testing"
+
+func TestFlightRecorderBasic(t *testing.T) {
+	r := NewFlightRecorder(4)
+	if r.Depth() != 4 {
+		t.Fatalf("depth = %d", r.Depth())
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("empty snapshot = %v", got)
+	}
+	r.Record(10, 0x100, false)
+	r.Record(11, 0x101, true)
+	s := r.Snapshot()
+	if len(s) != 2 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != (FlightEntry{Cycle: 10, UPC: 0x100}) {
+		t.Fatalf("s[0] = %+v", s[0])
+	}
+	if s[1] != (FlightEntry{Cycle: 11, UPC: 0x101, Stalled: true}) {
+		t.Fatalf("s[1] = %+v", s[1])
+	}
+}
+
+func TestFlightRecorderWrapDeterminism(t *testing.T) {
+	// After wrapping, the snapshot is exactly the last Depth cycles,
+	// oldest first, final entry the most recent — for any fill count.
+	for _, total := range []uint64{4, 5, 7, 8, 9, 100} {
+		r := NewFlightRecorder(8)
+		for c := uint64(0); c < total; c++ {
+			r.Record(c, uint16(c), c%3 == 0)
+		}
+		s := r.Snapshot()
+		want := int(total)
+		if want > r.Depth() {
+			want = r.Depth()
+		}
+		if len(s) != want {
+			t.Fatalf("total=%d: len = %d, want %d", total, len(s), want)
+		}
+		for i, e := range s {
+			wantCycle := total - uint64(want) + uint64(i)
+			if e.Cycle != wantCycle || e.UPC != uint16(wantCycle) {
+				t.Fatalf("total=%d: entry %d = %+v, want cycle %d", total, i, e, wantCycle)
+			}
+		}
+		if s[len(s)-1].Cycle != total-1 {
+			t.Fatalf("final entry is not the most recent")
+		}
+		if r.Recorded() != total {
+			t.Fatalf("Recorded = %d, want %d", r.Recorded(), total)
+		}
+	}
+}
+
+func TestFlightRecorderDepthRounding(t *testing.T) {
+	for _, tc := range []struct{ depth, want int }{
+		{0, DefaultFlightDepth}, {-1, DefaultFlightDepth},
+		{1, 1}, {2, 2}, {3, 4}, {100, 128}, {256, 256},
+	} {
+		if got := NewFlightRecorder(tc.depth).Depth(); got != tc.want {
+			t.Errorf("depth %d -> %d, want %d", tc.depth, got, tc.want)
+		}
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for c := uint64(0); c < 10; c++ {
+		r.Record(c, uint16(c), false)
+	}
+	r.Reset()
+	if r.Recorded() != 0 || r.Snapshot() != nil {
+		t.Fatal("reset did not empty the ring")
+	}
+	r.Record(99, 0x99, false)
+	s := r.Snapshot()
+	if len(s) != 1 || s[0].Cycle != 99 {
+		t.Fatalf("post-reset snapshot = %+v", s)
+	}
+	var nilR *FlightRecorder
+	nilR.Reset()
+	if nilR.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot should be nil")
+	}
+}

@@ -1,0 +1,111 @@
+package vax780
+
+// The public face of the run ledger: RunConfig.Ledger receives one
+// JSONL event per run action (see internal/runlog for the schema), and
+// MachineFault carries the flight-recorder snapshot annotated with each
+// micro-PC's control-store region and Table 8 cycle class. The ledger
+// file is specified to be byte-identical across Parallelism settings
+// once wall-clock fields are stripped (runlog.StripWallClock): all
+// workload-scoped events are buffered per workload and persisted at
+// merge time in workload order, exactly like the histograms themselves.
+
+import (
+	"errors"
+	"log/slog"
+	"strings"
+
+	"vax780/internal/analysis"
+	"vax780/internal/runlog"
+	"vax780/internal/upc"
+)
+
+// FlightEntry is one recorded cycle of the micro-PC flight recorder,
+// annotated for post-mortems: the control-store region of the micro-PC
+// and the Table 8 cycle class the cycle was attributed to.
+type FlightEntry struct {
+	Cycle   uint64 `json:"cycle"`
+	UPC     uint16 `json:"upc"`
+	Stalled bool   `json:"stalled"`
+	Class   string `json:"class"`  // Table 8 cycle class (COMPUTE, READ, ...)
+	Region  string `json:"region"` // control-store region of the micro-PC
+}
+
+// annotateFlight converts a raw recorder snapshot into the public,
+// region- and class-annotated form. Annotation happens here — at fault
+// time, off the hot path — so the recorder itself stores three words
+// per cycle and nothing else.
+func annotateFlight(raw []upc.FlightEntry) []FlightEntry {
+	if len(raw) == 0 {
+		return nil
+	}
+	rom := machineROM()
+	out := make([]FlightEntry, len(raw))
+	for i, e := range raw {
+		fe := FlightEntry{Cycle: e.Cycle, UPC: e.UPC, Stalled: e.Stalled}
+		mi := rom.Image.At(e.UPC)
+		fe.Region = mi.Region.String()
+		if _, col, ok := analysis.BucketCell(mi, e.Stalled); ok {
+			fe.Class = col.String()
+		} else {
+			fe.Class = "UNATTRIBUTED"
+		}
+		out[i] = fe
+	}
+	return out
+}
+
+// ValidateLedger checks a JSONL ledger stream against the golden
+// schema (the same validation the tests and CI run).
+func ValidateLedger(data []byte) error {
+	return runlog.Validate(strings.NewReader(string(data)))
+}
+
+// StripLedgerWallClock canonicalizes a JSONL ledger for determinism
+// comparison: wall-clock fields (the per-record timestamp and the
+// run-done host self-profile) removed, keys sorted. Two runs of the
+// same configuration strip to identical bytes at any Parallelism.
+func StripLedgerWallClock(data []byte) ([]byte, error) {
+	return runlog.StripWallClock(data)
+}
+
+// workloadsLabel renders the run's workload list for the run-start
+// event.
+func workloadsLabel(ids []WorkloadID) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = id.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// table8Attrs renders the Table 8 row totals (cycles per average
+// instruction by activity) as the run-done event's summary group.
+func table8Attrs(res *Results) []slog.Attr {
+	rows := res.CPIRows()
+	attrs := make([]slog.Attr, len(rows))
+	for i, r := range rows {
+		attrs[i] = slog.Float64(r.Activity, r.Cycles)
+	}
+	return attrs
+}
+
+// emitFault persists a workload's typed fault — with its flight
+// snapshot — after the workload's buffered events. Called only from
+// the single-threaded merge path, so fault events land at the same
+// file position at any Parallelism.
+func (s *runState) emitFault(mf *MachineFault) {
+	s.led.Emit(runlog.FaultEvent(mf.Workload.String(), mf.Attempts, mf.UPC,
+		mf.Cycle, mf.Site, mf.Cause, mf.Retrying, mf.Flight))
+}
+
+// failWorkload finalizes a failing workload on the merge path: absorb
+// its buffered ledger events, persist the typed fault, and wrap the
+// error per the public convention.
+func (s *runState) failWorkload(child *runlog.Child, err error) error {
+	s.led.Absorb(child)
+	var mf *MachineFault
+	if errors.As(err, &mf) {
+		s.emitFault(mf)
+	}
+	return wrapWorkloadErr(err)
+}

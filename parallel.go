@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"vax780/internal/faults"
+	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
 )
 
@@ -36,6 +37,7 @@ type wlJob struct {
 	id   WorkloadID
 	tel  *telemetry.Telemetry // per-workload child sink (nil: no telemetry)
 	plan *faults.Plan         // per-workload child plan (nil: no faults)
+	led  *runlog.Child        // per-workload event buffer (nil: no ledger)
 }
 
 // wlOutcome is a workload's execution result, written by its worker
@@ -54,7 +56,7 @@ func (s *runState) runParallel() error {
 		if i < len(s.recs) {
 			continue // resumed from the checkpoint
 		}
-		j := wlJob{idx: i, id: id, plan: s.cfg.childPlan(i)}
+		j := wlJob{idx: i, id: id, plan: s.cfg.childPlan(i), led: s.led.Child()}
 		if s.tel != nil {
 			j.tel = s.tel.NewChild()
 		}
@@ -92,8 +94,9 @@ func (s *runState) runJobs(jobs []wlJob) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			slot := s.fleet.slot(w)
 			for {
 				n := int(next.Add(1)) - 1
 				if n >= len(jobs) {
@@ -105,13 +108,15 @@ func (s *runState) runJobs(jobs []wlJob) error {
 					if err != nil {
 						outcomes[n] = wlOutcome{err: fmt.Errorf("%s: %w", j.id, err)}
 					} else {
-						one, retries, rerr := runWorkload(j.id, tr, s.cfg, j.tel, j.plan)
+						env := wlEnv{idx: j.idx, id: j.id, tel: j.tel,
+							plan: j.plan, led: j.led, slot: slot}
+						one, retries, rerr := runWorkload(env, tr, s.cfg)
 						outcomes[n] = wlOutcome{one: one, retries: retries, err: rerr}
 					}
 				}
 				close(ready[n])
 			}
-		}()
+		}(w)
 	}
 	// No worker may outlive the run (checkpoint files, the monitor
 	// pool, and the race detector all assume it).
@@ -122,7 +127,7 @@ func (s *runState) runJobs(jobs []wlJob) error {
 		out := outcomes[n]
 		if out.err != nil {
 			aborted.Store(true)
-			return wrapWorkloadErr(out.err)
+			return s.failWorkload(j.led, out.err)
 		}
 		if s.tel != nil {
 			// Same event order as the sequential timeline: the phase
@@ -132,6 +137,9 @@ func (s *runState) runJobs(jobs []wlJob) error {
 			s.tel.Phase(j.id.String())
 			s.tel.Absorb(j.tel)
 		}
+		// Same discipline for the ledger: the workload's buffered events
+		// persist here, in workload order, at any worker count.
+		s.led.Absorb(j.led)
 		if err := s.merge(j.id, out.one, out.retries, j.plan); err != nil {
 			aborted.Store(true)
 			return err

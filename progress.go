@@ -1,0 +1,151 @@
+package vax780
+
+// Live fleet progress: the worker slots of a run (or sweep) publish
+// their position through lock-free cells; the runlog Tracker samples
+// them periodically and derives rates and ETAs. The simulation side
+// only ever stores atomics — every wall-clock read lives in
+// internal/runlog, keeping the run itself clock-free.
+
+import (
+	"sync/atomic"
+
+	"vax780/internal/machine"
+	"vax780/internal/runlog"
+)
+
+// Progress is one fleet-progress snapshot, delivered to the
+// RunConfig.Progress / SweepOptions.Progress callback, the telemetry
+// /progress endpoint, and vaxtop.
+type Progress = runlog.Snapshot
+
+// ProgressWorker is the per-worker view inside a Progress snapshot.
+type ProgressWorker = runlog.WorkerProgress
+
+// slotJob is the unit a worker slot is currently executing.
+type slotJob struct {
+	label string
+	total uint64 // instruction target of the unit
+	cell  *machine.ProgressCell
+}
+
+// workerSlot is one pool worker's progress mailbox. The worker stores
+// a job pointer at unit start and nil at unit end; the sampler reads
+// whatever is current. Fault/retry tallies accumulate across units.
+type workerSlot struct {
+	idx     int
+	prefix  string // label prefix (sweeps: the point label)
+	cur     atomic.Pointer[slotJob]
+	faults  atomic.Uint64
+	retries atomic.Uint64
+}
+
+// begin marks the slot busy on a new unit. Nil-safe.
+func (s *workerSlot) begin(label string, total uint64, cell *machine.ProgressCell) {
+	if s == nil {
+		return
+	}
+	j := &slotJob{label: s.prefix + label, total: total, cell: cell}
+	s.cur.Store(j)
+}
+
+// end marks the slot idle. Nil-safe.
+func (s *workerSlot) end() {
+	if s == nil {
+		return
+	}
+	s.cur.Store(nil)
+}
+
+// noteFault tallies one machine check seen by this slot. Nil-safe.
+func (s *workerSlot) noteFault() {
+	if s != nil {
+		s.faults.Add(1)
+	}
+}
+
+// noteRetry tallies one supervisor retry. Nil-safe.
+func (s *workerSlot) noteRetry() {
+	if s != nil {
+		s.retries.Add(1)
+	}
+}
+
+// fleet aggregates a run's worker slots plus the run-level totals the
+// tracker needs for overall ETA. The merge path (single goroutine)
+// advances the done counters; workers advance their own slots.
+type fleet struct {
+	slots       []*workerSlot
+	totalUnits  int
+	totalInstrs uint64
+	doneUnits   atomic.Int64
+	doneInstrs  atomic.Uint64
+	doneCycles  atomic.Uint64
+}
+
+// newFleet builds a fleet of `workers` slots tracking `units` total
+// units of `instrPerUnit` instructions each.
+func newFleet(units, workers int, instrPerUnit uint64) *fleet {
+	if workers < 1 {
+		workers = 1
+	}
+	f := &fleet{
+		totalUnits:  units,
+		totalInstrs: uint64(units) * instrPerUnit,
+		slots:       make([]*workerSlot, workers),
+	}
+	for i := range f.slots {
+		f.slots[i] = &workerSlot{idx: i}
+	}
+	return f
+}
+
+// slot returns worker i's slot (clamped, so a caller can never index
+// out of the pool).
+func (f *fleet) slot(i int) *workerSlot {
+	if f == nil {
+		return nil
+	}
+	if i < 0 || i >= len(f.slots) {
+		i = 0
+	}
+	return f.slots[i]
+}
+
+// noteDone folds one completed unit into the fleet totals. Nil-safe.
+func (f *fleet) noteDone(instrs, cycles uint64) {
+	if f == nil {
+		return
+	}
+	f.doneUnits.Add(1)
+	f.doneInstrs.Add(instrs)
+	f.doneCycles.Add(cycles)
+}
+
+// sample is the tracker's closure: one consistent-enough observation
+// of the whole fleet (the cells are independent atomics; exactness is
+// not required of a progress display).
+func (f *fleet) sample() runlog.FleetSample {
+	fs := runlog.FleetSample{
+		DoneUnits:   int(f.doneUnits.Load()),
+		TotalUnits:  f.totalUnits,
+		DoneInstrs:  f.doneInstrs.Load(),
+		DoneCycles:  f.doneCycles.Load(),
+		TotalInstrs: f.totalInstrs,
+		Workers:     make([]runlog.WorkerSample, len(f.slots)),
+	}
+	for i, s := range f.slots {
+		w := runlog.WorkerSample{
+			Worker:  i,
+			Faults:  s.faults.Load(),
+			Retries: s.retries.Load(),
+		}
+		if j := s.cur.Load(); j != nil {
+			w.Busy = true
+			w.Label = j.label
+			w.TotalInstrs = j.total
+			w.Instrs, w.Cycles = j.cell.Load()
+		}
+		fs.Workers[i] = w
+	}
+	return fs
+}

@@ -6,7 +6,10 @@ import (
 	"time"
 
 	"vax780/internal/faults"
+	"vax780/internal/machine"
+	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
+	"vax780/internal/upc"
 	"vax780/internal/workload"
 )
 
@@ -102,6 +105,11 @@ type MachineFault struct {
 	Cause    string // human-readable fault class
 	Retrying bool   // true when the fault was transient (retries exhausted)
 	Err      error  // underlying machine check or recovered panic
+
+	// Flight is the micro-PC flight recorder's snapshot of the failing
+	// attempt, oldest first; its final entry is the faulting micro-PC
+	// (Flight[len-1].UPC == UPC). Nil when the recorder was disabled.
+	Flight []FlightEntry
 }
 
 func (f *MachineFault) Error() string {
@@ -115,14 +123,29 @@ func (f *MachineFault) Unwrap() error { return f.Err }
 // Is matches the ErrMachineFault sentinel.
 func (f *MachineFault) Is(target error) bool { return target == ErrMachineFault }
 
+// wlEnv is the per-workload execution environment a supervisor runs
+// under: its position in the composite, the shared telemetry layer,
+// its independent fault plan, its buffered ledger child, and the pool
+// worker slot it reports progress through. The observability fields
+// are nil on unobserved runs; every consumer is nil-safe.
+type wlEnv struct {
+	idx  int
+	id   WorkloadID
+	tel  *telemetry.Telemetry
+	plan *faults.Plan
+	led  *runlog.Child
+	slot *workerSlot
+}
+
 // runWorkload is the supervised execution of one workload: run it
 // against the pre-generated trace, and on a transient machine check
 // retry with capped exponential backoff; on a non-transient fault (or
-// exhausted retries) surface a *MachineFault. It returns the retry
+// exhausted retries) surface a *MachineFault carrying the flight
+// recorder's snapshot of the failing attempt. It returns the retry
 // count instead of mutating shared state, so any number of workload
 // supervisors can run concurrently.
-func runWorkload(id WorkloadID, tr *workload.Trace, cfg RunConfig,
-	tel *telemetry.Telemetry, plan *faults.Plan) (*oneRun, int, error) {
+func runWorkload(env wlEnv, tr *workload.Trace, cfg RunConfig) (*oneRun, int, error) {
+	env.led.Emit(runlog.WlStartEvent(env.id.String(), env.idx, cfg.Instructions))
 
 	maxRetries := 0
 	var backoff time.Duration
@@ -132,23 +155,47 @@ func runWorkload(id WorkloadID, tr *workload.Trace, cfg RunConfig,
 	}
 	maxBackoff := backoff * 16
 
+	var fr *upc.FlightRecorder
+	if d := cfg.flightDepth(); d > 0 {
+		fr = upc.NewFlightRecorder(d)
+	}
+	var cell *machine.ProgressCell
+	if env.slot != nil {
+		cell = &machine.ProgressCell{}
+	}
+
 	retries := 0
 	for attempt := 1; ; attempt++ {
-		one, err := runOne(tr, cfg, tel, plan)
+		fr.Reset() // each attempt gets a clean ring
+		env.slot.begin(env.id.String(), uint64(cfg.Instructions), cell)
+		one, err := runOne(tr, cfg, env.tel, env.plan, fr, cell)
+		env.slot.end()
 		if err == nil {
+			if env.plan != nil {
+				inj := env.plan.Injected()
+				env.led.Emit(runlog.FaultsEvent(env.id.String(), env.idx,
+					inj.Total(), inj.String()))
+			}
+			env.led.Emit(runlog.WlDoneEvent(env.id.String(), env.idx,
+				one.machine.Stats.Instrs, one.machine.E.Now, one.machine.CPI(),
+				retries, one.saturated))
 			return one, retries, nil
 		}
 		var mck *faults.MachineCheck
 		if !errors.As(err, &mck) {
 			// Not a machine fault (workload generation, config): report
 			// as-is.
-			return nil, retries, fmt.Errorf("%s: %w", id, err)
+			return nil, retries, fmt.Errorf("%s: %w", env.id, err)
 		}
+		env.slot.noteFault()
 		if mck.Transient() && attempt <= maxRetries {
 			// The plan's decision streams keep advancing across
 			// attempts, so the same environmental fault need not recur;
 			// the trace is read-only and reused as-is.
 			retries++
+			env.slot.noteRetry()
+			env.led.Emit(runlog.RetryEvent(env.id.String(), env.idx, attempt,
+				mck.Code.String(), mck.UPC, mck.Cycle, backoff.Milliseconds()))
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
@@ -156,7 +203,7 @@ func runWorkload(id WorkloadID, tr *workload.Trace, cfg RunConfig,
 			continue
 		}
 		return nil, retries, &MachineFault{
-			Workload: id,
+			Workload: env.id,
 			Attempts: attempt,
 			UPC:      mck.UPC,
 			Cycle:    mck.Cycle,
@@ -164,6 +211,7 @@ func runWorkload(id WorkloadID, tr *workload.Trace, cfg RunConfig,
 			Cause:    mck.Code.String(),
 			Retrying: mck.Transient(),
 			Err:      mck,
+			Flight:   annotateFlight(fr.Snapshot()),
 		}
 	}
 }

@@ -12,8 +12,11 @@ package vax780
 
 import (
 	"fmt"
+	"io"
 	"sync"
+	"time"
 
+	"vax780/internal/runlog"
 	"vax780/internal/workload"
 )
 
@@ -42,6 +45,42 @@ type SweepOptions struct {
 	// (default: GOMAXPROCS). Each point runs its own workloads
 	// sequentially — the fan-out is across points.
 	Parallelism int
+
+	// Ledger, when non-nil, receives the sweep ledger: sweep-start, one
+	// sweep-point-done per design point, and sweep-done, as JSONL. The
+	// stream is byte-identical across Parallelism settings once
+	// wall-clock fields are stripped: point events persist in input
+	// order after the fan-out completes.
+	Ledger io.Writer
+
+	// Progress, when non-nil, receives periodic fleet snapshots of the
+	// sweep workers: each worker's current design point and workload
+	// (label "point/workload"), instructions, rates, and ETA against the
+	// whole sweep's instruction budget.
+	Progress func(Progress)
+
+	// ProgressInterval is the snapshot period (default 1s, minimum 10ms).
+	ProgressInterval time.Duration
+}
+
+// observed reports whether the sweep carries an observability consumer.
+func (o *SweepOptions) observed() bool {
+	return o.Ledger != nil || o.Progress != nil
+}
+
+// pointInstrBudget estimates a design point's instruction total (its
+// per-workload count times its workload count, with Run's defaults) for
+// the sweep-wide ETA.
+func pointInstrBudget(pt SweepPoint) uint64 {
+	instrs := pt.Config.Instructions
+	if instrs <= 0 {
+		instrs = 50_000
+	}
+	n := len(pt.Config.Workloads)
+	if n == 0 {
+		n = int(NumWorkloads)
+	}
+	return uint64(instrs) * uint64(n)
 }
 
 // Sweep executes the design points concurrently and returns their
@@ -61,13 +100,33 @@ func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
 		workers = len(points)
 	}
 
+	// Sweep-level observability: one ledger and one fleet spanning every
+	// design point. Point events buffer per point and persist in input
+	// order after the fan-out, exactly like Run's per-workload events.
+	var led *runlog.Ledger
+	var fl *fleet
+	var tracker *runlog.Tracker
+	children := make([]*runlog.Child, len(points))
+	if opt.observed() {
+		led = runlog.New(opt.Ledger)
+		led.Emit(runlog.SweepStartEvent(len(points)))
+		fl = newFleet(len(points), workers, 0)
+		for _, pt := range points {
+			fl.totalInstrs += pointInstrBudget(pt)
+		}
+		tracker = runlog.NewTracker(opt.ProgressInterval, fl.sample, opt.Progress)
+		tracker.Attach(led)
+		tracker.Start()
+	}
+
 	var idx int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			slot := fl.slot(w)
 			for {
 				mu.Lock()
 				n := idx
@@ -76,16 +135,49 @@ func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
 				if n >= len(points) {
 					return
 				}
-				out[n] = runPoint(points[n], cache)
+				child := led.Child()
+				children[n] = child
+				out[n] = runPoint(points[n], cache, slot)
+				var instrs, cycles uint64
+				var cpi float64
+				var errMsg string
+				if r := out[n].Results; r != nil {
+					for _, wl := range r.PerWorkload {
+						instrs += wl.Instructions
+						cycles += wl.Cycles
+					}
+					cpi = r.CPI()
+				}
+				if out[n].Err != nil {
+					errMsg = out[n].Err.Error()
+				}
+				child.Emit(runlog.PointDoneEvent(out[n].Label, n, instrs, cycles, cpi, errMsg))
+				fl.noteDone(instrs, cycles)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+
+	if led != nil {
+		for _, c := range children {
+			led.Absorb(c)
+		}
+		errs := 0
+		for _, r := range out {
+			if r.Err != nil {
+				errs++
+			}
+		}
+		led.Emit(runlog.SweepDoneEvent(len(points), errs))
+		tracker.Stop()
+	}
 	return out
 }
 
-// runPoint executes one design point with the shared trace cache.
-func runPoint(pt SweepPoint, cache *traceCache) SweepResult {
+// runPoint executes one design point with the shared trace cache,
+// reporting progress through the sweep worker's slot (nil when the
+// sweep is unobserved).
+func runPoint(pt SweepPoint, cache *traceCache, slot *workerSlot) SweepResult {
 	res := SweepResult{Label: pt.Label}
 	cfg := pt.Config
 	if cfg.Telemetry != nil {
@@ -100,6 +192,10 @@ func runPoint(pt SweepPoint, cache *traceCache) SweepResult {
 	// its workloads in sequence on its worker.
 	cfg.Parallelism = 1
 	cfg.traces = cache
+	if slot != nil {
+		slot.prefix = pt.Label + "/"
+		cfg.slot = slot
+	}
 	res.Results, res.Err = Run(cfg)
 	return res
 }

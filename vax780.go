@@ -3,13 +3,16 @@ package vax780
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"vax780/internal/analysis"
 	"vax780/internal/faults"
 	"vax780/internal/machine"
 	"vax780/internal/mem"
+	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
 	"vax780/internal/tracesim"
 	"vax780/internal/upc"
@@ -148,6 +151,35 @@ type RunConfig struct {
 	// versa.
 	Parallelism int
 
+	// Ledger, when non-nil, receives the run ledger: one JSONL event per
+	// run action (run-start with the configuration hash, workload
+	// start/done, checkpoint written/resumed, fault-injection tallies,
+	// retries, machine faults with their flight-recorder snapshots, and
+	// run-done with the Table 8 summary and a host self-profile). The
+	// stream is byte-identical across Parallelism settings once
+	// wall-clock fields are stripped (StripLedgerWallClock).
+	Ledger io.Writer
+
+	// Progress, when non-nil, receives periodic fleet snapshots:
+	// per-worker current workload, instructions and simulated cycles,
+	// instr/s, ETA, and fault/retry tallies. The callback runs on the
+	// tracker's goroutine; it must not block for long.
+	Progress func(Progress)
+
+	// ProgressInterval is the snapshot period (default 1s, minimum
+	// 10ms). It has no effect on the simulation — progress sampling
+	// reads lock-free cells the machines update per trace item.
+	ProgressInterval time.Duration
+
+	// FlightDepth controls the micro-PC flight recorder, the ring of the
+	// last N cycles the EBOX keeps for post-mortems: 0 (the default)
+	// enables it at upc.DefaultFlightDepth when a fault plan is
+	// attached and disables it otherwise; > 0 forces it on at that
+	// depth; < 0 forces it off. On a MachineFault the recorder's
+	// snapshot — final entry the faulting micro-PC — rides on the typed
+	// fault and the ledger.
+	FlightDepth int
+
 	// haltAfter is a test seam: when positive, the run stops with
 	// errRunHalted once that many workloads (counting resumed ones)
 	// have completed and checkpointed — a deterministic stand-in for a
@@ -158,6 +190,11 @@ type RunConfig struct {
 	// read-only trace cache (set by Sweep: design points that share a
 	// workload shape reuse one generated trace).
 	traces *traceCache
+
+	// slot, when non-nil, is the worker slot this run reports progress
+	// through (set by Sweep: the sweep-level fleet owns the slots and a
+	// point's sequential run feeds its worker's slot).
+	slot *workerSlot
 }
 
 // errRunHalted reports a run stopped by the haltAfter test seam.
@@ -188,6 +225,27 @@ func (c *RunConfig) parallelism() int {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// observed reports whether the run carries any observability consumer
+// (ledger, progress callback, or telemetry) — only then does Run pay
+// for the event plumbing; an unobserved run allocates none of it.
+func (c *RunConfig) observed() bool {
+	return c.Ledger != nil || c.Progress != nil || c.Telemetry != nil
+}
+
+// flightDepth resolves the flight-recorder configuration to a ring
+// depth (0: recorder disabled).
+func (c *RunConfig) flightDepth() int {
+	switch {
+	case c.FlightDepth > 0:
+		return c.FlightDepth
+	case c.FlightDepth < 0:
+		return 0
+	case c.Faults != nil:
+		return upc.DefaultFlightDepth
+	}
+	return 0
 }
 
 // childPlan builds workload index i's independent fault plan. Both the
@@ -250,6 +308,15 @@ func Run(cfg RunConfig) (*Results, error) {
 	if cfg.Telemetry != nil {
 		s.tel = cfg.Telemetry.ensure()
 	}
+	if cfg.observed() {
+		s.led = runlog.New(cfg.Ledger)
+		var seed uint64
+		if cfg.Faults != nil {
+			seed = cfg.Faults.Seed
+		}
+		s.led.Emit(runlog.RunStartEvent(s.ckptHash, workloadsLabel(cfg.Workloads),
+			len(cfg.Workloads), cfg.Instructions, seed, cfg.Faults != nil))
+	}
 
 	// Resume: fold completed workloads back in from the checkpoint.
 	if cfg.Checkpoint != "" && cfg.Resume {
@@ -276,17 +343,41 @@ func Run(cfg RunConfig) (*Results, error) {
 		}
 		s.res.Resumed = len(s.recs)
 		s.completed = len(s.recs)
+		if len(s.recs) > 0 {
+			s.led.Emit(runlog.ResumeEvent(cfg.Checkpoint, len(s.recs)))
+		}
 	}
 
 	s.res.describe = BlockDiagram()
 	pending := len(cfg.Workloads) - len(s.recs)
+	parallel := pending > 1 && cfg.parallelism() > 1
+
+	if cfg.observed() {
+		workers := 1
+		if parallel {
+			workers = min(cfg.parallelism(), pending)
+		}
+		s.fleet = newFleet(len(cfg.Workloads), workers, uint64(cfg.Instructions))
+		for _, rec := range s.recs {
+			s.fleet.noteDone(rec.Instrs, rec.Cycles)
+		}
+		s.tracker = runlog.NewTracker(cfg.ProgressInterval, s.fleet.sample, cfg.Progress)
+		s.tracker.Attach(s.led)
+		if s.tel != nil {
+			s.tel.SetEvents(s.led.Bus())
+			s.tel.SetProgress(s.tracker.Latest)
+		}
+		s.tracker.Start()
+	}
+
 	var err error
-	if pending > 1 && cfg.parallelism() > 1 {
+	if parallel {
 		err = s.runParallel()
 	} else {
 		err = s.runSequential()
 	}
 	if err != nil {
+		s.tracker.Stop()
 		return nil, err
 	}
 	return s.finish()
@@ -305,6 +396,11 @@ type runState struct {
 	ckptHash  uint64
 	injected  faults.Counts
 	completed int // workloads completed, counting resumed ones
+
+	// Observability (nil on unobserved runs; every consumer is nil-safe).
+	led     *runlog.Ledger
+	fleet   *fleet
+	tracker *runlog.Tracker
 }
 
 // runSequential is the in-order execution path (Parallelism <= 1, or
@@ -322,10 +418,17 @@ func (s *runState) runSequential() error {
 		if s.tel != nil {
 			s.tel.Phase(id.String())
 		}
-		one, retries, err := runWorkload(id, tr, s.cfg, s.tel, plan)
-		if err != nil {
-			return wrapWorkloadErr(err)
+		slot := s.fleet.slot(0)
+		if s.fleet == nil {
+			slot = s.cfg.slot // a sweep point's run feeds the sweep's slot
 		}
+		child := s.led.Child()
+		env := wlEnv{idx: i, id: id, tel: s.tel, plan: plan, led: child, slot: slot}
+		one, retries, err := runWorkload(env, tr, s.cfg)
+		if err != nil {
+			return s.failWorkload(child, err)
+		}
+		s.led.Absorb(child)
 		if err := s.merge(id, one, retries, plan); err != nil {
 			return err
 		}
@@ -363,6 +466,7 @@ func (s *runState) merge(id WorkloadID, one *oneRun, retries int, plan *faults.P
 	if plan != nil {
 		s.injected.Add(plan.Injected())
 	}
+	s.fleet.noteDone(one.machine.Stats.Instrs, one.machine.E.Now)
 
 	if s.cfg.Checkpoint != "" {
 		s.recs = append(s.recs, ckptRecord{
@@ -376,6 +480,7 @@ func (s *runState) merge(id WorkloadID, one *oneRun, retries int, plan *faults.P
 		if err := writeCheckpoint(s.cfg.Checkpoint, s.ckptHash, s.recs); err != nil {
 			return fmt.Errorf("vax780: writing checkpoint: %w", err)
 		}
+		s.led.Emit(runlog.CheckpointEvent(s.cfg.Checkpoint, len(s.recs)))
 	}
 	s.completed++
 	if s.cfg.haltAfter > 0 && s.completed >= s.cfg.haltAfter {
@@ -394,6 +499,17 @@ func (s *runState) finish() (*Results, error) {
 	}
 	s.res.analysis = analysis.New(machine.ROM(), s.composite).WithHardwareCounters(s.hw)
 	s.res.hist = s.composite
+	s.tracker.Stop()
+	if s.led != nil {
+		var instrs, cycles uint64
+		for _, w := range s.res.PerWorkload {
+			instrs += w.Instructions
+			cycles += w.Cycles
+		}
+		s.led.Emit(runlog.RunDoneEvent(len(s.cfg.Workloads), instrs, cycles,
+			s.res.CPI(), s.res.Retries, s.res.Resumed, s.res.FaultInjections,
+			table8Attrs(s.res), s.led.Host(cycles)))
+	}
 	return s.res, nil
 }
 
@@ -414,7 +530,7 @@ var monPool = sync.Pool{New: func() any { return upc.New() }}
 // boundary: any panic that escapes the simulation surfaces as a
 // *faults.MachineCheck, never as a process crash.
 func runOne(tr *workload.Trace, cfg RunConfig, tel *telemetry.Telemetry,
-	plan *faults.Plan) (one *oneRun, err error) {
+	plan *faults.Plan, fr *upc.FlightRecorder, cell *machine.ProgressCell) (one *oneRun, err error) {
 
 	var mon *upc.Monitor
 	if tel == nil {
@@ -434,6 +550,8 @@ func runOne(tr *workload.Trace, cfg RunConfig, tel *telemetry.Telemetry,
 		Monitor:       mon,
 		Strict:        cfg.Strict,
 		OverlapDecode: cfg.OverlapDecode,
+		Flight:        fr,
+		Progress:      cell,
 	}
 	if tel != nil {
 		// Assign only a live layer: a nil *telemetry.Telemetry boxed in
