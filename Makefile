@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-all bench-smoke experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-all bench-smoke experiments clean
 
 all: fmt-check vet lint build test
 
@@ -49,18 +49,23 @@ bench-faults:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallelRun|BenchmarkSimulatorThroughput' -benchtime 10x -count 3 .
 
+# The profiler-overhead gate; compare against BENCH_prof.json (the
+# disabled sampler hook must stay within 1% of the fault-era baseline).
+bench-prof:
+	$(GO) test -run xxx -bench BenchmarkProf -benchtime 20x -count 3 .
+
 # The longitudinal record: run the three per-change benchmark suites
 # and append one dated medians entry to BENCH_history.json (cmd/vaxbench).
 # LABEL names the change being measured.
 bench-all:
-	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun' \
+	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun|BenchmarkProf' \
 		-benchtime 20x -count 3 . | $(GO) run ./cmd/vaxbench -label "$(LABEL)"
 
 # CI's cheap variant: one iteration of each suite piped through the
 # vaxbench parser (into a throwaway history) to prove the toolchain works.
 bench-smoke:
 	@rm -f /tmp/vaxbench_smoke.json
-	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun' \
+	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun|BenchmarkProf' \
 		-benchtime 1x -count 1 . | $(GO) run ./cmd/vaxbench -history /tmp/vaxbench_smoke.json -label smoke
 
 experiments:

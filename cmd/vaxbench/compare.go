@@ -1,0 +1,110 @@
+package main
+
+// The regression diff behind `vaxbench -compare old.json new.json`:
+// benchmark-by-benchmark ns/op deltas between two recorded result
+// files, with a configurable trip threshold. CI runs it as the A/B
+// tripwire's adjudication step — base and head benchmark output each
+// reduced to a file by the ordinary vaxbench append path, then
+// compared here — so the pass/fail rule lives in one reviewed place
+// instead of inline workflow scripting.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// loadResults reads one -compare operand: a history file (its latest
+// entry speaks for it) or a single entry object with a "results" map.
+func loadResults(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if n := len(h.Entries); n > 0 {
+		return h.Entries[n-1].Results, nil
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err == nil && len(e.Results) > 0 {
+		return e.Results, nil
+	}
+	return nil, fmt.Errorf("%s: no benchmark entries (append with vaxbench first)", path)
+}
+
+// delta is one benchmark's movement between the two files.
+type delta struct {
+	name       string
+	oldNs      float64
+	newNs      float64
+	percent    float64 // ns/op growth, positive = slower
+	regression bool
+}
+
+// compareResults diffs every benchmark present in both maps. threshold
+// is the allowed ns/op growth in percent; anything above it is a
+// regression.
+func compareResults(old, new map[string]Result, threshold float64) []delta {
+	var out []delta
+	for name, o := range old {
+		n, ok := new[name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		out = append(out, delta{
+			name:       name,
+			oldNs:      o.NsPerOp,
+			newNs:      n.NsPerOp,
+			percent:    pct,
+			regression: pct > threshold,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].percent != out[j].percent {
+			return out[i].percent > out[j].percent
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// runCompare is the -compare entry point; returns the process exit code.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	old, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxbench:", err)
+		return 1
+	}
+	new, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vaxbench:", err)
+		return 1
+	}
+	deltas := compareResults(old, new, threshold)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "vaxbench: the two files share no benchmarks")
+		return 2
+	}
+	fmt.Printf("benchmark comparison (%s -> %s, threshold %+.1f%%)\n", oldPath, newPath, threshold)
+	fmt.Printf("%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressed := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.regression {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %+8.2f%%%s\n", d.name, d.oldNs, d.newNs, d.percent, mark)
+	}
+	if regressed > 0 {
+		fmt.Printf("%d benchmark(s) regressed beyond %+.1f%%\n", regressed, threshold)
+		return 1
+	}
+	fmt.Println("no regression beyond threshold")
+	return 0
+}

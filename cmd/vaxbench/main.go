@@ -11,11 +11,16 @@
 //
 //	go test -run xxx -bench 'Faults|Telemetry|ParallelRun' -count 3 . | vaxbench -label "my change"
 //	vaxbench -print
+//	vaxbench -compare [-threshold 5] old.json new.json
 //
 // -history selects the file (default BENCH_history.json). -print
-// renders the recorded series as a table instead of appending. Exit
-// codes: 0 on success, 1 when parsing or the file fails, 2 on usage
-// errors (e.g. no benchmark lines on stdin).
+// renders the recorded series as a table instead of appending.
+// -compare diffs two recorded files (each a history file or a single
+// entry; a history contributes its latest entry) benchmark by
+// benchmark and exits nonzero when any common benchmark slowed by more
+// than -threshold percent — the CI tripwire's adjudication step. Exit
+// codes: 0 on success, 1 when parsing/the file fails or -compare found
+// a regression, 2 on usage errors (e.g. no benchmark lines on stdin).
 package main
 
 import (
@@ -66,7 +71,17 @@ func main() {
 	historyPath := flag.String("history", "BENCH_history.json", "history file to append to / print")
 	label := flag.String("label", "", "label of the appended entry (e.g. the change being measured)")
 	printOnly := flag.Bool("print", false, "print the recorded series instead of appending")
+	compare := flag.Bool("compare", false, "compare two result files (old new args); exit 1 on regression")
+	threshold := flag.Float64("threshold", 5, "regression threshold for -compare, in percent ns/op growth")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "vaxbench: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	hist, err := loadHistory(*historyPath)
 	if err != nil {

@@ -405,10 +405,48 @@ func Markdown(res *vax780.Results, tel *vax780.Telemetry, perExperiment int) str
 	}
 	w("")
 
+	writeHotFlowSection(w, res)
+
 	if tel != nil {
 		writeIntervalSection(w, res, tel)
 	}
 	return b.String()
+}
+
+// writeHotFlowSection renders the composite's hot control-store flows —
+// the cycle-share side of the host-time profiler. Only the
+// deterministic columns appear here (cycles and shares from the
+// bit-exact composite histogram); host ns/cycle pricing depends on the
+// machine the document was generated on, so it stays in vaxprof.
+func writeHotFlowSection(w func(string, ...interface{}), res *vax780.Results) {
+	p := res.Profile(nil)
+	if p == nil || len(p.Flows) == 0 {
+		return
+	}
+	w("## Hot control-store flows — where the composite's cycles go")
+	w("")
+	w("The flow-level reduction of the composite histogram (exact")
+	w("profiler engine, unpriced): each microflow's share of all")
+	w("simulated cycles, with its split over the Table 8 cycle classes.")
+	w("Price these flows in host ns/cycle — and get the JIT targeting")
+	w("list ranked by host cost × fusibility — with `go run ./cmd/vaxprof`.")
+	w("")
+	w("| # | Flow | Entry | Cycles | Share | Compute | Read | RStall | Write | WStall | IBStall |")
+	w("|---|---|---|---|---|---|---|---|---|---|---|")
+	const maxFlows = 12
+	var shown uint64
+	for i, f := range p.Top(maxFlows) {
+		w("| %d | %s | %04x | %d | %.1f%% | %d | %d | %d | %d | %d | %d |",
+			i+1, f.Name, f.Entry, f.Cycles, 100*f.Share,
+			f.ClassCycles[0], f.ClassCycles[1], f.ClassCycles[2],
+			f.ClassCycles[3], f.ClassCycles[4], f.ClassCycles[5])
+		shown += f.Cycles
+	}
+	w("")
+	w("The %d flows shown cover %.1f%% of the %d composite cycles", len(p.Top(maxFlows)),
+		100*float64(shown)/float64(p.TotalCycles), p.TotalCycles)
+	w("(%d flows total, %d cycles unattributed to any flow).", len(p.Flows), p.Unattributed)
+	w("")
 }
 
 // writeIntervalSection renders the live-telemetry interval study: the

@@ -3,14 +3,17 @@
 // program serving Telemetry.Handler) exposes and renders the worker
 // table in place — which workload each pool worker is simulating, how
 // far along it is, its instruction rate and ETA, and the run-wide
-// fault/retry tallies. The terminal handling is plain ANSI (cursor
-// home + clear), no external dependencies; when stdout is not a
-// terminal — or with -lines — each snapshot prints as a block instead,
-// so vaxtop pipes cleanly into a log.
+// fault/retry tallies. When the run carries a host-time profiler
+// (RunConfig.Profiler), vaxtop also polls /prof and appends the hot
+// control-store flows — where the simulator's own time is going, live.
+// The terminal handling is plain ANSI (cursor home + clear), no
+// external dependencies; when stdout is not a terminal — or with
+// -lines — each snapshot prints as a block instead, so vaxtop pipes
+// cleanly into a log.
 //
 // Usage:
 //
-//	vaxtop [-url http://localhost:8780] [-interval 1s] [-once] [-lines]
+//	vaxtop [-url http://localhost:8780] [-interval 1s] [-once] [-lines] [-flows 5]
 //
 // -once fetches and prints a single snapshot and exits (0 when a
 // snapshot was served, 1 otherwise) — usable as a health probe.
@@ -33,6 +36,7 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "poll period")
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	lines := flag.Bool("lines", false, "line mode: print snapshot blocks instead of redrawing in place")
+	flows := flag.Int("flows", 5, "hot control-store flows to show from /prof (0 disables the section)")
 	flag.Parse()
 
 	ansi := !*lines && !*once && stdoutIsTerminal()
@@ -50,10 +54,12 @@ func main() {
 			}
 			fmt.Printf("vaxtop: %s — waiting: %v\n", *url, err)
 		default:
+			prof, _ := fetchProf(client, *url) // nil when no profiler attached
 			if ansi {
 				fmt.Print("\x1b[H\x1b[J")
 			}
 			fmt.Print(render(*url, snap))
+			fmt.Print(renderProf(prof, *flows))
 		}
 		if *once {
 			return
@@ -92,6 +98,48 @@ func fetchProgress(client *http.Client, base string) (*vax780.Progress, error) {
 		return nil, fmt.Errorf("/progress: %w", err)
 	}
 	return &s, nil
+}
+
+// fetchProf GETs the latest host-time profile; any failure (no
+// profiler attached, no sample merged yet) comes back as an error and
+// the section is simply omitted.
+func fetchProf(client *http.Client, base string) (*vax780.Profile, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/prof")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/prof: %s", resp.Status)
+	}
+	var p vax780.Profile
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("/prof: %w", err)
+	}
+	return &p, nil
+}
+
+// renderProf formats the hot-flow section under the worker table.
+func renderProf(p *vax780.Profile, n int) string {
+	if p == nil || n <= 0 || len(p.Flows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n  hot flows (host time, %s engine, %d samples)\n",
+		p.Engine, p.Samples)
+	fmt.Fprintf(&b, "  %-24s %12s %7s %10s\n", "FLOW", "CYCLES", "SHARE", "HOST MS")
+	for _, f := range p.Flows {
+		if n--; n < 0 {
+			break
+		}
+		ms := "-"
+		if f.Ns > 0 {
+			ms = fmt.Sprintf("%.1f", f.Ns/1e6)
+		}
+		fmt.Fprintf(&b, "  %-24s %12d %6.2f%% %10s\n",
+			f.Name, f.Cycles, 100*f.Share, ms)
+	}
+	return b.String()
 }
 
 // render formats one snapshot as the full display frame.

@@ -23,6 +23,7 @@ var DefaultHotTargets = []HotTarget{
 	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "Fast"},
 	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "TickFast"},
 	{PkgPath: "vax780/internal/upc", Recv: "FlightRecorder", Func: "Record"},
+	{PkgPath: "vax780/internal/upc", Recv: "Sampler", Func: "Sample"},
 }
 
 // HotPathAnalyzer flags heap allocations, defers, goroutine launches and
@@ -192,6 +193,7 @@ var DeterminismExemptions = map[string]bool{
 	"vax780/internal/runlog": true,
 	"vax780/cmd/vaxtop":      true,
 	"vax780/cmd/vaxbench":    true,
+	"vax780/cmd/vaxprof":     true,
 }
 
 // DeterminismAnalyzer flags wall-clock reads (time.Now/Since/Until) and

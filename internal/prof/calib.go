@@ -1,0 +1,289 @@
+package prof
+
+// Calibration: the per-class host-cost model of the exact engine. The
+// six Table 8 cycle classes are the priceable units — a compute cycle,
+// a read, a read stall, … each costs the host a different number of
+// nanoseconds to simulate — and a calibration assigns each its
+// ns/cycle. Costs are solved from timing probes: runs with different
+// class mixes (the five workloads weight strings, memory and stalls
+// very differently), each contributing one equation
+//
+//	Σ_class cycles[class] · ns[class] ≈ measured wall ns
+//
+// solved as a ridge-regularized least-squares system pulled toward the
+// uniform ns/cycle estimate, so a probe set too degenerate to separate
+// two classes degrades gracefully to pricing them equally instead of
+// producing wild negative costs. Probes should be timed interleaved
+// (A/B/A/B/..., medians per probe) so host frequency drift cancels —
+// the same discipline the CI tripwire uses.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"vax780/internal/analysis"
+	"vax780/internal/paper"
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+)
+
+// Calibration prices simulated cycles in host nanoseconds per class.
+type Calibration struct {
+	// NsPerClass is the host cost, in nanoseconds, of simulating one
+	// cycle of each Table 8 class (indexed by paper.Table8Col).
+	NsPerClass [paper.NumT8Cols]float64 `json:"ns_per_class"`
+
+	// Host fingerprints where the calibration was measured (GOOS/GOARCH
+	// or free text); a profile priced under a foreign calibration is
+	// still proportional, just not reconcilable to local wall time.
+	Host string `json:"host,omitempty"`
+
+	// Probes counts the timing probes the solve consumed (0 for
+	// synthetic calibrations such as Uniform).
+	Probes int `json:"probes,omitempty"`
+}
+
+// Uniform builds the degenerate calibration pricing every class at the
+// same ns/cycle — the zeroth-order model (total wall / total cycles)
+// and the regularization anchor of Solve.
+func Uniform(nsPerCycle float64) *Calibration {
+	c := &Calibration{}
+	for i := range c.NsPerClass {
+		c.NsPerClass[i] = nsPerCycle
+	}
+	return c
+}
+
+// Price returns the host nanoseconds for a class-cycle vector.
+func (c *Calibration) Price(classCycles [paper.NumT8Cols]uint64) float64 {
+	var ns float64
+	for i, n := range classCycles {
+		ns += float64(n) * c.NsPerClass[i]
+	}
+	return ns
+}
+
+// WriteJSON marshals the calibration, indented, trailing newline.
+func (c *Calibration) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadCalibration unmarshals a calibration written by WriteJSON.
+func ReadCalibration(r io.Reader) (*Calibration, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var c Calibration
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("prof: parsing calibration: %w", err)
+	}
+	return &c, nil
+}
+
+// Probe is one timing observation: a run's class-cycle vector and its
+// measured wall time.
+type Probe struct {
+	Label       string
+	ClassCycles [paper.NumT8Cols]uint64
+	WallNs      float64
+}
+
+// ClassTotals sums a histogram's cycles per Table 8 class — the
+// class-cycle vector of a probe. Cycles outside the decomposition
+// (possible only on an unclean control store) are dropped.
+func ClassTotals(rom *urom.ROM, h *upc.Histogram) [paper.NumT8Cols]uint64 {
+	var out [paper.NumT8Cols]uint64
+	limit := rom.Image.Size()
+	if limit > upc.Buckets {
+		limit = upc.Buckets
+	}
+	for addr := 0; addr < limit; addr++ {
+		normal, stalled := h.At(uint16(addr))
+		if normal == 0 && stalled == 0 {
+			continue
+		}
+		mi := rom.Image.At(uint16(addr))
+		if normal > 0 {
+			if _, col, ok := analysis.BucketCell(mi, false); ok {
+				out[col] += normal
+			}
+		}
+		if stalled > 0 {
+			if _, col, ok := analysis.BucketCell(mi, true); ok {
+				out[col] += stalled
+			}
+		}
+	}
+	return out
+}
+
+// Solve fits per-class costs to the probes by ridge-regularized least
+// squares: minimize Σ_i (Σ_c n_ic·x_c − w_i)² + λ·Σ_c (x_c − u)²,
+// where u is the uniform ns/cycle estimate over all probes. λ scales
+// with the system so the pull toward uniform only decides directions
+// the probes themselves cannot. Negative class costs (noise letting
+// one collinear column compensate another) are handled by the
+// active-set method: the most negative class is pinned to zero and
+// the reduced system re-solved, so the remaining costs re-absorb the
+// removed column's contribution instead of the fit silently inflating
+// — clamping after the fact would overprice every probe that spends
+// cycles in the surviving classes.
+func Solve(probes []Probe) (*Calibration, error) {
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("prof: no calibration probes")
+	}
+	const k = int(paper.NumT8Cols)
+
+	var totalCycles, totalNs float64
+	for _, p := range probes {
+		for _, n := range p.ClassCycles {
+			totalCycles += float64(n)
+		}
+		totalNs += p.WallNs
+	}
+	if totalCycles == 0 || totalNs <= 0 {
+		return nil, fmt.Errorf("prof: calibration probes carry no cycles or no time")
+	}
+	u := totalNs / totalCycles
+
+	// Normal equations A·x = b with A = XᵀX + λI, b = Xᵀy + λu.
+	var A [k][k]float64
+	var b [k]float64
+	for _, p := range probes {
+		for i := 0; i < k; i++ {
+			ni := float64(p.ClassCycles[i])
+			if ni == 0 {
+				continue
+			}
+			b[i] += ni * p.WallNs
+			for j := 0; j < k; j++ {
+				A[i][j] += ni * float64(p.ClassCycles[j])
+			}
+		}
+	}
+	var trace float64
+	for i := 0; i < k; i++ {
+		trace += A[i][i]
+	}
+	lambda := 1e-4 * trace / float64(k)
+	if lambda <= 0 {
+		lambda = 1
+	}
+	for i := 0; i < k; i++ {
+		A[i][i] += lambda
+		b[i] += lambda * u
+	}
+
+	// Active-set non-negative solve: pin the most negative class to
+	// zero and re-solve until every remaining cost is non-negative. A
+	// pinned class keeps x_i = 0 by turning its row and column into the
+	// identity; at most k-1 eliminations terminate the loop.
+	active := [k]bool{}
+	for i := range active {
+		active[i] = true
+	}
+	var x [k]float64
+	for {
+		Ar, br := A, b
+		for i := 0; i < k; i++ {
+			if active[i] {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				Ar[i][j], Ar[j][i] = 0, 0
+			}
+			Ar[i][i] = 1
+			br[i] = 0
+		}
+		var err error
+		x, err = solveLinear(Ar, br)
+		if err != nil {
+			return nil, err
+		}
+		worst, worstVal := -1, 0.0
+		for i := 0; i < k; i++ {
+			if active[i] && (x[i] < worstVal || math.IsNaN(x[i])) {
+				worst, worstVal = i, x[i]
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		active[worst] = false
+	}
+
+	// Rescale so the fitted probe total equals the measured total: the
+	// fit decides the classes' relative costs, the aggregate decides
+	// the absolute scale. Host noise that defeats the per-class
+	// decomposition then degrades toward the uniform estimate instead
+	// of skewing the calibration's overall price level — which is what
+	// keeps a profile's TotalNs reconciling with measured wall time.
+	var fitted float64
+	for _, p := range probes {
+		for c := 0; c < k; c++ {
+			fitted += float64(p.ClassCycles[c]) * x[c]
+		}
+	}
+	if fitted > 0 {
+		s := totalNs / fitted
+		for i := 0; i < k; i++ {
+			x[i] *= s
+		}
+	}
+
+	cal := &Calibration{Probes: len(probes)}
+	for i := 0; i < k; i++ {
+		if x[i] < 0 || math.IsNaN(x[i]) {
+			x[i] = 0
+		}
+		cal.NsPerClass[i] = x[i]
+	}
+	return cal, nil
+}
+
+// solveLinear solves the k×k system by Gaussian elimination with
+// partial pivoting; the ridge term guarantees it is nonsingular.
+func solveLinear(A [paper.NumT8Cols][paper.NumT8Cols]float64, b [paper.NumT8Cols]float64) ([paper.NumT8Cols]float64, error) {
+	const k = int(paper.NumT8Cols)
+	var x [paper.NumT8Cols]float64
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-12 {
+			return x, fmt.Errorf("prof: singular calibration system at class %d", col)
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < k; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := k - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < k; c++ {
+			sum -= A[r][c] * x[c]
+		}
+		x[r] = sum / A[r][r]
+	}
+	return x, nil
+}

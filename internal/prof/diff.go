@@ -1,0 +1,91 @@
+package prof
+
+// Profile diffing: the regression view over two profiles of the same
+// build or two builds of the same workload. Flows are matched by name;
+// the interesting quantity is the share delta (robust against the two
+// runs having different lengths or hosts) with the ns delta alongside
+// when both profiles priced their flows.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FlowDelta is one flow's movement between two profiles.
+type FlowDelta struct {
+	Name       string
+	OldShare   float64
+	NewShare   float64
+	ShareDelta float64 // NewShare - OldShare
+	OldNs      float64
+	NewNs      float64
+}
+
+// DiffProfiles matches the two profiles' flows by name and returns the
+// deltas, largest absolute share movement first.
+func DiffProfiles(old, new *Profile) []FlowDelta {
+	byName := make(map[string]*FlowDelta)
+	get := func(name string) *FlowDelta {
+		d, ok := byName[name]
+		if !ok {
+			d = &FlowDelta{Name: name}
+			byName[name] = d
+		}
+		return d
+	}
+	for _, f := range old.Flows {
+		d := get(f.Name)
+		d.OldShare += f.Share
+		d.OldNs += f.Ns
+	}
+	for _, f := range new.Flows {
+		d := get(f.Name)
+		d.NewShare += f.Share
+		d.NewNs += f.Ns
+	}
+	out := make([]FlowDelta, 0, len(byName))
+	for _, d := range byName {
+		d.ShareDelta = d.NewShare - d.OldShare
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].ShareDelta), abs(out[j].ShareDelta)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RenderDiff formats the top-n deltas; rows below minShareDelta (in
+// share points, e.g. 0.001 = 0.1pt) are elided.
+func RenderDiff(deltas []FlowDelta, n int, minShareDelta float64) string {
+	var b strings.Builder
+	b.WriteString("profile diff (share of run, old → new)\n")
+	fmt.Fprintf(&b, "%-22s %8s  %8s  %8s\n", "flow", "old", "new", "delta")
+	shown := 0
+	for _, d := range deltas {
+		if n > 0 && shown >= n {
+			break
+		}
+		if abs(d.ShareDelta) < minShareDelta {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %7.2f%%  %7.2f%%  %+7.2fpt\n",
+			d.Name, 100*d.OldShare, 100*d.NewShare, 100*d.ShareDelta)
+		shown++
+	}
+	if shown == 0 {
+		b.WriteString("(no flow moved above the threshold)\n")
+	}
+	return b.String()
+}

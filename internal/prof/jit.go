@@ -1,0 +1,112 @@
+package prof
+
+// JIT targeting: ranking the control store's straight-line segments by
+// how much host time fusing each would recover. ulint proves which
+// segments are fusible (pure compute runs with no scheduling point);
+// the histogram says how often each executes; the calibration prices
+// those cycles. Score = host ns spent in the segment × the fraction of
+// its per-word dispatch overhead fusion eliminates — the ROADMAP's
+// flow-fusion JIT consumes this list top-down.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vax780/internal/paper"
+	"vax780/internal/ulint"
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+)
+
+// Target is one fusible straight-line segment, priced.
+type Target struct {
+	Flow  string `json:"flow"`
+	Entry uint16 `json:"entry"` // flow entry
+	Start uint16 `json:"start"` // segment start
+	Len   int    `json:"len"`   // words in the segment
+
+	// Cycles the run spent inside the segment's words.
+	Cycles uint64 `json:"cycles"`
+
+	// Ns prices those cycles under the calibration (compute class —
+	// fusible segments contain no memory or IB words by construction).
+	Ns float64 `json:"ns,omitempty"`
+
+	// Fusibility is the fraction of the segment's sequencing overhead
+	// fusion eliminates: (len-1)/len dispatch decisions disappear when
+	// the run executes as one block.
+	Fusibility float64 `json:"fusibility"`
+
+	// Score ranks the list: Ns × Fusibility (Cycles × Fusibility when
+	// no calibration priced the cycles).
+	Score float64 `json:"score"`
+}
+
+// Targets builds the ranked JIT targeting list from the run's exact
+// histogram. cal may be nil (ranking by cycles instead of ns).
+func Targets(rom *urom.ROM, ix *ulint.FlowIndex, h *upc.Histogram, cal *Calibration) []Target {
+	var out []Target
+	for _, f := range ix.Flows() {
+		for _, seg := range f.Segments {
+			if !seg.Fusible {
+				continue
+			}
+			var cycles uint64
+			for w := seg.Start; w < seg.End(); w++ {
+				normal, stalled := h.At(w)
+				cycles += normal + stalled
+			}
+			if cycles == 0 {
+				continue
+			}
+			t := Target{
+				Flow:       f.Name,
+				Entry:      f.Entry,
+				Start:      seg.Start,
+				Len:        seg.Len,
+				Cycles:     cycles,
+				Fusibility: float64(seg.Len-1) / float64(seg.Len),
+			}
+			// Cycle ranking is the fallback: a degenerate calibration
+			// can price the compute class at zero (the active-set solve
+			// pinned it), and a list scored all-zero would order by
+			// address, not heat.
+			t.Score = float64(cycles) * t.Fusibility
+			if cal != nil {
+				t.Ns = float64(cycles) * cal.NsPerClass[paper.T8Compute]
+				if t.Ns > 0 {
+					t.Score = t.Ns * t.Fusibility
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// RenderTargets formats the top-n targets as the vaxprof table.
+func RenderTargets(targets []Target, n int) string {
+	if n <= 0 || n > len(targets) {
+		n = len(targets)
+	}
+	var b strings.Builder
+	b.WriteString("JIT targets: fusible straight-line segments by host ns × fusibility\n")
+	fmt.Fprintf(&b, "%4s  %-22s %6s  %5s  %12s  %6s  %12s\n",
+		"#", "flow", "start", "words", "cycles", "fus", "est host ns")
+	for i, t := range targets[:n] {
+		ns := "-"
+		if t.Ns > 0 {
+			ns = fmt.Sprintf("%12.0f", t.Ns)
+		}
+		fmt.Fprintf(&b, "%4d  %-22s %06o  %5d  %12d  %5.2f  %12s\n",
+			i+1, t.Flow, t.Start, t.Len, t.Cycles, t.Fusibility, ns)
+	}
+	return b.String()
+}

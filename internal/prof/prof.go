@@ -1,0 +1,265 @@
+// Package prof is the host-time attribution layer: it maps wall-clock
+// nanoseconds spent simulating onto the simulator's micro-architectural
+// structure — control-store flows, regions, and the Table 8 cycle
+// classes — the same way the paper maps the 780's elapsed time onto its
+// microcode with the UPC histogram board. Where the board answers
+// "where do the *simulated* cycles go", this package answers "where
+// does the *simulator's own* time go", which is the data the
+// flow-fusion JIT needs to pick targets.
+//
+// Two engines share one report format:
+//
+//   - The exact engine (Exact) prices every histogram bucket: a
+//     calibration assigns each Table 8 cycle class a host cost in
+//     ns/cycle (solved from interleaved A/B timings of runs with
+//     different class mixes, see Solve), and the run's composite bucket
+//     histogram — which is bit-exact across -j — multiplies through it.
+//     The result is deterministic: same histogram, same calibration,
+//     same profile, byte for byte.
+//
+//   - The sampling engine (Sampled) prices what a upc.Sampler observed
+//     live: every stride-th cycle's micro-PC, classified through the
+//     same flow index and BucketCell map, scaled to the measured wall
+//     time of the run. It costs one nil test per cycle when off and a
+//     countdown decrement when on.
+//
+// Both classify through ulint's flow index, so profiling and the
+// static analyzer cannot disagree about flow boundaries.
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vax780/internal/analysis"
+	"vax780/internal/paper"
+	"vax780/internal/ulint"
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+)
+
+// FlowCost is one flow's attributed cost.
+type FlowCost struct {
+	Name  string `json:"name"`
+	Entry uint16 `json:"entry"`
+
+	// Cycles attributed to the flow: exact bucket counts (exact engine)
+	// or samples × stride (sampling engine).
+	Cycles uint64 `json:"cycles"`
+
+	// ClassCycles splits Cycles over the six Table 8 cycle classes.
+	ClassCycles [paper.NumT8Cols]uint64 `json:"class_cycles"`
+
+	// Share is Cycles over the profile's total (including unattributed).
+	Share float64 `json:"share"`
+
+	// Ns estimates the host nanoseconds the flow cost: class cycles
+	// priced by the calibration (exact) or the flow's share of the
+	// measured wall time (sampling). Zero when neither was available.
+	Ns float64 `json:"ns,omitempty"`
+}
+
+// Profile is the shared report format of both engines.
+type Profile struct {
+	// Engine is "exact" or "sampling".
+	Engine string `json:"engine"`
+
+	// TotalCycles counts every cycle the input histogram holds,
+	// attributed or not.
+	TotalCycles uint64 `json:"total_cycles"`
+
+	// Unattributed counts cycles on words no flow owns.
+	Unattributed uint64 `json:"unattributed,omitempty"`
+
+	// Stride and Samples describe the sampling engine's input (zero for
+	// the exact engine). TotalCycles is then Samples × Stride.
+	Stride  int    `json:"stride,omitempty"`
+	Samples uint64 `json:"samples,omitempty"`
+
+	// WallNs is the measured wall time of the profiled run, when the
+	// caller had one; TotalNs is the sum of attributed flow ns. For the
+	// exact engine the two reconciling is the calibration's validity
+	// check; for the sampling engine TotalNs is WallNs by construction.
+	WallNs  float64 `json:"wall_ns,omitempty"`
+	TotalNs float64 `json:"total_ns,omitempty"`
+
+	// Flows holds every flow with attributed cycles, hottest first
+	// (ties broken by entry address, so the order is deterministic).
+	Flows []FlowCost `json:"flows"`
+}
+
+// Top returns the n hottest flows (all of them when n <= 0 or exceeds
+// the count).
+func (p *Profile) Top(n int) []FlowCost {
+	if n <= 0 || n > len(p.Flows) {
+		n = len(p.Flows)
+	}
+	return p.Flows[:n]
+}
+
+// WriteJSON marshals the profile, indented, with a trailing newline.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadProfile unmarshals a profile written by WriteJSON.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("prof: parsing profile: %w", err)
+	}
+	return &p, nil
+}
+
+// Table renders the top-n hot-flow table.
+func (p *Profile) Table(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hot flows (%s engine", p.Engine)
+	if p.Engine == "sampling" {
+		fmt.Fprintf(&b, ", %d samples × stride %d", p.Samples, p.Stride)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "%4s  %-22s %6s  %12s %7s  %12s\n",
+		"#", "flow", "entry", "cycles", "share", "est host ns")
+	for i, f := range p.Top(n) {
+		ns := "-"
+		if f.Ns > 0 {
+			ns = fmt.Sprintf("%12.0f", f.Ns)
+		}
+		fmt.Fprintf(&b, "%4d  %-22s %06o  %12d %6.2f%%  %12s\n",
+			i+1, f.Name, f.Entry, f.Cycles, 100*f.Share, ns)
+	}
+	if p.Unattributed > 0 {
+		fmt.Fprintf(&b, "      %-22s %6s  %12d %6.2f%%\n", "(unattributed)", "",
+			p.Unattributed, 100*float64(p.Unattributed)/float64(p.TotalCycles))
+	}
+	if p.TotalNs > 0 {
+		fmt.Fprintf(&b, "total attributed: %.3f ms", p.TotalNs/1e6)
+		if p.WallNs > 0 {
+			fmt.Fprintf(&b, "  measured wall: %.3f ms  (attributed/wall = %.1f%%)",
+				p.WallNs/1e6, 100*p.TotalNs/p.WallNs)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// attribute is the shared classification walk of both engines: price
+// every bucket of h, assign it to its owning flow and Table 8 class.
+// Flows come out hottest first.
+func attribute(rom *urom.ROM, ix *ulint.FlowIndex, h *upc.Histogram) *Profile {
+	flows := ix.Flows()
+	costs := make([]FlowCost, len(flows))
+	for i, f := range flows {
+		costs[i].Name = f.Name
+		costs[i].Entry = f.Entry
+	}
+	p := &Profile{}
+	limit := rom.Image.Size()
+	if limit > upc.Buckets {
+		limit = upc.Buckets
+	}
+	for addr := 0; addr < limit; addr++ {
+		normal, stalled := h.At(uint16(addr))
+		if normal == 0 && stalled == 0 {
+			continue
+		}
+		p.TotalCycles += normal + stalled
+		fi, owned := ix.FlowOf(uint16(addr))
+		if !owned {
+			p.Unattributed += normal + stalled
+			continue
+		}
+		c := &costs[fi]
+		c.Cycles += normal + stalled
+		mi := rom.Image.At(uint16(addr))
+		if n := normal; n > 0 {
+			if _, col, ok := analysis.BucketCell(mi, false); ok {
+				c.ClassCycles[col] += n
+			}
+		}
+		if n := stalled; n > 0 {
+			if _, col, ok := analysis.BucketCell(mi, true); ok {
+				c.ClassCycles[col] += n
+			}
+		}
+	}
+	for _, c := range costs {
+		if c.Cycles == 0 {
+			continue
+		}
+		if p.TotalCycles > 0 {
+			c.Share = float64(c.Cycles) / float64(p.TotalCycles)
+		}
+		p.Flows = append(p.Flows, c)
+	}
+	sort.Slice(p.Flows, func(i, j int) bool {
+		if p.Flows[i].Cycles != p.Flows[j].Cycles {
+			return p.Flows[i].Cycles > p.Flows[j].Cycles
+		}
+		return p.Flows[i].Entry < p.Flows[j].Entry
+	})
+	return p
+}
+
+// Exact runs the exact engine: attribute the run's bucket histogram to
+// flows and price it with the calibration (nil: cycles and shares only).
+// The input histogram is bit-exact across -j, the flow index and the
+// calibration are fixed inputs, so the profile is deterministic.
+func Exact(rom *urom.ROM, ix *ulint.FlowIndex, h *upc.Histogram, cal *Calibration) *Profile {
+	p := attribute(rom, ix, h)
+	p.Engine = "exact"
+	if cal != nil {
+		for i := range p.Flows {
+			p.Flows[i].Ns = cal.Price(p.Flows[i].ClassCycles)
+			p.TotalNs += p.Flows[i].Ns
+		}
+		// Unattributed cycles are priced at the calibration's average
+		// rate so the total covers the whole run.
+		if p.Unattributed > 0 && p.TotalCycles > p.Unattributed {
+			attributed := p.TotalCycles - p.Unattributed
+			p.TotalNs += float64(p.Unattributed) * p.TotalNs / float64(attributed)
+		}
+	}
+	return p
+}
+
+// Sampled runs the sampling engine over a sampler's snapshot: each
+// sample stands for stride cycles, and the measured wall time (when
+// wallNs > 0) is distributed over flows by their sampled share.
+func Sampled(rom *urom.ROM, ix *ulint.FlowIndex, snap *upc.Histogram, stride int, wallNs float64) *Profile {
+	if stride <= 0 {
+		stride = upc.DefaultSampleStride
+	}
+	p := attribute(rom, ix, snap)
+	p.Engine = "sampling"
+	p.Stride = stride
+	p.Samples = p.TotalCycles
+	p.TotalCycles *= uint64(stride)
+	p.Unattributed *= uint64(stride)
+	p.WallNs = wallNs
+	for i := range p.Flows {
+		p.Flows[i].Cycles *= uint64(stride)
+		for c := range p.Flows[i].ClassCycles {
+			p.Flows[i].ClassCycles[c] *= uint64(stride)
+		}
+		if wallNs > 0 {
+			p.Flows[i].Ns = p.Flows[i].Share * wallNs
+			p.TotalNs += p.Flows[i].Ns
+		}
+	}
+	return p
+}

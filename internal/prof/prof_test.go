@@ -1,0 +1,324 @@
+package prof
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"vax780/internal/analysis"
+	"vax780/internal/paper"
+	"vax780/internal/ulint"
+	"vax780/internal/upc"
+	"vax780/internal/urom"
+)
+
+func testIndex(t testing.TB) (*urom.ROM, *ulint.FlowIndex) {
+	t.Helper()
+	rom := urom.Build()
+	return rom, ulint.NewFlowIndex(rom)
+}
+
+// synthetic histogram: every owned word of the first few flows ticked,
+// restricted to buckets the EBOX can physically pulse.
+func synthHist(ix *ulint.FlowIndex) *upc.Histogram {
+	rom := urom.Build()
+	h := &upc.Histogram{}
+	for i, f := range ix.Flows() {
+		if i >= 8 {
+			break
+		}
+		for _, w := range f.Words {
+			mi := rom.Image.At(w)
+			if analysis.BucketTickable(mi, false) {
+				h.Normal[w] = uint64(100 * (i + 1))
+			}
+			if analysis.BucketTickable(mi, true) {
+				h.Stalled[w] = uint64(10 * (i + 1))
+			}
+		}
+	}
+	return h
+}
+
+func TestExactAttributesAllCycles(t *testing.T) {
+	rom, ix := testIndex(t)
+	h := synthHist(ix)
+	p := Exact(rom, ix, h, nil)
+	if p.Engine != "exact" {
+		t.Fatalf("engine = %q", p.Engine)
+	}
+	if p.TotalCycles != h.TotalCycles() {
+		t.Fatalf("total %d, histogram holds %d", p.TotalCycles, h.TotalCycles())
+	}
+	var flowCycles uint64
+	var shares float64
+	for _, f := range p.Flows {
+		flowCycles += f.Cycles
+		shares += f.Share
+	}
+	if flowCycles+p.Unattributed != p.TotalCycles {
+		t.Fatalf("flows %d + unattributed %d != total %d",
+			flowCycles, p.Unattributed, p.TotalCycles)
+	}
+	if p.Unattributed > 0 {
+		t.Fatalf("synthetic histogram over owned words left %d unattributed", p.Unattributed)
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", shares)
+	}
+	// Hottest-first order.
+	for i := 1; i < len(p.Flows); i++ {
+		if p.Flows[i].Cycles > p.Flows[i-1].Cycles {
+			t.Fatal("flows not sorted hottest first")
+		}
+	}
+}
+
+func TestExactPricesWithCalibration(t *testing.T) {
+	rom, ix := testIndex(t)
+	h := synthHist(ix)
+	cal := Uniform(60)
+	p := Exact(rom, ix, h, cal)
+	want := float64(60) * float64(p.TotalCycles)
+	// Every class priced equally: total ns = cycles × 60, modulo
+	// unattributable buckets (none on a clean store with this input).
+	if math.Abs(p.TotalNs-want)/want > 0.01 {
+		t.Fatalf("uniform pricing: got %v ns, want ~%v", p.TotalNs, want)
+	}
+}
+
+func TestSampledScalesByStride(t *testing.T) {
+	rom, ix := testIndex(t)
+	h := synthHist(ix) // interpreted as sample counts
+	p := Sampled(rom, ix, h, 64, 1e9)
+	if p.Engine != "sampling" || p.Stride != 64 {
+		t.Fatalf("engine/stride = %q/%d", p.Engine, p.Stride)
+	}
+	if p.Samples != h.TotalCycles() {
+		t.Fatalf("samples = %d, want %d", p.Samples, h.TotalCycles())
+	}
+	if p.TotalCycles != p.Samples*64 {
+		t.Fatalf("total cycles %d != samples×stride %d", p.TotalCycles, p.Samples*64)
+	}
+	if math.Abs(p.TotalNs-1e9) > 1e-3*1e9 {
+		t.Fatalf("sampled total ns %v should equal wall ns 1e9", p.TotalNs)
+	}
+}
+
+func TestSolveRecoversKnownCosts(t *testing.T) {
+	// Synthesize probes from a known cost vector with distinct class
+	// mixes; Solve must recover it closely.
+	truth := [paper.NumT8Cols]float64{50, 80, 30, 90, 35, 20}
+	mixes := [][paper.NumT8Cols]uint64{
+		{900_000, 50_000, 30_000, 20_000, 10_000, 100_000},
+		{500_000, 200_000, 150_000, 60_000, 40_000, 50_000},
+		{700_000, 20_000, 10_000, 150_000, 120_000, 30_000},
+		{300_000, 100_000, 300_000, 30_000, 20_000, 250_000},
+		{850_000, 60_000, 20_000, 25_000, 15_000, 200_000},
+		{400_000, 300_000, 100_000, 100_000, 90_000, 10_000},
+		{600_000, 80_000, 250_000, 40_000, 180_000, 60_000},
+	}
+	var probes []Probe
+	for _, m := range mixes {
+		var wall float64
+		for c, n := range m {
+			wall += float64(n) * truth[c]
+		}
+		probes = append(probes, Probe{ClassCycles: m, WallNs: wall})
+	}
+	cal, err := Solve(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range truth {
+		if rel := math.Abs(cal.NsPerClass[c]-truth[c]) / truth[c]; rel > 0.05 {
+			t.Fatalf("class %d: solved %v, truth %v (rel err %.3f)",
+				c, cal.NsPerClass[c], truth[c], rel)
+		}
+	}
+	// Pricing a fresh mix with the solved calibration reconstructs its
+	// wall time.
+	test := [paper.NumT8Cols]uint64{640_000, 90_000, 70_000, 45_000, 30_000, 120_000}
+	var wall float64
+	for c, n := range test {
+		wall += float64(n) * truth[c]
+	}
+	if got := cal.Price(test); math.Abs(got-wall)/wall > 0.02 {
+		t.Fatalf("priced %v, want %v", got, wall)
+	}
+}
+
+func TestSolveDegenerateFallsBackToUniform(t *testing.T) {
+	// One probe cannot separate six classes: the ridge pull must keep
+	// the solution near the uniform rate rather than exploding.
+	probe := Probe{
+		ClassCycles: [paper.NumT8Cols]uint64{500_000, 100_000, 100_000, 100_000, 100_000, 100_000},
+		WallNs:      60e6,
+	}
+	cal, err := Solve([]Probe{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 60e6 / 1_000_000.0
+	for c, ns := range cal.NsPerClass {
+		if ns < 0 || ns > 4*u {
+			t.Fatalf("class %d cost %v wild against uniform %v", c, ns, u)
+		}
+	}
+}
+
+func TestSolveRejectsEmpty(t *testing.T) {
+	if _, err := Solve(nil); err == nil {
+		t.Fatal("empty probe set must error")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	rom, ix := testIndex(t)
+	p := Exact(rom, ix, synthHist(ix), Uniform(55))
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TotalCycles != p.TotalCycles || len(q.Flows) != len(p.Flows) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	rom, ix := testIndex(t)
+	p := Exact(rom, ix, synthHist(ix), Uniform(55))
+	tbl := p.Table(5)
+	if !strings.Contains(tbl, "hot flows") || !strings.Contains(tbl, p.Flows[0].Name) {
+		t.Fatalf("table missing content:\n%s", tbl)
+	}
+}
+
+func TestDiffProfiles(t *testing.T) {
+	rom, ix := testIndex(t)
+	h1 := synthHist(ix)
+	p1 := Exact(rom, ix, h1, nil)
+	// Double the hottest flow's counts in the second profile.
+	h2 := synthHist(ix)
+	hot := p1.Flows[0]
+	for fi, f := range ix.Flows() {
+		if f.Name != hot.Name {
+			continue
+		}
+		_ = fi
+		for _, w := range f.Words {
+			h2.Normal[w] *= 2
+			h2.Stalled[w] *= 2
+		}
+	}
+	p2 := Exact(rom, ix, h2, nil)
+	deltas := DiffProfiles(p1, p2)
+	if len(deltas) == 0 || deltas[0].Name != hot.Name || deltas[0].ShareDelta <= 0 {
+		t.Fatalf("hottest mover should be %s gaining share; got %+v", hot.Name, deltas[0])
+	}
+	out := RenderDiff(deltas, 10, 0)
+	if !strings.Contains(out, hot.Name) {
+		t.Fatalf("render missing mover:\n%s", out)
+	}
+}
+
+func TestTargetsRankFusibleSegments(t *testing.T) {
+	rom, ix := testIndex(t)
+	h := synthHist(ix)
+	ts := Targets(rom, ix, h, Uniform(60))
+	if len(ts) == 0 {
+		t.Skip("synthetic histogram hit no fusible segments")
+	}
+	for i, tg := range ts {
+		if tg.Len < 2 {
+			t.Fatalf("target %d has %d words; fusible needs >= 2", i, tg.Len)
+		}
+		if tg.Fusibility <= 0 || tg.Fusibility >= 1 {
+			t.Fatalf("fusibility %v out of (0,1)", tg.Fusibility)
+		}
+		if i > 0 && ts[i].Score > ts[i-1].Score {
+			t.Fatal("targets not sorted by score")
+		}
+	}
+	if out := RenderTargets(ts, 5); !strings.Contains(out, "JIT targets") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestSpansExport(t *testing.T) {
+	rom, ix := testIndex(t)
+	p := Sampled(rom, ix, synthHist(ix), 64, 5e8)
+	root := NewSpan("run", "composite", 0, 1e9)
+	ws := root.Add(NewSpan("workload", "TIMESHARING-A", 0, 5e8))
+	FlowSpans(ws, p, 4)
+	if len(ws.Children) == 0 {
+		t.Fatal("no flow spans synthesized")
+	}
+	var total float64
+	for _, c := range ws.Children {
+		if c.Kind != "flow" {
+			t.Fatalf("child kind %q", c.Kind)
+		}
+		total += c.DurNs
+	}
+	if math.Abs(total-ws.DurNs)/ws.DurNs > 1e-6 {
+		t.Fatalf("flow spans cover %v of %v ns", total, ws.DurNs)
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, root); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 2+len(ws.Children) {
+		t.Fatalf("chrome trace has %d events", len(parsed.TraceEvents))
+	}
+
+	var jsonl bytes.Buffer
+	if err := WriteJSONL(&jsonl, root); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&jsonl)
+	rows := 0
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("jsonl row %d invalid: %v", rows, err)
+		}
+		if _, ok := row["path"]; !ok {
+			t.Fatalf("row %d missing path", rows)
+		}
+		rows++
+	}
+	if rows != 2+len(ws.Children) {
+		t.Fatalf("jsonl rows = %d", rows)
+	}
+}
+
+func TestClassTotalsMatchesProfile(t *testing.T) {
+	rom, ix := testIndex(t)
+	h := synthHist(ix)
+	totals := ClassTotals(rom, h)
+	p := Exact(rom, ix, h, nil)
+	var fromFlows [paper.NumT8Cols]uint64
+	for _, f := range p.Flows {
+		for c, n := range f.ClassCycles {
+			fromFlows[c] += n
+		}
+	}
+	if totals != fromFlows {
+		t.Fatalf("class totals %v != per-flow sums %v", totals, fromFlows)
+	}
+}

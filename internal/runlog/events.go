@@ -117,15 +117,39 @@ func FaultEvent(workload string, attempts int, upc uint16, cycle uint64,
 	}}
 }
 
+// ProfEvent records the host-time profiler's report: which engine
+// produced it, the sampling parameters (zero for the exact engine), the
+// cycles it attributed, and the hot-flow list. flows must be a
+// json-marshalable slice of flow rows carrying only deterministic data
+// (cycle counts and shares); host carries the wall-clock side (measured
+// ns) and is stripped by StripWallClock like run-done's host group.
+func ProfEvent(engine string, stride int, samples, cycles uint64,
+	flows any, host any) Event {
+
+	attrs := []slog.Attr{
+		slog.String("engine", engine),
+		slog.Int("stride", stride),
+		slog.Uint64("samples", samples),
+		slog.Uint64("cycles", cycles),
+		slog.Any("flows", flows),
+	}
+	if host != nil {
+		attrs = append(attrs, slog.Any("host", host))
+	}
+	return Event{Type: EvProf, Attrs: attrs}
+}
+
 // RunDoneEvent closes a run's ledger: composite totals, the Table 8
-// summary (cycles per average instruction by activity row), and the
+// summary (cycles per average instruction by activity row), the
+// profiler's summary when one was attached (nil otherwise), and the
 // host self-profile. The host group is wall-clock data and is stripped
 // by StripWallClock; everything else is a pure function of seed and
 // configuration.
 func RunDoneEvent(workloads int, instrs, cycles uint64, cpi float64,
-	retries, resumed int, faults string, table8 []slog.Attr, host HostStats) Event {
+	retries, resumed int, faults string, table8 []slog.Attr,
+	prof []slog.Attr, host HostStats) Event {
 
-	return Event{Type: EvRunDone, Attrs: []slog.Attr{
+	attrs := []slog.Attr{
 		slog.Int("workloads", workloads),
 		slog.Uint64("instructions", instrs),
 		slog.Uint64("cycles", cycles),
@@ -134,8 +158,12 @@ func RunDoneEvent(workloads int, instrs, cycles uint64, cpi float64,
 		slog.Int("resumed", resumed),
 		slog.String("faults", faults),
 		slog.Attr{Key: "table8", Value: slog.GroupValue(table8...)},
-		slog.Any("host", host),
-	}}
+	}
+	if prof != nil {
+		attrs = append(attrs, slog.Attr{Key: "prof", Value: slog.GroupValue(prof...)})
+	}
+	attrs = append(attrs, slog.Any("host", host))
+	return Event{Type: EvRunDone, Attrs: attrs}
 }
 
 // SweepStartEvent opens a sweep ledger.

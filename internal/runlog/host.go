@@ -51,3 +51,22 @@ func (l *Ledger) Host(simCycles uint64) HostStats {
 	}
 	return CaptureHost(time.Since(l.start), simCycles)
 }
+
+// Clock is a wall-clock origin for host-side span timing. Every
+// wall-clock read of the repository lives in this package (the
+// determinism analyzer enforces it); the profiler's span builders take
+// their offsets from a Clock instead of reading time themselves.
+type Clock struct {
+	start time.Time
+}
+
+// NewClock starts a clock at the current instant.
+func NewClock() *Clock { return &Clock{start: time.Now()} }
+
+// Ns returns nanoseconds since the clock's origin. Nil-safe (zero).
+func (c *Clock) Ns() float64 {
+	if c == nil {
+		return 0
+	}
+	return float64(time.Since(c.start).Nanoseconds())
+}

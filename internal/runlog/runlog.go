@@ -51,6 +51,7 @@ const (
 	EvRetry      = "retry"
 	EvFaults     = "faults-injected"
 	EvFault      = "machine-fault"
+	EvProf       = "prof"
 	EvRunDone    = "run-done"
 	EvSweepStart = "sweep-start"
 	EvPointDone  = "sweep-point-done"

@@ -26,8 +26,14 @@ func sampleEvents() []Event {
 		WlDoneEvent("direct", 0, 1000, 10949, 10.9, 1, false),
 		CheckpointEvent("run.ckpt", 1),
 		FaultEvent("loop", 4, 0x31, 777, "ebox", "microcode-hang", false, flight),
+		ProfEvent("sampling", 64, 150, 9600,
+			[]map[string]any{{"name": "IRD", "cycles": 4000, "share": 0.41}},
+			map[string]any{"wall_ns": 1.5e6}),
 		RunDoneEvent(2, 2000, 21900, 10.95, 1, 1, "total=3",
-			[]slog.Attr{slog.Float64("COMPUTE", 3.5)}, HostStats{ElapsedSeconds: 0.5}),
+			[]slog.Attr{slog.Float64("COMPUTE", 3.5)},
+			[]slog.Attr{slog.String("engine", "sampling"), slog.Uint64("samples", 150),
+				slog.String("top_flow", "IRD")},
+			HostStats{ElapsedSeconds: 0.5}),
 		SweepStartEvent(3),
 		PointDoneEvent("cache=0", 0, 1000, 12000, 12.0, ""),
 		SweepDoneEvent(3, 0),
@@ -263,7 +269,7 @@ func TestBusCancelDuringPublish(t *testing.T) {
 
 func TestEventJSON(t *testing.T) {
 	ev := RunDoneEvent(2, 2000, 21900, 10.95, 1, 0, "total=0",
-		[]slog.Attr{slog.Float64("COMPUTE", 3.5)}, HostStats{Goroutines: 4})
+		[]slog.Attr{slog.Float64("COMPUTE", 3.5)}, nil, HostStats{Goroutines: 4})
 	var rec map[string]any
 	if err := json.Unmarshal(ev.JSON(), &rec); err != nil {
 		t.Fatalf("Event.JSON not valid JSON: %v\n%s", err, ev.JSON())

@@ -59,9 +59,14 @@ func Schema() map[string]EventSchema {
 			Required: []string{"workload", "attempts", "upc", "cycle", "site",
 				"cause", "transient", "flight"},
 		},
+		EvProf: {
+			Required: []string{"engine", "stride", "samples", "cycles", "flows"},
+			Optional: []string{"host"},
+		},
 		EvRunDone: {
 			Required: []string{"workloads", "instructions", "cycles", "cpi",
 				"retries", "resumed", "faults", "table8", "host"},
+			Optional: []string{"prof"},
 		},
 		EvSweepStart: {
 			Required: []string{"points"},

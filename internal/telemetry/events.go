@@ -23,6 +23,35 @@ type progressFunc struct {
 	latest func() (runlog.Snapshot, bool)
 }
 
+// profFunc boxes the profiler's latest-profile closure the same way.
+type profFunc struct {
+	latest func() any
+}
+
+// SetProf attaches the host-time profiler's latest-profile closure,
+// feeding /prof. The closure returns nil until the first workload's
+// samples merge, then the cumulative (finally the whole-run) Profile.
+func (t *Telemetry) SetProf(latest func() any) {
+	t.profFn.Store(&profFunc{latest: latest})
+}
+
+// serveProf serves the latest published host-time profile as JSON.
+func (t *Telemetry) serveProf(w http.ResponseWriter, r *http.Request) {
+	p := t.profFn.Load()
+	if p == nil || p.latest == nil {
+		http.Error(w, "no profiler attached (set RunConfig.Profiler)",
+			http.StatusServiceUnavailable)
+		return
+	}
+	prof := p.latest()
+	if prof == nil {
+		http.Error(w, "no profile published yet (first workload still executing)",
+			http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, prof)
+}
+
 // SetEvents attaches a run's live event bus; /events subscribers from
 // then on receive its stream. Safe to call while the handler serves.
 func (t *Telemetry) SetEvents(b *runlog.Bus) {

@@ -69,6 +69,9 @@ func (t *Telemetry) counterMap() map[string]any {
 //	/board/csr          board status (running, saturated, snapshot cycle)
 //	/board/read?addr=N  read one bucket from the latest published snapshot
 //	/board/read?hot=N   read the N hottest buckets
+//	/events             server-sent event stream of interval snapshots
+//	/progress           fleet progress JSON (per-workload completion)
+//	/prof               latest host-time profile (sampling engine) JSON
 //
 // Board commands are applied by the simulation goroutine at its next
 // cycle, mirroring how Unibus register writes reached the real board
@@ -100,6 +103,7 @@ func (t *Telemetry) Handler() http.Handler {
 	mux.HandleFunc("/board/read", t.serveRead)
 	mux.HandleFunc("/events", t.serveEvents)
 	mux.HandleFunc("/progress", t.serveProgress)
+	mux.HandleFunc("/prof", t.serveProf)
 	return mux
 }
 

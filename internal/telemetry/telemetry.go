@@ -117,6 +117,7 @@ type Telemetry struct {
 	// /progress and the host gauges.
 	evBus  atomic.Pointer[runlog.Bus]
 	progFn atomic.Pointer[progressFunc]
+	profFn atomic.Pointer[profFunc]
 
 	finished bool
 }

@@ -1,0 +1,194 @@
+package ulint
+
+// Flow metadata export: the static flow structure the host-time
+// profiler (internal/prof) attributes wall-clock nanoseconds onto, and
+// the flow-fusion JIT picks targets from. The analyzer already
+// reconstructs flows for its termination and bounds passes; this file
+// packages them — per-flow word sets, an address → flow index over the
+// whole control store, and the maximal straight-line segments with
+// their fusibility — behind a public API, so profiling and linting
+// cannot disagree about where a flow begins or ends.
+
+import (
+	"sort"
+
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+)
+
+// Segment is one maximal straight-line run of microwords inside a flow:
+// consecutive addresses entered only at the top, linked only by
+// fall-through, ended by the first word that branches, dispatches, or
+// is itself another segment's entry. Segments are the JIT's unit of
+// work: a fusible segment executes as one block with no intervening
+// control decision.
+type Segment struct {
+	Start uint16
+	Len   int
+
+	// Fusible marks a segment the control store proves safe to fuse
+	// into a single host-code block: at least two words, none touching
+	// memory, waiting on the IB, or loading the loop counter. Memory
+	// words stall data-dependently and IB-stall words wait on the
+	// I-stream — both are scheduling points a fused block cannot contain.
+	Fusible bool
+}
+
+// End returns the address one past the segment's last word.
+func (s Segment) End() uint16 { return s.Start + uint16(s.Len) }
+
+// Flow is one dispatch-rooted flow of the control store, exported for
+// attribution: its entry, name, word set, worst-case cycle bounds (zero
+// when the termination pass rejected the flow), and straight-line
+// segmentation.
+type Flow struct {
+	Name     string
+	Entry    uint16
+	Words    []uint16 // sorted ascending
+	Straight int      // longest path with each loop run once (0: unbounded)
+	Worst    int      // Straight plus bounded loop refills (0: unbounded)
+	Segments []Segment
+}
+
+// FusibleWords counts the words inside fusible segments — the numerator
+// of the flow's fusibility share.
+func (f *Flow) FusibleWords() int {
+	n := 0
+	for _, s := range f.Segments {
+		if s.Fusible {
+			n += s.Len
+		}
+	}
+	return n
+}
+
+// FlowIndex resolves any control-store address to its owning flow in
+// O(1) — the classification step of the sampling profiler, run once per
+// sample bucket. Words reachable from more than one entry (shared
+// tails) belong to the lowest entry, deterministically.
+type FlowIndex struct {
+	flows []Flow
+	owner []int32 // per address; -1 = no flow owns it
+}
+
+// NewFlowIndex builds the flow index of an assembled ROM.
+func NewFlowIndex(rom *urom.ROM) *FlowIndex {
+	a := &analyzer{img: rom.Image, roots: RootsFromROM(rom)}
+	ix := &FlowIndex{owner: make([]int32, rom.Image.Size())}
+	for i := range ix.owner {
+		ix.owner[i] = -1
+	}
+	for _, entry := range a.flowEntries() {
+		words := a.flowWords(entry)
+		f := Flow{
+			Name:     a.flowName(entry),
+			Entry:    entry,
+			Words:    words,
+			Segments: segments(a.img, entry, words),
+		}
+		idx := int32(len(ix.flows))
+		ix.flows = append(ix.flows, f)
+		for _, w := range words {
+			if ix.owner[w] < 0 {
+				ix.owner[w] = idx
+			}
+		}
+	}
+	// Bounds ride along when the flow terminates cleanly; the bounds
+	// pass shares the analyzer's flow walk, so entries match exactly.
+	rep := AnalyzeROM(rom)
+	byEntry := make(map[uint16]FlowBound, len(rep.Bounds))
+	for _, b := range rep.Bounds {
+		byEntry[b.Entry] = b
+	}
+	for i := range ix.flows {
+		if b, ok := byEntry[ix.flows[i].Entry]; ok {
+			ix.flows[i].Straight = b.Straight
+			ix.flows[i].Worst = b.Worst
+		}
+	}
+	return ix
+}
+
+// Flows returns the flows in entry order. The slice is shared: callers
+// must not mutate it.
+func (ix *FlowIndex) Flows() []Flow { return ix.flows }
+
+// FlowOf returns the index (into Flows) of the flow owning addr, or
+// false when no flow claims it (dead words, the reset word).
+func (ix *FlowIndex) FlowOf(addr uint16) (int, bool) {
+	if int(addr) >= len(ix.owner) || ix.owner[addr] < 0 {
+		return 0, false
+	}
+	return int(ix.owner[addr]), true
+}
+
+// segments splits a flow's word set into maximal straight-line runs.
+// A word starts a new segment when it is the flow entry, a join (more
+// than one intra-flow edge targets it), or the target of anything other
+// than its predecessor's fall-through. A segment extends only across
+// fall-through links; the first branching word closes it (inclusive).
+func segments(img *ucode.Image, entry uint16, words []uint16) []Segment {
+	inFlow := make(map[uint16]bool, len(words))
+	for _, w := range words {
+		inFlow[w] = true
+	}
+	// Count intra-flow predecessors and note fall-through-only entry.
+	preds := make(map[uint16]int, len(words))
+	fallIn := make(map[uint16]bool, len(words))
+	a := &analyzer{img: img}
+	for _, w := range words {
+		for _, e := range a.intraSucc(w) {
+			if !inFlow[e.To] {
+				continue
+			}
+			preds[e.To]++
+			if e.Kind == EdgeFall {
+				fallIn[e.To] = true
+			}
+		}
+	}
+	starts := func(w uint16) bool {
+		if w == entry {
+			return true
+		}
+		return preds[w] != 1 || !fallIn[w]
+	}
+
+	var out []Segment
+	sorted := append([]uint16(nil), words...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 0; i < len(sorted); {
+		w := sorted[i]
+		if !starts(w) {
+			i++ // swallowed by a previous segment, or unreachable oddity
+			continue
+		}
+		seg := Segment{Start: w, Len: 1, Fusible: true}
+		cur := w
+		for {
+			mi := img.At(cur)
+			if mi.Mem != ucode.MemNone || mi.IBStall || mi.Loop != ucode.LoopNone {
+				seg.Fusible = false
+			}
+			if mi.Seq != ucode.SeqNext {
+				break // branching word closes the segment
+			}
+			next := cur + 1
+			if !inFlow[next] || starts(next) {
+				break
+			}
+			seg.Len++
+			cur = next
+		}
+		if seg.Len < 2 {
+			seg.Fusible = false
+		}
+		out = append(out, seg)
+		// Skip past the words this segment consumed.
+		for i < len(sorted) && sorted[i] < seg.End() && sorted[i] >= seg.Start {
+			i++
+		}
+	}
+	return out
+}

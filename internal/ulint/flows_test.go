@@ -1,0 +1,120 @@
+package ulint
+
+import (
+	"testing"
+
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+)
+
+func TestFlowIndexShippedROM(t *testing.T) {
+	rom := urom.Build()
+	ix := NewFlowIndex(rom)
+	flows := ix.Flows()
+	if len(flows) == 0 {
+		t.Fatal("shipped ROM produced no flows")
+	}
+
+	for fi, f := range flows {
+		if len(f.Words) == 0 {
+			t.Fatalf("flow %s has no words", f.Name)
+		}
+		// The entry is owned by a flow with the same entry address
+		// (shared tails may assign a word to an earlier flow, but the
+		// entry word of the lowest flow claiming it must resolve).
+		if owner, ok := ix.FlowOf(f.Entry); !ok {
+			t.Fatalf("flow %s: entry %05o unowned", f.Name, f.Entry)
+		} else if flows[owner].Entry > f.Entry {
+			t.Fatalf("flow %s: entry owned by later flow %s", f.Name, flows[owner].Name)
+		}
+		// Segments cover a subset of the flow's words, contiguously.
+		inFlow := make(map[uint16]bool, len(f.Words))
+		for _, w := range f.Words {
+			inFlow[w] = true
+		}
+		covered := 0
+		for _, s := range f.Segments {
+			if s.Len < 1 {
+				t.Fatalf("flow %s: empty segment at %05o", f.Name, s.Start)
+			}
+			for w := s.Start; w < s.End(); w++ {
+				if !inFlow[w] {
+					t.Fatalf("flow %s: segment word %05o outside the flow", f.Name, w)
+				}
+				covered++
+			}
+			if s.Fusible {
+				if s.Len < 2 {
+					t.Fatalf("flow %s: single-word segment %05o marked fusible", f.Name, s.Start)
+				}
+				for w := s.Start; w < s.End(); w++ {
+					mi := rom.Image.At(w)
+					if mi.Mem != ucode.MemNone || mi.IBStall || mi.Loop != ucode.LoopNone {
+						t.Fatalf("flow %s: fusible segment %05o contains scheduling word %05o",
+							f.Name, s.Start, w)
+					}
+				}
+			}
+		}
+		if covered != len(f.Words) {
+			t.Fatalf("flow %s: segments cover %d of %d words", f.Name, covered, len(f.Words))
+		}
+		_ = fi
+	}
+}
+
+func TestFlowIndexBoundsAttached(t *testing.T) {
+	rom := urom.Build()
+	ix := NewFlowIndex(rom)
+	rep := AnalyzeROM(rom)
+	if !rep.Clean() {
+		t.Skip("shipped ROM not clean; bounds coverage not expected")
+	}
+	for _, f := range ix.Flows() {
+		if f.Straight <= 0 || f.Worst < f.Straight {
+			t.Fatalf("flow %s: bounds straight=%d worst=%d", f.Name, f.Straight, f.Worst)
+		}
+	}
+}
+
+func TestFlowIndexHasFusibleSegments(t *testing.T) {
+	// The JIT targeting list depends on at least some of the shipped
+	// control store being provably fusible.
+	ix := NewFlowIndex(urom.Build())
+	total := 0
+	for _, f := range ix.Flows() {
+		total += f.FusibleWords()
+	}
+	if total == 0 {
+		t.Fatal("no fusible straight-line segments anywhere in the shipped ROM")
+	}
+}
+
+func TestFlowIndexDeterministic(t *testing.T) {
+	rom := urom.Build()
+	a, b := NewFlowIndex(rom), NewFlowIndex(rom)
+	fa, fb := a.Flows(), b.Flows()
+	if len(fa) != len(fb) {
+		t.Fatalf("flow counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i].Name != fb[i].Name || fa[i].Entry != fb[i].Entry ||
+			len(fa[i].Words) != len(fb[i].Words) || len(fa[i].Segments) != len(fb[i].Segments) {
+			t.Fatalf("flow %d differs between identical builds", i)
+		}
+	}
+	for addr := 0; addr < rom.Image.Size(); addr++ {
+		oa, oka := a.FlowOf(uint16(addr))
+		ob, okb := b.FlowOf(uint16(addr))
+		if oa != ob || oka != okb {
+			t.Fatalf("owner of %05o differs between identical builds", addr)
+		}
+	}
+}
+
+func TestFlowOfOutOfRange(t *testing.T) {
+	ix := NewFlowIndex(urom.Build())
+	if _, ok := ix.FlowOf(0); ok {
+		t.Fatal("reset word must be unowned")
+	}
+}

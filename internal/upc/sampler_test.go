@@ -1,0 +1,86 @@
+package upc
+
+import "testing"
+
+func TestSamplerStride(t *testing.T) {
+	s := NewSampler(4)
+	for i := 0; i < 16; i++ {
+		s.Sample(uint16(i), false)
+	}
+	if got := s.Taken(); got != 4 {
+		t.Fatalf("taken = %d, want 4", got)
+	}
+	h := s.Snapshot()
+	// Samples land on cycles 4, 8, 12, 16 (1-origin countdown), i.e.
+	// addrs 3, 7, 11, 15.
+	for _, addr := range []uint16{3, 7, 11, 15} {
+		if n, st := h.At(addr); n != 1 || st != 0 {
+			t.Fatalf("addr %d: normal=%d stalled=%d, want 1/0", addr, n, st)
+		}
+	}
+	if h.TotalCycles() != 4 {
+		t.Fatalf("total = %d, want 4", h.TotalCycles())
+	}
+}
+
+func TestSamplerStalledSet(t *testing.T) {
+	s := NewSampler(1)
+	s.Sample(100, false)
+	s.Sample(100, true)
+	s.Sample(100, true)
+	n, st := s.Snapshot().At(100)
+	if n != 1 || st != 2 {
+		t.Fatalf("normal=%d stalled=%d, want 1/2", n, st)
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() *Histogram {
+		s := NewSampler(7)
+		for i := 0; i < 1000; i++ {
+			s.Sample(uint16(i*13%Buckets), i%3 == 0)
+		}
+		return s.Snapshot()
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatal("identical cycle streams produced different sample sets")
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	s := NewSampler(2)
+	for i := 0; i < 10; i++ {
+		s.Sample(5, false)
+	}
+	s.Reset()
+	if s.Taken() != 0 {
+		t.Fatalf("taken after reset = %d", s.Taken())
+	}
+	if got := s.Snapshot().TotalCycles(); got != 0 {
+		t.Fatalf("counts after reset = %d", got)
+	}
+	// The countdown restarts at the full stride.
+	s.Sample(5, false)
+	if s.Taken() != 0 {
+		t.Fatal("sample landed one cycle after reset with stride 2")
+	}
+	s.Sample(5, false)
+	if s.Taken() != 1 {
+		t.Fatal("sample did not land on the stride boundary after reset")
+	}
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	s.Reset()
+	if s.Taken() != 0 || s.Snapshot() != nil {
+		t.Fatal("nil sampler must report zero samples and a nil snapshot")
+	}
+}
+
+func TestSamplerDefaultStride(t *testing.T) {
+	if got := NewSampler(0).Stride(); got != DefaultSampleStride {
+		t.Fatalf("default stride = %d, want %d", got, DefaultSampleStride)
+	}
+}

@@ -1,0 +1,287 @@
+package vax780
+
+// The public face of the host-time profiler (internal/prof): attach a
+// Profiler to RunConfig and the run attributes its own wall-clock
+// nanoseconds onto the micro-architectural structure it simulates —
+// control-store flows, straight-line segments, Table 8 cycle classes —
+// exactly the way the paper's board attributes the 780's elapsed time
+// onto its microcode. The in-run engine samples (every stride-th cycle's
+// micro-PC, one nil test per cycle when detached); the exact engine
+// prices the run's bit-exact composite histogram after the fact through
+// Results.Profile. Both report the same Profile format.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+
+	"vax780/internal/prof"
+	"vax780/internal/runlog"
+	"vax780/internal/ulint"
+	"vax780/internal/upc"
+)
+
+// Profile is a host-time attribution report: flows hottest first, with
+// cycles, Table 8 class splits, shares, and (when priced) host ns.
+type Profile = prof.Profile
+
+// FlowCost is one flow's row of a Profile.
+type FlowCost = prof.FlowCost
+
+// Calibration prices simulated cycles in host ns per Table 8 class;
+// solve one with vaxprof or prof.Solve, or load one with
+// ReadCalibration.
+type Calibration = prof.Calibration
+
+// Span is one node of the profiler's wall-time tree (sweep → run →
+// workload → flow).
+type Span = prof.Span
+
+// JITTarget is one fusible straight-line segment of the JIT targeting
+// list, ranked by host ns × fusibility.
+type JITTarget = prof.Target
+
+// ReadCalibration loads a calibration written by vaxprof -calib-out.
+func ReadCalibration(r io.Reader) (*Calibration, error) {
+	return prof.ReadCalibration(r)
+}
+
+// flowIndexOnce lazily builds the process-wide flow index of the shared
+// control store. The ROM is assembled once and immutable, so one index
+// serves every profiler, result, and CLI in the process.
+var flowIndexOnce = struct {
+	sync.Once
+	ix *ulint.FlowIndex
+}{}
+
+func flowIndex() *ulint.FlowIndex {
+	flowIndexOnce.Do(func() {
+		flowIndexOnce.ix = ulint.NewFlowIndex(machineROM())
+	})
+	return flowIndexOnce.ix
+}
+
+// Profiler attaches the sampling host-time profiler to a run (set
+// RunConfig.Profiler). While the run executes, each workload machine
+// carries a micro-PC sampler; at every workload merge the profiler
+// folds the samples in (in workload order, so the sampled histogram is
+// bit-exact across Parallelism) and publishes a cumulative Profile for
+// the telemetry /prof endpoint and vaxtop. After Run returns, Profile
+// holds the whole run and SpanTree the measured wall-time hierarchy.
+//
+// A Profiler instance serves one Run at a time; Run resets it on entry,
+// so reusing one across sequential runs is fine, sharing one across
+// concurrent runs is not.
+type Profiler struct {
+	// SampleStride is the sampling period in cycles (default
+	// upc.DefaultSampleStride = 64; the enabled overhead shrinks with
+	// larger strides).
+	SampleStride int
+
+	// Calibration, when non-nil, is recorded on the profile so consumers
+	// can price sampled cycles; the sampling engine itself distributes
+	// measured wall time by share and does not need one.
+	Calibration *Calibration
+
+	// MaxFlows bounds the hot-flow lists in the ledger event and the
+	// span tree (default 10; the full flow set is always in Profile).
+	MaxFlows int
+
+	// Trace, when non-nil, receives the span tree as Chrome trace-event
+	// JSON (chrome://tracing, Perfetto) when the run finishes.
+	Trace io.Writer
+
+	// Spans, when non-nil, receives the span tree as JSONL rows — one
+	// span per line with its slash-joined path — alongside the runlog.
+	Spans io.Writer
+
+	mu      sync.Mutex
+	clock   *runlog.Clock
+	agg     upc.Histogram // summed sampled counts, merged in workload order
+	samples uint64
+	wallNs  float64      // summed measured workload durations
+	wl      []*prof.Span // workload spans in merge order
+	root    *prof.Span   // set by finishRun
+	latest  atomic.Pointer[prof.Profile]
+}
+
+// stride resolves the sampling period.
+func (p *Profiler) stride() int {
+	if p.SampleStride > 0 {
+		return p.SampleStride
+	}
+	return upc.DefaultSampleStride
+}
+
+// maxFlows resolves the hot-flow list bound.
+func (p *Profiler) maxFlows() int {
+	if p.MaxFlows > 0 {
+		return p.MaxFlows
+	}
+	return 10
+}
+
+// begin resets the profiler for a new run and starts its wall clock.
+func (p *Profiler) begin() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock = runlog.NewClock()
+	p.agg = upc.Histogram{}
+	p.samples = 0
+	p.wallNs = 0
+	p.wl = nil
+	p.root = nil
+	p.latest.Store(nil)
+}
+
+// newSampler builds one workload machine's sampler.
+func (p *Profiler) newSampler() *upc.Sampler {
+	return upc.NewSampler(p.stride())
+}
+
+// nowNs reads the profiler's wall clock (0 on a nil profiler, so the
+// supervisor needs no guards).
+func (p *Profiler) nowNs() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.clock.Ns()
+}
+
+// noteWorkload folds one completed workload into the profile: its
+// sampled histogram (deterministic — the sample set is a pure function
+// of the cycle stream and the stride), its measured duration, and its
+// span with synthesized flow children. Called by the merge, in workload
+// order, which is what keeps the aggregate bit-exact across -j.
+func (p *Profiler) noteWorkload(name string, samp *upc.Sampler, startNs, endNs float64) {
+	if p == nil || samp == nil {
+		return
+	}
+	snap := samp.Snapshot()
+	dur := endNs - startNs
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.agg.Add(snap)
+	p.samples += samp.Taken()
+	p.wallNs += dur
+
+	ws := prof.NewSpan("workload", name, startNs, dur)
+	wp := prof.Sampled(machineROM(), flowIndex(), snap, p.stride(), dur)
+	prof.FlowSpans(ws, wp, p.maxFlows())
+	p.wl = append(p.wl, ws)
+
+	p.latest.Store(prof.Sampled(machineROM(), flowIndex(), &p.agg, p.stride(), p.wallNs))
+}
+
+// finishRun closes the run: builds the final profile and the span tree,
+// and writes the Trace / Spans exports when configured.
+func (p *Profiler) finishRun(label string) (*prof.Profile, error) {
+	p.mu.Lock()
+	final := prof.Sampled(machineROM(), flowIndex(), &p.agg, p.stride(), p.wallNs)
+	p.latest.Store(final)
+	root := prof.NewSpan("run", label, 0, p.clock.Ns())
+	for _, ws := range p.wl {
+		root.Add(ws)
+	}
+	p.root = root
+	p.mu.Unlock()
+
+	if p.Trace != nil {
+		if err := prof.WriteChromeTrace(p.Trace, root); err != nil {
+			return nil, fmt.Errorf("vax780: writing profile trace: %w", err)
+		}
+	}
+	if p.Spans != nil {
+		if err := prof.WriteJSONL(p.Spans, root); err != nil {
+			return nil, fmt.Errorf("vax780: writing profile spans: %w", err)
+		}
+	}
+	return final, nil
+}
+
+// Profile returns the latest published profile: cumulative while the
+// run executes (updated at each workload merge), final after Run
+// returns. Nil before the first workload completes. Safe to call from
+// any goroutine.
+func (p *Profiler) Profile() *Profile {
+	return p.latest.Load()
+}
+
+// SpanTree returns the run's measured wall-time hierarchy (run →
+// workload → flow). Nil until Run returns.
+func (p *Profiler) SpanTree() *Span {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.root
+}
+
+// latestAny is the telemetry /prof closure (a typed nil must become an
+// untyped one, or the handler's nil test would pass a dead pointer).
+func (p *Profiler) latestAny() any {
+	prof := p.latest.Load()
+	if prof == nil {
+		return nil
+	}
+	return prof
+}
+
+// profFlowRow is the deterministic per-flow row of the ledger's prof
+// event: counts and shares only — the wall-clock side rides in the
+// event's host group, which StripWallClock removes.
+type profFlowRow struct {
+	Name   string  `json:"name"`
+	Entry  uint16  `json:"entry"`
+	Cycles uint64  `json:"cycles"`
+	Share  float64 `json:"share"`
+}
+
+// profRows converts a profile's hottest flows to ledger rows.
+func profRows(p *prof.Profile, n int) []profFlowRow {
+	top := p.Top(n)
+	rows := make([]profFlowRow, len(top))
+	for i, f := range top {
+		rows[i] = profFlowRow{Name: f.Name, Entry: f.Entry, Cycles: f.Cycles, Share: f.Share}
+	}
+	return rows
+}
+
+// profSummaryAttrs is the run-done event's prof group: the profiler's
+// deterministic summary.
+func profSummaryAttrs(p *prof.Profile) []slog.Attr {
+	attrs := []slog.Attr{
+		slog.String("engine", p.Engine),
+		slog.Int("stride", p.Stride),
+		slog.Uint64("samples", p.Samples),
+		slog.Uint64("cycles", p.TotalCycles),
+	}
+	if len(p.Flows) > 0 {
+		attrs = append(attrs, slog.String("top_flow", p.Flows[0].Name))
+	}
+	return attrs
+}
+
+// Profile runs the exact attribution engine over the run's composite
+// histogram: every bucket count assigned to its owning control-store
+// flow and Table 8 class, priced by cal when non-nil (nil: cycles and
+// shares only). The histogram is bit-exact across Parallelism and the
+// calibration is a fixed input, so the profile is deterministic.
+func (r *Results) Profile(cal *Calibration) *Profile {
+	return prof.Exact(machineROM(), flowIndex(), r.hist, cal)
+}
+
+// JITTargets returns the ranked flow-fusion targeting list: every
+// fusible straight-line segment the control store proves safe to fuse
+// (ulint's segmentation), priced by the run's cycles in it and ranked
+// by host ns × fusibility (cycles × fusibility when cal is nil).
+func (r *Results) JITTargets(cal *Calibration) []JITTarget {
+	return prof.Targets(machineROM(), flowIndex(), r.hist, cal)
+}
+
+// ClassCycles sums the composite histogram per Table 8 cycle class —
+// the class-cycle vector a calibration probe pairs with a measured wall
+// time (see vaxprof -calibrate).
+func (r *Results) ClassCycles() [6]uint64 {
+	return prof.ClassTotals(machineROM(), r.hist)
+}

@@ -25,9 +25,9 @@ type SweepPoint struct {
 	// Label identifies the point in results and tables (e.g. "8KB/2-way").
 	Label string
 	// Config is the point's run configuration. Points must be
-	// self-contained: a Telemetry instance or Checkpoint path cannot be
-	// attached to a sweep point (both are single-run state; the point
-	// fails with an error).
+	// self-contained: a Telemetry instance, Checkpoint path, or
+	// Profiler cannot be attached to a sweep point (all are single-run
+	// state; the point fails with an error).
 	Config RunConfig
 }
 
@@ -186,6 +186,10 @@ func runPoint(pt SweepPoint, cache *traceCache, slot *workerSlot) SweepResult {
 	}
 	if cfg.Checkpoint != "" {
 		res.Err = fmt.Errorf("vax780: sweep point %q: checkpointing cannot be attached to a sweep point", pt.Label)
+		return res
+	}
+	if cfg.Profiler != nil {
+		res.Err = fmt.Errorf("vax780: sweep point %q: a profiler cannot be attached to a sweep point (profile the point as its own Run)", pt.Label)
 		return res
 	}
 	// The sweep's concurrency lives at the point level; each point runs

@@ -53,8 +53,10 @@ func (t *Telemetry) ensure() *telemetry.Telemetry {
 
 // Handler returns the live-monitor HTTP handler: Prometheus-text
 // /metrics, expvar at /debug/vars, net/http/pprof at /debug/pprof/,
-// and the histogram board's Unibus register mirror at /board/{start,
-// stop,clear,csr,read}. It is safe to serve while a run executes.
+// the histogram board's Unibus register mirror at /board/{start,
+// stop,clear,csr,read}, the SSE interval stream at /events, fleet
+// progress at /progress, and the host-time profiler's latest sampled
+// profile at /prof. It is safe to serve while a run executes.
 func (t *Telemetry) Handler() http.Handler { return t.ensure().Handler() }
 
 // TelemetryCounters is a plain snapshot of the live counters.

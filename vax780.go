@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -177,8 +178,18 @@ type RunConfig struct {
 	// attached and disables it otherwise; > 0 forces it on at that
 	// depth; < 0 forces it off. On a MachineFault the recorder's
 	// snapshot — final entry the faulting micro-PC — rides on the typed
-	// fault and the ledger.
+	// fault and the ledger. A positive depth must be a power of two
+	// (the ring is mask-indexed); Run rejects anything else.
 	FlightDepth int
+
+	// Profiler, when non-nil, attaches the sampling host-time profiler:
+	// every stride-th cycle's micro-PC is sampled (one nil test per
+	// cycle when detached), classified onto control-store flows, and
+	// published as a cumulative Profile — on the telemetry /prof
+	// endpoint while the run executes, in the ledger's prof event and
+	// run-done summary, and via Profiler.Profile after Run returns.
+	// See Profiler for the span-tree and trace exports.
+	Profiler *Profiler
 
 	// haltAfter is a test seam: when positive, the run stops with
 	// errRunHalted once that many workloads (counting resumed ones)
@@ -207,6 +218,18 @@ func (c *RunConfig) fill() {
 	if len(c.Workloads) == 0 {
 		c.Workloads = AllWorkloads()
 	}
+}
+
+// validate rejects configurations Run cannot honor. Checked before any
+// work starts, so a bad configuration fails fast with a clear error
+// instead of silently rounding or misbehaving mid-run.
+func (c *RunConfig) validate() error {
+	if d := c.FlightDepth; d > 0 && d&(d-1) != 0 {
+		return fmt.Errorf("vax780: FlightDepth %d is not a power of two "+
+			"(the flight recorder ring is mask-indexed; use the next power of two, "+
+			"0 for the default, or a negative depth to disable the recorder)", d)
+	}
+	return nil
 }
 
 func (c *RunConfig) memConfig() mem.Config {
@@ -299,6 +322,12 @@ func (c *RunConfig) workloadTrace(id WorkloadID) (*workload.Trace, error) {
 // so the composite is bit-exact with the sequential run.
 func Run(cfg RunConfig) (*Results, error) {
 	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Profiler != nil {
+		cfg.Profiler.begin()
+	}
 	s := &runState{
 		cfg:       cfg,
 		composite: &upc.Histogram{},
@@ -368,6 +397,9 @@ func Run(cfg RunConfig) (*Results, error) {
 			s.tel.SetProgress(s.tracker.Latest)
 		}
 		s.tracker.Start()
+	}
+	if s.tel != nil && cfg.Profiler != nil {
+		s.tel.SetProf(cfg.Profiler.latestAny)
 	}
 
 	var err error
@@ -452,6 +484,7 @@ func wrapWorkloadErr(err error) error {
 // workload order.
 func (s *runState) merge(id WorkloadID, one *oneRun, retries int, plan *faults.Plan) error {
 	s.composite.Add(one.hist)
+	s.cfg.Profiler.noteWorkload(id.String(), one.samp, one.profStart, one.profEnd)
 	s.hw.Mem.Add(&one.machine.Mem.Stats)
 	s.hw.IBConsumed += one.machine.IB.Consumed
 	s.res.Retries += retries
@@ -500,6 +533,22 @@ func (s *runState) finish() (*Results, error) {
 	s.res.analysis = analysis.New(machine.ROM(), s.composite).WithHardwareCounters(s.hw)
 	s.res.hist = s.composite
 	s.tracker.Stop()
+
+	// Close the profiler before run-done so its ledger event precedes
+	// the run's, and its summary can ride on the run-done record.
+	var profAttrs []slog.Attr
+	if s.cfg.Profiler != nil {
+		p, err := s.cfg.Profiler.finishRun(workloadsLabel(s.cfg.Workloads))
+		if err != nil {
+			return nil, err
+		}
+		if s.led != nil {
+			s.led.Emit(runlog.ProfEvent(p.Engine, p.Stride, p.Samples, p.TotalCycles,
+				profRows(p, s.cfg.Profiler.maxFlows()),
+				map[string]any{"wall_ns": p.WallNs}))
+		}
+		profAttrs = profSummaryAttrs(p)
+	}
 	if s.led != nil {
 		var instrs, cycles uint64
 		for _, w := range s.res.PerWorkload {
@@ -508,7 +557,7 @@ func (s *runState) finish() (*Results, error) {
 		}
 		s.led.Emit(runlog.RunDoneEvent(len(s.cfg.Workloads), instrs, cycles,
 			s.res.CPI(), s.res.Retries, s.res.Resumed, s.res.FaultInjections,
-			table8Attrs(s.res), s.led.Host(cycles)))
+			table8Attrs(s.res), profAttrs, s.led.Host(cycles)))
 	}
 	return s.res, nil
 }
@@ -517,6 +566,12 @@ type oneRun struct {
 	machine   *machine.Machine
 	hist      *upc.Histogram
 	saturated bool
+
+	// Profiling sidecar (nil/zero without a Profiler): the workload's
+	// micro-PC sampler and its measured start/end on the profiler clock.
+	samp      *upc.Sampler
+	profStart float64
+	profEnd   float64
 }
 
 // monPool recycles histogram monitors between workload machines: the
@@ -530,7 +585,8 @@ var monPool = sync.Pool{New: func() any { return upc.New() }}
 // boundary: any panic that escapes the simulation surfaces as a
 // *faults.MachineCheck, never as a process crash.
 func runOne(tr *workload.Trace, cfg RunConfig, tel *telemetry.Telemetry,
-	plan *faults.Plan, fr *upc.FlightRecorder, cell *machine.ProgressCell) (one *oneRun, err error) {
+	plan *faults.Plan, fr *upc.FlightRecorder, cell *machine.ProgressCell,
+	samp *upc.Sampler) (one *oneRun, err error) {
 
 	var mon *upc.Monitor
 	if tel == nil {
@@ -551,6 +607,7 @@ func runOne(tr *workload.Trace, cfg RunConfig, tel *telemetry.Telemetry,
 		Strict:        cfg.Strict,
 		OverlapDecode: cfg.OverlapDecode,
 		Flight:        fr,
+		Sampler:       samp,
 		Progress:      cell,
 	}
 	if tel != nil {
