@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-all bench-smoke experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-vaxd bench-all bench-smoke vaxd-smoke experiments clean
 
 all: fmt-check vet lint build test
 
@@ -53,6 +53,34 @@ bench-parallel:
 # disabled sampler hook must stay within 1% of the fault-era baseline).
 bench-prof:
 	$(GO) test -run xxx -bench BenchmarkProf -benchtime 20x -count 3 .
+
+# The service cache-hit gate; compare against BENCH_vaxd.json (a
+# regression past the generous threshold means resubmissions started
+# re-simulating instead of hitting the content-addressed store).
+bench-vaxd:
+	$(GO) test -run xxx -bench BenchmarkCacheHit -benchtime 200x -count 3 ./internal/jobs
+
+# End-to-end service smoke: build vaxd, start it on a scratch data
+# dir, run the walkthrough client twice — the second submission must
+# be answered from the content-addressed cache — then SIGTERM the
+# daemon and require a clean drained exit.
+vaxd-smoke:
+	@set -e; \
+	dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/vaxd ./cmd/vaxd; \
+	$(GO) build -o $$dir/vaxdclient ./examples/vaxdclient; \
+	$$dir/vaxd -addr 127.0.0.1:8788 -data $$dir/data & pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -fs -o /dev/null http://127.0.0.1:8788/healthz 2>/dev/null && break; \
+		sleep 0.1; \
+	done; \
+	$$dir/vaxdclient -addr 127.0.0.1:8788 -n 5000 -workloads TIMESHARING-A; \
+	out=$$($$dir/vaxdclient -addr 127.0.0.1:8788 -n 5000 -workloads TIMESHARING-A); \
+	echo "$$out" | grep -q 'cached=true' || \
+		{ echo "vaxd-smoke: resubmission was not served from cache"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	echo "vaxd-smoke: ok (cache hit + clean drain)"
 
 # The longitudinal record: run the three per-change benchmark suites
 # and append one dated medians entry to BENCH_history.json (cmd/vaxbench).

@@ -53,6 +53,19 @@ type ckptRecord struct {
 	Hist       *upc.Histogram
 }
 
+// ConfigHash returns the run's measurement-configuration fingerprint:
+// the same FNV-64a hash the checkpoint format embeds and the run ledger
+// reports as "config". Two configurations with equal hashes measure the
+// same thing — same workloads, lengths, and hardware parameters — so
+// their composite histograms are bit-identical; that equivalence is
+// what the vaxd result cache keys on (extended there with the fault
+// plan's identity, which perturbs measured data but is deliberately
+// outside the checkpoint fingerprint).
+func (c RunConfig) ConfigHash() uint64 {
+	c.fill()
+	return c.checkpointHash()
+}
+
 // checkpointHash fingerprints the parts of the configuration that
 // determine the measured data. Telemetry and fault settings are
 // deliberately excluded: a run killed under fault injection may be

@@ -1,0 +1,216 @@
+// Command vaxd is the simulation service: a crash-tolerant daemon that
+// accepts measurement jobs over HTTP, feeds them through the
+// simulator's run engine behind admission control, and serves results
+// from a content-addressed store.
+//
+//	vaxd -data /var/lib/vaxd -addr :8780
+//
+// API:
+//
+//	POST /jobs              submit a job spec (JSON); 202 + job record,
+//	                        or 200 when the result is already cached.
+//	                        Rejections: 400 bad spec, 429 queue full or
+//	                        quota exceeded, 503 draining.
+//	GET  /jobs              list all known jobs
+//	GET  /jobs/{id}         one job record
+//	GET  /jobs/{id}/events  the job's live run ledger as SSE
+//	GET  /results/{key}     a committed bundle's file list
+//	GET  /results/{key}/{file}  one bundle file (ledger.jsonl,
+//	                        histogram.upch, report.txt, meta.json, ...)
+//	GET  /healthz           liveness + drain state
+//
+// On SIGTERM/SIGINT vaxd drains: admission stops, in-flight jobs are
+// canceled at their next workload boundary (their checkpoints stay in
+// the store's staging area), every unfinished job is journaled as
+// evicted, and the process exits 0. The next vaxd over the same -data
+// directory replays the journal, requeues the evicted jobs, and their
+// runs resume from checkpoint — completing bit-identically to runs
+// that were never interrupted.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"vax780/internal/castore"
+	"vax780/internal/jobs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8780", "HTTP listen address")
+		data    = flag.String("data", "vaxd-data", "data directory (store, staging, journal)")
+		depth   = flag.Int("queue", 16, "admission queue depth (submissions beyond it get 429)")
+		workers = flag.Int("workers", 1, "concurrent job runners")
+		rate    = flag.Float64("quota-rate", 0, "per-tenant admission tokens per second (0 = no quotas)")
+		burst   = flag.Float64("quota-burst", 0, "per-tenant token bucket capacity")
+	)
+	flag.Parse()
+	if err := run(*addr, *data, *depth, *workers, *rate, *burst); err != nil {
+		fmt.Fprintln(os.Stderr, "vaxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, depth, workers int, rate, burst float64) error {
+	store, err := castore.Open(data)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	mgr, err := jobs.New(jobs.Config{
+		Store:      store,
+		QueueDepth: depth,
+		Workers:    workers,
+		Quota:      jobs.Quota{Rate: rate, Burst: burst},
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: newHandler(mgr)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("vaxd: listening on %s, data in %s", ln.Addr(), data)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-done:
+		mgr.Close()
+		return err
+	case s := <-sig:
+		log.Printf("vaxd: %v: draining", s)
+		requeued := mgr.Drain(s.String())
+		log.Printf("vaxd: drained, %d jobs requeued for next process", requeued)
+		srv.Close()
+		<-done
+		return nil
+	}
+}
+
+// handler is the service's HTTP surface over one job manager.
+type handler struct {
+	mgr *jobs.Manager
+}
+
+func newHandler(mgr *jobs.Manager) http.Handler {
+	h := &handler{mgr: mgr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", h.submit)
+	mux.HandleFunc("GET /jobs", h.list)
+	mux.HandleFunc("GET /jobs/{id}", h.get)
+	mux.HandleFunc("GET /jobs/{id}/events", h.events)
+	mux.HandleFunc("GET /results/{key}", h.bundle)
+	mux.HandleFunc("GET /results/{key}/{file}", h.file)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr maps a jobs-layer error onto the wire via the tested
+// HTTPStatus table, as a small JSON problem document.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, jobs.HTTPStatus(err), map[string]string{"error": err.Error()})
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", jobs.ErrBadSpec, err))
+		return
+	}
+	job, err := h.mgr.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Cached {
+		code = http.StatusOK // answered from the content-addressed cache
+	}
+	writeJSON(w, code, job)
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.mgr.List())
+}
+
+func (h *handler) get(w http.ResponseWriter, r *http.Request) {
+	job, err := h.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (h *handler) events(w http.ResponseWriter, r *http.Request) {
+	h.mgr.ServeEvents(w, r, r.PathValue("id"))
+}
+
+func (h *handler) bundle(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	names, err := h.mgr.Store().Bundle(key)
+	if err != nil {
+		if errors.Is(err, castore.ErrNoBundle) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "files": names})
+}
+
+func (h *handler) file(w http.ResponseWriter, r *http.Request) {
+	key, name := r.PathValue("key"), r.PathValue("file")
+	f, err := h.mgr.Store().Open(key, name)
+	if err != nil {
+		if errors.Is(err, castore.ErrNoBundle) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".jsonl"):
+		w.Header().Set("Content-Type", "application/json")
+	case strings.HasSuffix(name, ".txt"):
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	io.Copy(w, f)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}

@@ -1,0 +1,381 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vax780"
+	"vax780/internal/castore"
+	"vax780/internal/jobs"
+)
+
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	store, err := castore.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	mgr, err := jobs.New(jobs.Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	return newHandler(mgr)
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string) (int, jobs.Job) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j jobs.Job
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, &j); err != nil {
+			t.Fatalf("decoding job: %v (%s)", err, data)
+		}
+	}
+	return resp.StatusCode, j
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitDone(t *testing.T, srv *httptest.Server, id string) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var j jobs.Job
+		if code := getJSON(t, srv.URL+"/jobs/"+id, &j); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: status %d", id, code)
+		}
+		if j.State.Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, j.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAPISubmitPollFetch(t *testing.T) {
+	srv := httptest.NewServer(newTestHandler(t))
+	defer srv.Close()
+
+	spec := `{"workloads":["TIMESHARING-A"],"instructions":1500}`
+	code, job := postJob(t, srv, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh submit: status %d, want 202", code)
+	}
+	done := waitDone(t, srv, job.ID)
+	if done.State != jobs.StateDone {
+		t.Fatalf("state = %s (%s)", done.State, done.Cause)
+	}
+
+	// Bundle list and file fetch.
+	var bundle struct {
+		Key   string   `json:"key"`
+		Files []string `json:"files"`
+	}
+	if code := getJSON(t, srv.URL+"/results/"+done.Key, &bundle); code != http.StatusOK {
+		t.Fatalf("GET /results/{key}: status %d", code)
+	}
+	if len(bundle.Files) != 4 {
+		t.Fatalf("bundle files = %v", bundle.Files)
+	}
+	resp, err := http.Get(srv.URL + "/results/" + done.Key + "/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(report, []byte("CPI")) {
+		t.Fatalf("report fetch: status %d, %d bytes", resp.StatusCode, len(report))
+	}
+
+	// Cache hit on resubmission: 200, not 202.
+	code, again := postJob(t, srv, spec)
+	if code != http.StatusOK || !again.Cached {
+		t.Fatalf("resubmit: status %d cached %v, want 200 cached", code, again.Cached)
+	}
+
+	// Job list includes both submissions.
+	var list []jobs.Job
+	if code := getJSON(t, srv.URL+"/jobs", &list); code != http.StatusOK || len(list) != 2 {
+		t.Fatalf("GET /jobs: status %d, %d jobs", code, len(list))
+	}
+}
+
+func TestAPIErrorMapping(t *testing.T) {
+	srv := httptest.NewServer(newTestHandler(t))
+	defer srv.Close()
+
+	if code, _ := postJob(t, srv, `{not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", code)
+	}
+	if code, _ := postJob(t, srv, `{"workloads":["PDP-11"]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown workload: status %d, want 400", code)
+	}
+	if code, _ := postJob(t, srv, `{"bogus_field":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", code)
+	}
+	if code := getJSON(t, srv.URL+"/jobs/j-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/results/0123456789abcdef", nil); code != http.StatusNotFound {
+		t.Errorf("unknown bundle: status %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz: status %d", code)
+	}
+}
+
+func TestAPIJobEventsSSE(t *testing.T) {
+	srv := httptest.NewServer(newTestHandler(t))
+	defer srv.Close()
+
+	// Three long workloads (~200ms of simulation) so the subscription
+	// below lands while the job is still running; the bus only carries
+	// live events, and job-done is published at classification.
+	code, job := postJob(t, srv, `{"workloads":["TIMESHARING-A","TIMESHARING-B","RTE-EDU"],"instructions":60000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no job-done event on the SSE stream")
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended early: %v", err)
+		}
+		if strings.HasPrefix(line, "event: job-done") {
+			return
+		}
+	}
+}
+
+// startVaxd launches a built vaxd binary and returns its base URL plus
+// a channel that yields the exit error when the process ends.
+func startVaxd(t *testing.T, bin, data string) (*exec.Cmd, string, chan error) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", data)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				addrCh <- strings.TrimSuffix(strings.Fields(rest)[0], ",")
+			}
+		}
+	}()
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr, waitCh
+	case err := <-waitCh:
+		t.Fatalf("vaxd exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("vaxd never reported its listen address")
+	}
+	panic("unreachable")
+}
+
+// TestVaxdSIGTERMDrainRestart is the full crash-tolerance contract,
+// end to end against the real binary: SIGTERM mid-job exits 0 after
+// draining, a restart over the same data directory requeues and
+// resumes the job from its checkpoint, and the final bundle is
+// byte-identical to an uninterrupted in-process run. The resubmission
+// then hits the cache.
+func TestVaxdSIGTERMDrainRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess end-to-end test; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "vaxd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vaxd: %v\n%s", err, out)
+	}
+	data := filepath.Join(t.TempDir(), "data")
+
+	// Life 1: submit a three-workload job and SIGTERM once the first
+	// checkpoint exists (>= 1 workload committed, run still going).
+	cmd1, url1, wait1 := startVaxd(t, bin, data)
+	// parallelism 1 keeps workloads strictly sequential, so the SIGTERM
+	// below lands with later workloads not yet started — they requeue
+	// rather than running to completion inside the drain.
+	spec := `{"workloads":["TIMESHARING-A","TIMESHARING-B","RTE-EDU"],"instructions":50000,"parallelism":1}`
+	resp, err := http.Post(url1+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	ckpt := filepath.Join(data, "staging", job.ID, "run.ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared; cannot interrupt mid-job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-wait1:
+		if err != nil {
+			t.Fatalf("vaxd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("vaxd did not exit after SIGTERM")
+	}
+
+	// Life 2: restart over the same data dir; the job must requeue,
+	// resume, and complete.
+	_, url2, _ := startVaxd(t, bin, data)
+	var done jobs.Job
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		r, err := http.Get(url2 + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&done)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted job stuck in %s", done.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("after restart: state %s (%s)", done.State, done.Cause)
+	}
+	if done.Requeues < 1 {
+		t.Fatalf("requeues = %d, want >= 1 (the job must have been requeued)", done.Requeues)
+	}
+
+	fetch := func(name string) []byte {
+		r, err := http.Get(url2 + "/results/" + done.Key + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", name, r.StatusCode)
+		}
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Contains(fetch("ledger.jsonl"), []byte("checkpoint-resumed")) {
+		t.Error("bundle ledger has no checkpoint-resumed event; the restarted job re-ran from scratch")
+	}
+
+	// Byte-identical to an uninterrupted in-process run.
+	res, err := vax780.Run(vax780.RunConfig{
+		Instructions: 50000,
+		Workloads: []vax780.WorkloadID{
+			vax780.TimesharingA, vax780.TimesharingB, vax780.RTEEducational,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantHist bytes.Buffer
+	if err := res.SaveHistogram(&wantHist); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fetch("histogram.upch"), wantHist.Bytes()) {
+		t.Error("served histogram differs from uninterrupted run")
+	}
+	if string(fetch("report.txt")) != res.Report() {
+		t.Error("served report differs from uninterrupted run")
+	}
+
+	// Resubmission is a cache hit: HTTP 200 with cached=true.
+	r2, err := http.Post(url2+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached jobs.Job
+	if err := json.NewDecoder(r2.Body).Decode(&cached); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK || !cached.Cached {
+		t.Fatalf("resubmit: status %d cached %v, want 200 cached", r2.StatusCode, cached.Cached)
+	}
+	if fmt.Sprint(cached.Key) != fmt.Sprint(done.Key) {
+		t.Fatalf("cached key %s != original %s", cached.Key, done.Key)
+	}
+}

@@ -1,0 +1,149 @@
+package vax780
+
+// Cancellation tests: RunContext/SweepContext semantics — deadline and
+// cancel observed at workload boundaries, a cancellable supervisor
+// backoff, and bit-identical resume of a canceled run.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vax780/internal/runlog"
+)
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, RunConfig{Instructions: 2000, Workloads: []WorkloadID{TimesharingA}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The parallel path observes cancellation the same way.
+	_, err = RunContext(ctx, RunConfig{Instructions: 2000, Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunContext(ctx, RunConfig{Instructions: 2000, Workloads: []WorkloadID{TimesharingA}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCancelResumeBitIdentical cancels a sequential composite
+// after its first workload completes (watching the live event bus),
+// then resumes from the checkpoint the canceled run left behind. The
+// resumed composite must be bit-identical to an uninterrupted run —
+// cancellation is just a crash the run planned for.
+func TestRunContextCancelResumeBitIdentical(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	base := RunConfig{
+		Instructions: 20_000,
+		Workloads:    []WorkloadID{TimesharingA, RTEScientific, RTECommercial},
+	}
+
+	uninterrupted, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bus := runlog.NewBus()
+	ch, unsub := bus.Subscribe(64)
+	defer unsub()
+	go func() {
+		for ev := range ch {
+			if ev.Type == runlog.EvWlDone {
+				cancel()
+				return
+			}
+		}
+	}()
+
+	canceled := base
+	canceled.Checkpoint = ckpt
+	canceled.Parallelism = 1
+	canceled.Events = bus
+	_, err = RunContext(ctx, canceled)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("canceled run left no checkpoint: %v", err)
+	}
+
+	resumed := base
+	resumed.Checkpoint = ckpt
+	resumed.Resume = true
+	res, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed < 1 {
+		t.Errorf("Resumed = %d, want >= 1 (cancel was after a workload boundary)", res.Resumed)
+	}
+	if *res.Histogram() != *uninterrupted.Histogram() {
+		t.Error("resumed composite histogram differs from uninterrupted run")
+	}
+	if res.Report() != uninterrupted.Report() {
+		t.Error("resumed report differs from uninterrupted run")
+	}
+}
+
+// TestRetryBackoffCancellable: the supervisor's retry backoff must wake
+// on cancellation instead of sleeping through it. A 10-second backoff
+// with a cancel ~50ms in must return promptly with the context error.
+func TestRetryBackoffCancellable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := RunContext(ctx, RunConfig{
+		Instructions: 8000,
+		Workloads:    []WorkloadID{TimesharingA},
+		Faults: &FaultConfig{
+			Seed:         3,
+			MemParity:    0.01, // aborts transiently, forcing the retry path
+			MaxRetries:   5,
+			RetryBackoff: 10 * time.Second,
+		},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("run took %v to observe cancel; backoff is not cancellable", elapsed)
+	}
+}
+
+func TestSweepContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	points := []SweepPoint{
+		{Label: "a", Config: RunConfig{Instructions: 2000, Workloads: []WorkloadID{TimesharingA}}},
+		{Label: "b", Config: RunConfig{Instructions: 2000, Workloads: []WorkloadID{TimesharingB}}},
+	}
+	results := SweepContext(ctx, points, SweepOptions{})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("point %s: err = %v, want context.Canceled", r.Label, r.Err)
+		}
+	}
+}

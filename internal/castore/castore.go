@@ -1,0 +1,317 @@
+// Package castore is the content-addressed result store of the vaxd
+// service: one immutable bundle directory per measurement identity,
+// plus the append-only journal crash recovery replays.
+//
+// The design borrows nanoBench's record-per-measurement discipline
+// (PAPERS.md): the served artifact is one addressable, machine-readable
+// bundle — ledger, histogram, report, profile spans — keyed by the hash
+// of everything that determines its bytes. Because the simulator is a
+// pure function of seed and configuration (bit-exact across -j, proven
+// by the determinism suite), two submissions with equal keys would
+// produce identical bundles; serving the stored one is not an
+// approximation, it is the answer.
+//
+// Layout under the root:
+//
+//	objects/<key>/...   committed bundles, immutable once present
+//	staging/<id>/...    per-job scratch: bundle assembly + checkpoints
+//	journal.jsonl       append-only job journal (the owner defines the
+//	                    record schema; vaxd writes runlog job events)
+//
+// Commit is crash-safe: a bundle is assembled in staging and renamed
+// into objects/ in one step, so a reader never observes a partial
+// bundle. When two jobs race to commit one key, the first writer wins
+// and the loser's staging is discarded — determinism makes the two
+// bundles interchangeable. The package itself never reads the wall
+// clock; any timestamps in bundle metadata are the caller's.
+package castore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoBundle reports a key with no committed bundle.
+var ErrNoBundle = errors.New("castore: no bundle under key")
+
+// Store is one on-disk content-addressed store. Safe for concurrent
+// use; journal appends are serialized.
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	journal *os.File
+}
+
+// Open creates (or reopens) the store rooted at root.
+func Open(root string) (*Store, error) {
+	for _, dir := range []string{root, filepath.Join(root, "objects"), filepath.Join(root, "staging")} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("castore: %w", err)
+		}
+	}
+	j, err := os.OpenFile(filepath.Join(root, "journal.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("castore: opening journal: %w", err)
+	}
+	return &Store{root: root, journal: j}, nil
+}
+
+// Close releases the journal handle. The store directory remains valid
+// for a later Open (that is the crash-recovery path).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// validName rejects path elements that could escape the store.
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("castore: invalid name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) objectDir(key string) string {
+	return filepath.Join(s.root, "objects", key)
+}
+
+// Has reports whether a committed bundle exists under key.
+func (s *Store) Has(key string) bool {
+	if validName(key) != nil {
+		return false
+	}
+	st, err := os.Stat(s.objectDir(key))
+	return err == nil && st.IsDir()
+}
+
+// Bundle lists a committed bundle's file names, sorted.
+func (s *Store) Bundle(key string) ([]string, error) {
+	if err := validName(key); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(s.objectDir(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoBundle, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open returns a reader on one file of a committed bundle.
+func (s *Store) Open(key, name string) (io.ReadCloser, error) {
+	if err := validName(key); err != nil {
+		return nil, err
+	}
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(s.objectDir(key), name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoBundle, key, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	return f, nil
+}
+
+// ReadFile reads one file of a committed bundle whole.
+func (s *Store) ReadFile(key, name string) ([]byte, error) {
+	f, err := s.Open(key, name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Keys lists every committed bundle key, sorted.
+func (s *Store) Keys() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		if e.IsDir() {
+			keys = append(keys, e.Name())
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Staging is one job's scratch directory: checkpoint files while the
+// job runs, then the assembled bundle. It survives a crash (recovery
+// re-stages the same id and the run resumes from the checkpoint found
+// there) and disappears on Commit or Abandon.
+type Staging struct {
+	store *Store
+	id    string
+	dir   string
+}
+
+// Stage creates (or re-opens, after a crash) the staging directory for
+// the given job id.
+func (s *Store) Stage(id string) (*Staging, error) {
+	if err := validName(id); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(s.root, "staging", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	return &Staging{store: s, id: id, dir: dir}, nil
+}
+
+// Dir returns the staging directory path.
+func (st *Staging) Dir() string { return st.dir }
+
+// Path returns the path of one file inside the staging directory.
+func (st *Staging) Path(name string) string { return filepath.Join(st.dir, name) }
+
+// WriteFile writes one staged file.
+func (st *Staging) WriteFile(name string, data []byte) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	return os.WriteFile(st.Path(name), data, 0o644)
+}
+
+// Remove deletes one staged file if present (e.g. the run checkpoint,
+// which is job scratch and must not enter the bundle).
+func (st *Staging) Remove(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	err := os.Remove(st.Path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Commit publishes the staged files as the bundle under key, in one
+// rename. If a bundle already exists under key the staged copy is
+// discarded — first writer wins; determinism makes the copies
+// interchangeable. Either way the staging directory is gone afterwards.
+func (st *Staging) Commit(key string) error {
+	if err := validName(key); err != nil {
+		return err
+	}
+	st.store.mu.Lock()
+	defer st.store.mu.Unlock()
+	dst := st.store.objectDir(key)
+	if _, err := os.Stat(dst); err == nil {
+		return os.RemoveAll(st.dir)
+	}
+	if err := os.Rename(st.dir, dst); err != nil {
+		return fmt.Errorf("castore: committing %s: %w", key, err)
+	}
+	// Best-effort durability of the rename itself.
+	if d, err := os.Open(filepath.Dir(dst)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Abandon discards the staging directory and everything in it.
+func (st *Staging) Abandon() error {
+	return os.RemoveAll(st.dir)
+}
+
+// AppendJournal appends one line-terminated record to the journal and
+// syncs it. line must be a single JSONL record without the newline.
+func (s *Store) AppendJournal(line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return errors.New("castore: journal closed")
+	}
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := s.journal.Write(buf); err != nil {
+		return fmt.Errorf("castore: journal append: %w", err)
+	}
+	return s.journal.Sync()
+}
+
+// journalWriter adapts AppendJournal to io.Writer for the runlog
+// ledger, which emits exactly one line per Write call.
+type journalWriter struct{ s *Store }
+
+func (w journalWriter) Write(p []byte) (int, error) {
+	line := p
+	for len(line) > 0 && line[len(line)-1] == '\n' {
+		line = line[:len(line)-1]
+	}
+	if err := w.s.AppendJournal(line); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// JournalWriter returns an io.Writer appending one journal record per
+// Write call (the runlog JSON handler's contract).
+func (s *Store) JournalWriter() io.Writer { return journalWriter{s} }
+
+// ReplayJournal calls fn for every complete record in the journal, in
+// append order. A truncated final line (torn write at crash) is
+// silently dropped: the journal is recovery input, and a record that
+// never fully landed describes an action that may not have happened.
+func (s *Store) ReplayJournal(fn func(line []byte) error) error {
+	data, err := os.ReadFile(filepath.Join(s.root, "journal.jsonl"))
+	if err != nil {
+		return fmt.Errorf("castore: reading journal: %w", err)
+	}
+	for len(data) > 0 {
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			return nil // torn final record: ignore
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package castore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStageCommitRoundTrip(t *testing.T) {
+	s := openStore(t)
+	st, err := s.Stage("j-000001")
+	if err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	if err := st.WriteFile("report.txt", []byte("CPI 10.6\n")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := st.WriteFile("meta.json", []byte("{}\n")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if s.Has("deadbeef") {
+		t.Fatal("Has before commit")
+	}
+	if err := st.Commit("deadbeef"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if !s.Has("deadbeef") {
+		t.Fatal("Has after commit = false")
+	}
+	names, err := s.Bundle("deadbeef")
+	if err != nil {
+		t.Fatalf("Bundle: %v", err)
+	}
+	if want := []string{"meta.json", "report.txt"}; fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("Bundle = %v, want %v", names, want)
+	}
+	data, err := s.ReadFile("deadbeef", "report.txt")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(data, []byte("CPI 10.6\n")) {
+		t.Fatalf("ReadFile = %q", data)
+	}
+	// Staging directory is gone after commit.
+	if _, err := os.Stat(st.Dir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("staging dir survives commit: %v", err)
+	}
+}
+
+func TestCommitFirstWriterWins(t *testing.T) {
+	s := openStore(t)
+	a, _ := s.Stage("j-000001")
+	b, _ := s.Stage("j-000002")
+	if err := a.WriteFile("report.txt", []byte("first\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile("report.txt", []byte("second\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit("cafef00d"); err != nil {
+		t.Fatalf("first Commit: %v", err)
+	}
+	if err := b.Commit("cafef00d"); err != nil {
+		t.Fatalf("second Commit: %v", err)
+	}
+	data, err := s.ReadFile("cafef00d", "report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first\n" {
+		t.Fatalf("bundle content = %q, want the first writer's", data)
+	}
+	if _, err := os.Stat(b.Dir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("loser's staging dir not discarded")
+	}
+}
+
+func TestCommitRace(t *testing.T) {
+	s := openStore(t)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		st, err := s.Stage(fmt.Sprintf("j-%06d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.WriteFile("x", []byte(fmt.Sprintf("writer %d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := st.Commit("abcd1234"); err != nil {
+				t.Errorf("Commit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if !s.Has("abcd1234") {
+		t.Fatal("no bundle after racing commits")
+	}
+	ents, _ := os.ReadDir(filepath.Join(s.Root(), "staging"))
+	if len(ents) != 0 {
+		t.Fatalf("%d staging dirs survive the race", len(ents))
+	}
+}
+
+func TestStageSurvivesReopen(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Stage("j-000001")
+	if err := st.WriteFile("run.ckpt", []byte("checkpoint bytes")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, err := s2.Stage("j-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st2.Path("run.ckpt"))
+	if err != nil {
+		t.Fatalf("checkpoint lost across reopen: %v", err)
+	}
+	if string(data) != "checkpoint bytes" {
+		t.Fatalf("checkpoint = %q", data)
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	s := openStore(t)
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, err := s.Stage(bad); err == nil {
+			t.Errorf("Stage(%q) accepted", bad)
+		}
+		if _, err := s.Open(bad, "x"); err == nil {
+			t.Errorf("Open(%q) accepted", bad)
+		}
+		if _, err := s.Open("good", bad); err == nil {
+			t.Errorf("Open(key, %q) accepted", bad)
+		}
+		if s.Has(bad) {
+			t.Errorf("Has(%q) = true", bad)
+		}
+	}
+}
+
+func TestNoBundleSentinel(t *testing.T) {
+	s := openStore(t)
+	if _, err := s.Bundle("0123456789abcdef"); !errors.Is(err, ErrNoBundle) {
+		t.Fatalf("Bundle err = %v, want ErrNoBundle", err)
+	}
+	if _, err := s.Open("0123456789abcdef", "report.txt"); !errors.Is(err, ErrNoBundle) {
+		t.Fatalf("Open err = %v, want ErrNoBundle", err)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	s := openStore(t)
+	for i := 0; i < 3; i++ {
+		if err := s.AppendJournal([]byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := s.ReplayJournal(func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"n":0}`, `{"n":1}`, `{"n":2}`}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+}
+
+func TestJournalWriterStripsNewline(t *testing.T) {
+	s := openStore(t)
+	w := s.JournalWriter()
+	if _, err := w.Write([]byte("{\"a\":1}\n")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	s.ReplayJournal(func(line []byte) error { got = append(got, string(line)); return nil })
+	if len(got) != 1 || got[0] != `{"a":1}` {
+		t.Fatalf("replay = %q", got)
+	}
+}
+
+func TestJournalTornFinalLineIgnored(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AppendJournal([]byte(`{"complete":true}`))
+	s.Close()
+	// Simulate a torn write: append half a record with no newline.
+	f, err := os.OpenFile(filepath.Join(root, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"torn":`)
+	f.Close()
+
+	s2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got []string
+	if err := s2.ReplayJournal(func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != `{"complete":true}` {
+		t.Fatalf("replay = %q, want only the complete record", got)
+	}
+	// And the journal still appends after the torn tail.
+	if err := s2.AppendJournal([]byte(`{"next":1}`)); err != nil {
+		t.Fatal(err)
+	}
+}

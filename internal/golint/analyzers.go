@@ -194,6 +194,14 @@ var DeterminismExemptions = map[string]bool{
 	"vax780/cmd/vaxtop":      true,
 	"vax780/cmd/vaxbench":    true,
 	"vax780/cmd/vaxprof":     true,
+
+	// The vaxd service layer: admission token buckets refill on wall
+	// time and job deadlines are wall deadlines. Both sit strictly
+	// outside the runs they admit — a job's simulated bytes stay a pure
+	// function of its spec, which is what lets the service serve cached
+	// bundles as authoritative results.
+	"vax780/internal/jobs": true,
+	"vax780/cmd/vaxd":      true,
 }
 
 // DeterminismAnalyzer flags wall-clock reads (time.Now/Since/Until) and

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func mustKey(t *testing.T, s Spec) string {
+	t.Helper()
+	k, err := s.Key()
+	if err != nil {
+		t.Fatalf("Key(%+v): %v", s, err)
+	}
+	if len(k) != 16 {
+		t.Fatalf("Key = %q, want 16 hex digits", k)
+	}
+	return k
+}
+
+func TestSpecKeyIdentity(t *testing.T) {
+	base := Spec{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000}
+	if mustKey(t, base) != mustKey(t, base) {
+		t.Fatal("identical specs hash differently")
+	}
+	// Every measurement-identity field must move the key.
+	variants := []Spec{
+		{Workloads: []string{"TIMESHARING-B"}, Instructions: 2000},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 3000},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000, CacheBytes: 16384},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000, TBEntries: 64},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000, CtxSwitchHeadway: 1000},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000, FaultSeed: 7},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000, FaultMemParity: 1e-5},
+		{Workloads: []string{"TIMESHARING-A"}, Instructions: 2000, FaultMachCheck: 1e-6},
+	}
+	seen := map[string]int{mustKey(t, base): -1}
+	for i, v := range variants {
+		k := mustKey(t, v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d: %s", i, prev, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestSpecKeyServiceFieldsExcluded(t *testing.T) {
+	base := Spec{Workloads: []string{"RTE-EDU"}, Instructions: 1500}
+	withService := base
+	withService.Tenant = "alice"
+	withService.DeadlineMS = 30_000
+	withService.Parallelism = 4
+	if mustKey(t, base) != mustKey(t, withService) {
+		t.Fatal("tenant/deadline/parallelism changed the content address; scheduling hints must share one cached result")
+	}
+}
+
+func TestSpecKeySweep(t *testing.T) {
+	sweep := Spec{
+		Workloads:    []string{"TIMESHARING-A"},
+		Instructions: 1000,
+		Points: []Point{
+			{Label: "8KB", CacheBytes: 8192},
+			{Label: "16KB", CacheBytes: 16384},
+		},
+	}
+	k1 := mustKey(t, sweep)
+	reordered := sweep
+	reordered.Points = []Point{sweep.Points[1], sweep.Points[0]}
+	if k1 == mustKey(t, reordered) {
+		t.Fatal("point order does not move the key; bundle tables are ordered")
+	}
+	single := Spec{Workloads: []string{"TIMESHARING-A"}, Instructions: 1000, CacheBytes: 8192}
+	if k1 == mustKey(t, single) {
+		t.Fatal("sweep key collides with single-run key")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero value", Spec{}, true},
+		{"named workloads", Spec{Workloads: []string{"TIMESHARING-A", "RTE-COM"}}, true},
+		{"unknown workload", Spec{Workloads: []string{"PDP-11"}}, false},
+		{"negative instructions", Spec{Instructions: -1}, false},
+		{"negative deadline", Spec{DeadlineMS: -5}, false},
+		{"unlabeled point", Spec{Points: []Point{{CacheBytes: 4096}}}, false},
+		{"labeled points", Spec{Points: []Point{{Label: "a"}, {Label: "b", CacheWays: 1}}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate = %v, want nil", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: Validate accepted", tc.name)
+			} else if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("%s: err = %v, want ErrBadSpec", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestHTTPStatusTable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrQueueFull, http.StatusTooManyRequests},
+		{ErrQuotaExceeded, http.StatusTooManyRequests},
+		{ErrDeadlineExceeded, http.StatusGatewayTimeout},
+		{ErrDraining, http.StatusServiceUnavailable},
+		{ErrBadSpec, http.StatusBadRequest},
+		{ErrUnknownJob, http.StatusNotFound},
+		// Wrapped sentinels map the same way: the table is errors.Is-based.
+		{fmt.Errorf("%w (depth 16)", ErrQueueFull), http.StatusTooManyRequests},
+		{fmt.Errorf("%w: no such workload", ErrBadSpec), http.StatusBadRequest},
+		{errors.New("unclassified"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

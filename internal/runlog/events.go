@@ -204,6 +204,64 @@ func ProgressEvent(s Snapshot) Event {
 	}}
 }
 
+// JobQueuedEvent records a job admitted to the vaxd queue: its
+// identity, its content-address key, the submitting tenant, and the
+// full spec (json-marshalable) — the spec rides on the journal so a
+// crashed daemon can requeue the job from this record alone.
+func JobQueuedEvent(id, key, tenant string, deadlineMS int64, spec any) Event {
+	return Event{Type: EvJobQueued, Attrs: []slog.Attr{
+		slog.String("id", id),
+		slog.String("key", key),
+		slog.String("tenant", tenant),
+		slog.Int64("deadline_ms", deadlineMS),
+		slog.Any("spec", spec),
+	}}
+}
+
+// JobStartEvent records a job leaving the queue for a worker. requeues
+// counts prior lives of the job (crash recoveries and drain requeues).
+func JobStartEvent(id, key string, requeues int) Event {
+	return Event{Type: EvJobStart, Attrs: []slog.Attr{
+		slog.String("id", id),
+		slog.String("key", key),
+		slog.Int("requeues", requeues),
+	}}
+}
+
+// JobDoneEvent closes a job's lifecycle: its terminal state (done,
+// failed, evicted, timed-out), the cause for non-done states, whether
+// the result was served from the content-addressed cache, and the
+// composite totals for completed jobs (zero otherwise). An "evicted"
+// record doubles as the requeue marker: recovery treats the job as
+// pending again.
+func JobDoneEvent(id, key, state, cause string, cached bool,
+	instrs, cycles uint64, cpi float64) Event {
+
+	lvl := slog.LevelInfo
+	if state != "done" && state != "evicted" {
+		lvl = slog.LevelWarn
+	}
+	return Event{Type: EvJobDone, Level: lvl, Attrs: []slog.Attr{
+		slog.String("id", id),
+		slog.String("key", key),
+		slog.String("state", state),
+		slog.String("cause", cause),
+		slog.Bool("cached", cached),
+		slog.Uint64("instructions", instrs),
+		slog.Uint64("cycles", cycles),
+		slog.Float64("cpi", cpi),
+	}}
+}
+
+// DrainEvent records a graceful drain: admission stopped, in-flight
+// jobs checkpointed and requeued.
+func DrainEvent(reason string, requeued int) Event {
+	return Event{Type: EvDrain, Attrs: []slog.Attr{
+		slog.String("reason", reason),
+		slog.Int("requeued", requeued),
+	}}
+}
+
 // hexHash renders a configuration hash the way checkpoint errors do.
 func hexHash(h uint64) string {
 	const digits = "0123456789abcdef"

@@ -57,6 +57,13 @@ const (
 	EvPointDone  = "sweep-point-done"
 	EvSweepDone  = "sweep-done"
 
+	// Job lifecycle events of the vaxd service ledger (which doubles as
+	// the content-addressed store's journal: crash recovery replays it).
+	EvJobQueued = "job-queued"
+	EvJobStart  = "job-start"
+	EvJobDone   = "job-done"
+	EvDrain     = "drain"
+
 	// EvProgress is bus-only: periodic fleet snapshots are wall-clock
 	// data and never enter the JSONL file.
 	EvProgress = "progress"
@@ -89,6 +96,19 @@ func New(w io.Writer) *Ledger {
 	l := &Ledger{bus: NewBus(), start: time.Now()}
 	if w != nil {
 		l.log = slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return l
+}
+
+// NewOn is New publishing on an externally owned bus instead of a
+// fresh one (nil bus: identical to New). The vaxd service uses this to
+// keep one live bus per job: SSE subscribers attach to the job's bus
+// before its run starts, and the run's ledger events reach them the
+// moment the run constructs its Ledger on that bus.
+func NewOn(w io.Writer, bus *Bus) *Ledger {
+	l := New(w)
+	if bus != nil {
+		l.bus = bus
 	}
 	return l
 }

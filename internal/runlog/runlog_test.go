@@ -37,6 +37,11 @@ func sampleEvents() []Event {
 		SweepStartEvent(3),
 		PointDoneEvent("cache=0", 0, 1000, 12000, 12.0, ""),
 		SweepDoneEvent(3, 0),
+		JobQueuedEvent("j-0001", "a1b2c3d4e5f60789", "alice", 30000,
+			map[string]any{"instructions": 1000, "workloads": []string{"TIMESHARING-A"}}),
+		JobStartEvent("j-0001", "a1b2c3d4e5f60789", 1),
+		JobDoneEvent("j-0001", "a1b2c3d4e5f60789", "done", "", false, 1000, 10949, 10.9),
+		DrainEvent("SIGTERM", 2),
 	}
 }
 

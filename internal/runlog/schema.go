@@ -78,6 +78,19 @@ func Schema() map[string]EventSchema {
 		EvSweepDone: {
 			Required: []string{"points", "errors"},
 		},
+		EvJobQueued: {
+			Required: []string{"id", "key", "tenant", "deadline_ms", "spec"},
+		},
+		EvJobStart: {
+			Required: []string{"id", "key", "requeues"},
+		},
+		EvJobDone: {
+			Required: []string{"id", "key", "state", "cause", "cached",
+				"instructions", "cycles", "cpi"},
+		},
+		EvDrain: {
+			Required: []string{"reason", "requeued"},
+		},
 	}
 }
 

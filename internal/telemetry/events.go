@@ -74,11 +74,7 @@ func (t *Telemetry) latestProgress() (runlog.Snapshot, bool) {
 	return p.latest()
 }
 
-// serveEvents streams the run ledger's live bus as Server-Sent Events:
-// one "event:"/"data:" frame per ledger event, the data line being the
-// event's canonical JSON object. A subscriber that falls behind loses
-// events rather than slowing the run (the bus drops on full buffers) —
-// the board's passivity discipline extended to the observers.
+// serveEvents streams the run ledger's live bus as Server-Sent Events.
 func (t *Telemetry) serveEvents(w http.ResponseWriter, r *http.Request) {
 	bus := t.evBus.Load()
 	if bus == nil {
@@ -86,6 +82,17 @@ func (t *Telemetry) serveEvents(w http.ResponseWriter, r *http.Request) {
 			http.StatusServiceUnavailable)
 		return
 	}
+	ServeBus(w, r, bus)
+}
+
+// ServeBus streams one live event bus as Server-Sent Events: one
+// "event:"/"data:" frame per ledger event, the data line being the
+// event's canonical JSON object. A subscriber that falls behind loses
+// events rather than slowing the run (the bus drops on full buffers) —
+// the board's passivity discipline extended to the observers. This is
+// the shared plumbing behind the monitor's /events endpoint and the
+// vaxd service's per-job streams (see SSEMux).
+func ServeBus(w http.ResponseWriter, r *http.Request, bus *runlog.Bus) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)

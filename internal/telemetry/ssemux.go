@@ -1,0 +1,60 @@
+// The per-job SSE mux of the vaxd service: one live event bus per job,
+// addressed by job ID, each streamed with the same ServeBus plumbing as
+// the monitor's /events endpoint. Buses outlive their runs — a job's
+// bus is attached at admission and detached only when the job is
+// forgotten — so a client can subscribe before the run starts and keep
+// the stream across the queued → running → done lifecycle.
+
+package telemetry
+
+import (
+	"net/http"
+	"sync"
+
+	"vax780/internal/runlog"
+)
+
+// SSEMux routes Server-Sent-Event subscribers to per-key live event
+// buses. The zero value is not usable; call NewSSEMux.
+type SSEMux struct {
+	mu    sync.RWMutex
+	buses map[string]*runlog.Bus
+}
+
+// NewSSEMux returns an empty mux.
+func NewSSEMux() *SSEMux {
+	return &SSEMux{buses: make(map[string]*runlog.Bus)}
+}
+
+// Attach registers (or replaces) the bus served under key.
+func (m *SSEMux) Attach(key string, bus *runlog.Bus) {
+	m.mu.Lock()
+	m.buses[key] = bus
+	m.mu.Unlock()
+}
+
+// Detach removes the bus under key. Streams already subscribed keep
+// draining the bus; new subscribers get 404.
+func (m *SSEMux) Detach(key string) {
+	m.mu.Lock()
+	delete(m.buses, key)
+	m.mu.Unlock()
+}
+
+// Lookup returns the bus under key, if attached.
+func (m *SSEMux) Lookup(key string) (*runlog.Bus, bool) {
+	m.mu.RLock()
+	b, ok := m.buses[key]
+	m.mu.RUnlock()
+	return b, ok
+}
+
+// ServeKey streams the bus registered under key as SSE, or 404s.
+func (m *SSEMux) ServeKey(w http.ResponseWriter, r *http.Request, key string) {
+	bus, ok := m.Lookup(key)
+	if !ok {
+		http.Error(w, "no event stream under that key", http.StatusNotFound)
+		return
+	}
+	ServeBus(w, r, bus)
+}

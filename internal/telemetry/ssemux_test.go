@@ -1,0 +1,101 @@
+package telemetry_test
+
+// Tests of the per-job SSE mux: streams route by key with the same
+// plumbing as /events, unknown keys 404, and detaching a key stops new
+// subscriptions without cutting streams already draining the bus.
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vax780/internal/runlog"
+	"vax780/internal/telemetry"
+)
+
+func muxServer(t *testing.T, mux *telemetry.SSEMux) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeKey(w, r, r.URL.Query().Get("id"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSSEMuxUnknownKey404s(t *testing.T) {
+	srv := muxServer(t, telemetry.NewSSEMux())
+	resp, err := http.Get(srv.URL + "?id=j-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSSEMuxRoutesPerKey(t *testing.T) {
+	mux := telemetry.NewSSEMux()
+	busA, busB := runlog.NewBus(), runlog.NewBus()
+	mux.Attach("job-a", busA)
+	mux.Attach("job-b", busB)
+	srv := muxServer(t, mux)
+
+	respA, err := http.Get(srv.URL + "?id=job-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respA.Body.Close()
+	respB, err := http.Get(srv.URL + "?id=job-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respB.Body.Close()
+
+	// Each bus reaches exactly its own stream.
+	busA.Publish(runlog.WlStartEvent("A-ONLY", 0, 100))
+	busB.Publish(runlog.WlDoneEvent("B-ONLY", 0, 100, 1000, 10, 0, false))
+
+	fa := readFrames(t, bufio.NewReader(respA.Body), 1)
+	if fa[0].Type != runlog.EvWlStart || fa[0].Data["workload"] != "A-ONLY" {
+		t.Fatalf("stream A got %+v", fa[0])
+	}
+	fb := readFrames(t, bufio.NewReader(respB.Body), 1)
+	if fb[0].Type != runlog.EvWlDone || fb[0].Data["workload"] != "B-ONLY" {
+		t.Fatalf("stream B got %+v", fb[0])
+	}
+}
+
+func TestSSEMuxDetach(t *testing.T) {
+	mux := telemetry.NewSSEMux()
+	bus := runlog.NewBus()
+	mux.Attach("job-a", bus)
+	srv := muxServer(t, mux)
+
+	// Subscribe while attached; the stream must survive a Detach.
+	resp, err := http.Get(srv.URL + "?id=job-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	mux.Detach("job-a")
+	if _, ok := mux.Lookup("job-a"); ok {
+		t.Fatal("Lookup after Detach = true")
+	}
+	late, err := http.Get(srv.URL + "?id=job-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.Body.Close()
+	if late.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-detach subscribe: status %d, want 404", late.StatusCode)
+	}
+
+	bus.Publish(runlog.WlStartEvent("STILL-LIVE", 0, 100))
+	frames := readFrames(t, bufio.NewReader(resp.Body), 1)
+	if frames[0].Data["workload"] != "STILL-LIVE" {
+		t.Fatalf("pre-detach stream got %+v", frames[0])
+	}
+}

@@ -13,6 +13,7 @@ package vax780
 // their results combine.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -104,8 +105,13 @@ func (s *runState) runJobs(jobs []wlJob) error {
 				}
 				if !aborted.Load() {
 					j := jobs[n]
-					tr, err := s.cfg.workloadTrace(j.id)
-					if err != nil {
+					if cerr := s.cfg.context().Err(); cerr != nil {
+						// Canceled before this workload started: skip it.
+						// Workloads already executing run to completion and
+						// merge (and checkpoint) normally — cancellation
+						// granularity is the workload, same as sequential.
+						outcomes[n] = wlOutcome{err: cerr}
+					} else if tr, err := s.cfg.workloadTrace(j.id); err != nil {
 						outcomes[n] = wlOutcome{err: fmt.Errorf("%s: %w", j.id, err)}
 					} else {
 						env := wlEnv{idx: j.idx, id: j.id, tel: j.tel,
@@ -127,6 +133,12 @@ func (s *runState) runJobs(jobs []wlJob) error {
 		out := outcomes[n]
 		if out.err != nil {
 			aborted.Store(true)
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+				// Not a workload failure: the run was canceled. Everything
+				// merged so far is checkpointed; report it in the public
+				// cancellation form.
+				return fmt.Errorf("vax780: run canceled: %w", out.err)
+			}
 			return s.failWorkload(j.led, out.err)
 		}
 		if s.tel != nil {

@@ -1,6 +1,7 @@
 package vax780
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -137,6 +138,24 @@ type wlEnv struct {
 	slot *workerSlot
 }
 
+// sleepContext waits out d, or returns the context's error the moment
+// it is canceled — the cancellable replacement for the supervisor's old
+// bare time.Sleep, which could pin a draining daemon to the full 16x
+// backoff ladder.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // runWorkload is the supervised execution of one workload: run it
 // against the pre-generated trace, and on a transient machine check
 // retry with capped exponential backoff; on a non-transient fault (or
@@ -205,7 +224,11 @@ func runWorkload(env wlEnv, tr *workload.Trace, cfg RunConfig) (*oneRun, int, er
 			env.slot.noteRetry()
 			env.led.Emit(runlog.RetryEvent(env.id.String(), env.idx, attempt,
 				mck.Code.String(), mck.UPC, mck.Cycle, backoff.Milliseconds()))
-			time.Sleep(backoff)
+			if serr := sleepContext(cfg.context(), backoff); serr != nil {
+				// A draining or deadline-bound run must not block on the
+				// backoff ladder: surface the cancellation immediately.
+				return nil, retries, serr
+			}
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
 			}

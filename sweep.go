@@ -11,6 +11,7 @@ package vax780
 // shape), and the pooled histogram monitors.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -89,6 +90,17 @@ func pointInstrBudget(pt SweepPoint) uint64 {
 // all immutable — the control store, the cached traces, the workload
 // programs.
 func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
+	return SweepContext(context.Background(), points, opt)
+}
+
+// SweepContext is Sweep with cancellation and deadline semantics:
+// design points that have not started when ctx is canceled are skipped
+// (their SweepResult carries an error matching context.Canceled or
+// context.DeadlineExceeded), points already executing observe the
+// cancellation at their next workload boundary, and completed points
+// keep their results. The ledger still closes with a sweep-done event,
+// so a canceled sweep's JSONL stream remains schema-valid.
+func SweepContext(ctx context.Context, points []SweepPoint, opt SweepOptions) []SweepResult {
 	out := make([]SweepResult, len(points))
 	cache := newTraceCache()
 
@@ -137,7 +149,7 @@ func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
 				}
 				child := led.Child()
 				children[n] = child
-				out[n] = runPoint(points[n], cache, slot)
+				out[n] = runPoint(ctx, points[n], cache, slot)
 				var instrs, cycles uint64
 				var cpi float64
 				var errMsg string
@@ -177,8 +189,12 @@ func Sweep(points []SweepPoint, opt SweepOptions) []SweepResult {
 // runPoint executes one design point with the shared trace cache,
 // reporting progress through the sweep worker's slot (nil when the
 // sweep is unobserved).
-func runPoint(pt SweepPoint, cache *traceCache, slot *workerSlot) SweepResult {
+func runPoint(ctx context.Context, pt SweepPoint, cache *traceCache, slot *workerSlot) SweepResult {
 	res := SweepResult{Label: pt.Label}
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("vax780: sweep point %q: run canceled: %w", pt.Label, err)
+		return res
+	}
 	cfg := pt.Config
 	if cfg.Telemetry != nil {
 		res.Err = fmt.Errorf("vax780: sweep point %q: telemetry cannot be attached to a sweep point", pt.Label)
@@ -200,7 +216,7 @@ func runPoint(pt SweepPoint, cache *traceCache, slot *workerSlot) SweepResult {
 		slot.prefix = pt.Label + "/"
 		cfg.slot = slot
 	}
-	res.Results, res.Err = Run(cfg)
+	res.Results, res.Err = RunContext(ctx, cfg)
 	return res
 }
 

@@ -1,6 +1,7 @@
 package vax780
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -182,6 +183,14 @@ type RunConfig struct {
 	// (the ring is mask-indexed); Run rejects anything else.
 	FlightDepth int
 
+	// Events, when non-nil, is an externally owned live event bus the
+	// run publishes its ledger events on, instead of allocating its own.
+	// This is the per-job SSE plumbing of the vaxd service: the daemon
+	// owns one bus per job and subscribes SSE clients to it before,
+	// during, and after the job's run. Outside the repository the field
+	// is unusable (runlog is an internal package) and should be left nil.
+	Events *runlog.Bus
+
 	// Profiler, when non-nil, attaches the sampling host-time profiler:
 	// every stride-th cycle's micro-PC is sampled (one nil test per
 	// cycle when detached), classified onto control-store flows, and
@@ -206,6 +215,14 @@ type RunConfig struct {
 	// through (set by Sweep: the sweep-level fleet owns the slots and a
 	// point's sequential run feeds its worker's slot).
 	slot *workerSlot
+
+	// ctx is the run's cancellation context (set by RunContext; nil
+	// means context.Background()). Cancellation is observed at workload
+	// boundaries — before each pending workload starts, and inside the
+	// supervisor's retry backoff — never mid-simulation, so everything
+	// that completed before the cancel is already merged and (when a
+	// Checkpoint is configured) durably checkpointed.
+	ctx context.Context
 }
 
 // errRunHalted reports a run stopped by the haltAfter test seam.
@@ -251,10 +268,29 @@ func (c *RunConfig) parallelism() int {
 }
 
 // observed reports whether the run carries any observability consumer
-// (ledger, progress callback, or telemetry) — only then does Run pay
-// for the event plumbing; an unobserved run allocates none of it.
+// (ledger, progress callback, telemetry, or an external event bus) —
+// only then does Run pay for the event plumbing; an unobserved run
+// allocates none of it.
 func (c *RunConfig) observed() bool {
-	return c.Ledger != nil || c.Progress != nil || c.Telemetry != nil
+	return c.Ledger != nil || c.Progress != nil || c.Telemetry != nil || c.Events != nil
+}
+
+// context resolves the run's cancellation context.
+func (c *RunConfig) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// ctxErr reports the run's cancellation, in the public error form, or
+// nil while the run may continue. The returned error matches
+// context.Canceled / context.DeadlineExceeded with errors.Is.
+func (c *RunConfig) ctxErr() error {
+	if err := c.context().Err(); err != nil {
+		return fmt.Errorf("vax780: run canceled: %w", err)
+	}
+	return nil
 }
 
 // flightDepth resolves the flight-recorder configuration to a ring
@@ -321,6 +357,22 @@ func (c *RunConfig) workloadTrace(id WorkloadID) (*workload.Trace, error) {
 // bounded worker pool; results are merged strictly in workload order,
 // so the composite is bit-exact with the sequential run.
 func Run(cfg RunConfig) (*Results, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation and deadline semantics: when ctx
+// is canceled (or its deadline passes), the run stops at the next
+// workload boundary — or immediately, if the supervisor is waiting out
+// a retry backoff — and returns an error matching context.Canceled or
+// context.DeadlineExceeded under errors.Is. Workloads that completed
+// before the cancel are already merged, and when a Checkpoint path is
+// configured they are durably checkpointed, so a canceled run can be
+// resumed later (Resume) and its final composite is bit-identical to an
+// uninterrupted run. Cancellation is never observed mid-workload: the
+// granularity of a composite run is the workload, exactly like the
+// crash-recovery granularity of the checkpoint format.
+func RunContext(ctx context.Context, cfg RunConfig) (*Results, error) {
+	cfg.ctx = ctx
 	cfg.fill()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -338,7 +390,7 @@ func Run(cfg RunConfig) (*Results, error) {
 		s.tel = cfg.Telemetry.ensure()
 	}
 	if cfg.observed() {
-		s.led = runlog.New(cfg.Ledger)
+		s.led = runlog.NewOn(cfg.Ledger, cfg.Events)
 		var seed uint64
 		if cfg.Faults != nil {
 			seed = cfg.Faults.Seed
@@ -441,6 +493,9 @@ func (s *runState) runSequential() error {
 	for i, id := range s.cfg.Workloads {
 		if i < len(s.recs) {
 			continue // completed before the crash; folded in by Run
+		}
+		if err := s.cfg.ctxErr(); err != nil {
+			return err // completed workloads are merged and checkpointed
 		}
 		tr, err := s.cfg.workloadTrace(id)
 		if err != nil {
