@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-vaxd bench-all bench-smoke vaxd-smoke experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-vaxd bench-fusion bench-all bench-smoke vaxd-smoke experiments clean
 
 all: fmt-check vet lint build test
 
@@ -53,6 +53,34 @@ bench-parallel:
 # disabled sampler hook must stay within 1% of the fault-era baseline).
 bench-prof:
 	$(GO) test -run xxx -bench BenchmarkProf -benchtime 20x -count 3 .
+
+# The fusion-speedup gate: BenchmarkFusion prices the no-hook hot loop
+# fused (the default) and interpreted (NoFusion) over one shared
+# generated trace. The two variants alternate at process granularity,
+# order swapped halfway — the interleaved A/B method recorded in
+# BENCH_fusion.json — then reduce to pooled medians and adjudicate via
+# vaxbench -compare: the superword engine must never be slower than
+# the interpreter it replaces. Twelve pooled-median samples a side and
+# a 3%% threshold keep shared-runner noise (one 100ms CPU-steal burst
+# inflates a whole process sample) from tripping the gate; the
+# authoritative base-vs-head adjudication lives in BENCH_fusion.json.
+bench-fusion:
+	@set -e; \
+	$(GO) test -c -o /tmp/vax_fusion.test .; \
+	: > /tmp/fusion_on.txt; : > /tmp/fusion_off.txt; \
+	for i in 1 2 3 4 5 6; do \
+		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/on$$' -test.benchtime 10x >> /tmp/fusion_on.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/off$$' -test.benchtime 10x >> /tmp/fusion_off.txt; \
+	done; \
+	for i in 1 2 3 4 5 6; do \
+		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/off$$' -test.benchtime 10x >> /tmp/fusion_off.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/on$$' -test.benchtime 10x >> /tmp/fusion_on.txt; \
+	done; \
+	rm -f /tmp/fusion_interp.json /tmp/fusion_fused.json; \
+	sed 's|^BenchmarkFusion/off|BenchmarkFusion/on|' /tmp/fusion_off.txt \
+		| $(GO) run ./cmd/vaxbench -history /tmp/fusion_interp.json -label interpreted; \
+	$(GO) run ./cmd/vaxbench -history /tmp/fusion_fused.json -label fused < /tmp/fusion_on.txt; \
+	$(GO) run ./cmd/vaxbench -compare -threshold 3 /tmp/fusion_interp.json /tmp/fusion_fused.json
 
 # The service cache-hit gate; compare against BENCH_vaxd.json (a
 # regression past the generous threshold means resubmissions started

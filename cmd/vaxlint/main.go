@@ -2,8 +2,11 @@
 // shipped microprogram: the dispatch-rooted CFG passes that prove
 // attribution completeness (every tickable histogram bucket maps to a
 // Table 8 CPI cell), flow termination, stall/trap path legality, and
-// dead-word absence. Exit status is nonzero on any error-severity
-// finding, so CI can gate on it.
+// dead-word absence. It then audits the flow-fusion superword plan:
+// every fused segment must be exactly one straight-line run the
+// analyzer proved legal, re-verified word by word. Exit status is
+// nonzero on any error-severity finding or audit failure, so CI can
+// gate on it.
 //
 //	-bounds   also print the per-flow worst-case cycle bounds
 //	-strict   fail on warnings too
@@ -33,6 +36,14 @@ func main() {
 			fmt.Println(" ", b)
 		}
 	}
+
+	superwords, err := vax780.FusionAudit()
+	if err != nil {
+		fmt.Println("fusion:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fusion: %d superwords audited, every one an ulint-proven straight-line segment\n",
+		superwords)
 
 	if len(rep.Errors()) > 0 || (*strict && !rep.Clean()) || !rep.Proven() {
 		os.Exit(1)

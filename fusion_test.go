@@ -1,0 +1,272 @@
+package vax780
+
+// The fusion acceptance suite: the flow-fusion superword engine must
+// be an implementation detail, invisible in every observable byte.
+// Each test runs the same configuration fused (the default) and
+// interpreted (NoFusion) and compares the strongest artifacts
+// available — histogram arrays, rendered reports, telemetry series and
+// Chrome traces, fault-injection tallies, profiler fingerprints,
+// stripped ledgers, checkpoint resume chains. The deopt contract is
+// exercised explicitly: every observation hook (telemetry probe, fault
+// plan, flight recorder, prof sampler) forces single-step mode, so
+// attaching one must yield artifacts byte-identical to an interpreted
+// run — and byte-identical between the "fused" (deopted) and NoFusion
+// configurations.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// runFusionPair executes cfg fused and with NoFusion and returns both
+// results. cfg must not set NoFusion.
+func runFusionPair(t *testing.T, cfg RunConfig) (fused, interp *Results) {
+	t.Helper()
+	fused, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	icfg := cfg
+	icfg.NoFusion = true
+	interp, err = Run(icfg)
+	if err != nil {
+		t.Fatalf("interpreted run: %v", err)
+	}
+	return fused, interp
+}
+
+// TestFusionBitExact sweeps parallelism: at every -j the fused
+// composite must be byte-identical to the interpreted one.
+func TestFusionBitExact(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("j=%d", workers), func(t *testing.T) {
+			fused, interp := runFusionPair(t, RunConfig{
+				Instructions: 2000,
+				Workloads:    AllWorkloads(),
+				Parallelism:  workers,
+			})
+			compareResults(t, fused, interp)
+		})
+	}
+}
+
+// TestFusionAudit: the shipped control store compiles to a non-empty
+// superword plan and every superword survives the word-by-word
+// legality audit against the ulint segmentation (the vaxlint gate).
+func TestFusionAudit(t *testing.T) {
+	superwords, err := FusionAudit()
+	if err != nil {
+		t.Fatalf("FusionAudit: %v", err)
+	}
+	if superwords == 0 {
+		t.Fatal("FusionAudit audited 0 superwords; the shipped ROM has fusible segments")
+	}
+}
+
+// TestFusionTargetsSubset: restricting fusion to a -targets ranking's
+// top rows is still bit-exact with full interpretation — a subset of a
+// proven plan is a proven plan.
+func TestFusionTargetsSubset(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 2000,
+		Workloads:    []WorkloadID{TimesharingA, RTEScientific},
+	}
+	seed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := seed.JITTargets(nil)
+	if len(targets) < 2 {
+		t.Fatalf("ranking produced %d targets, want ≥ 2", len(targets))
+	}
+	tcfg := cfg
+	tcfg.FusionTargets = targets[:2]
+	fused, interp := runFusionPair(t, tcfg)
+	compareResults(t, fused, interp)
+}
+
+// TestFusionDeoptTelemetry: an attached telemetry layer forces
+// single-step mode, and every telemetry artifact — live counters,
+// interval CSV, Chrome trace — is byte-identical fused vs NoFusion.
+func TestFusionDeoptTelemetry(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 1800,
+		Workloads:    []WorkloadID{TimesharingA, RTECommercial},
+	}
+
+	fcfg := cfg
+	fcfg.Telemetry = NewTelemetry(1500, 200000)
+	icfg := cfg
+	icfg.NoFusion = true
+	icfg.Telemetry = NewTelemetry(1500, 200000)
+
+	fused, err := Run(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := Run(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, fused, interp)
+
+	if fc, ic := fcfg.Telemetry.Counters(), icfg.Telemetry.Counters(); fc != ic {
+		t.Errorf("live counters differ:\nfused  %+v\ninterp %+v", fc, ic)
+	}
+	var fcsv, icsv bytes.Buffer
+	if err := fcfg.Telemetry.WriteIntervalsCSV(&fcsv); err != nil {
+		t.Fatal(err)
+	}
+	if err := icfg.Telemetry.WriteIntervalsCSV(&icsv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fcsv.Bytes(), icsv.Bytes()) {
+		t.Error("interval CSV differs fused vs interpreted")
+	}
+	var ftr, itr bytes.Buffer
+	if err := fcfg.Telemetry.WriteTrace(&ftr); err != nil {
+		t.Fatal(err)
+	}
+	if err := icfg.Telemetry.WriteTrace(&itr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ftr.Bytes(), itr.Bytes()) {
+		t.Error("Chrome trace differs fused vs interpreted")
+	}
+}
+
+// TestFusionDeoptFaults: a fault plan forces single-step mode (its
+// per-cycle injection decisions must see every micro-PC), and the
+// injection tallies, retries, and degradation-annotated report are
+// identical fused vs NoFusion.
+func TestFusionDeoptFaults(t *testing.T) {
+	fused, interp := runFusionPair(t, RunConfig{
+		Instructions: 2500,
+		Workloads:    []WorkloadID{TimesharingA, RTEScientific},
+		Faults: &FaultConfig{
+			Seed:        7,
+			UPCDrop:     1e-4,
+			UPCFlip:     1e-4,
+			UPCSaturate: 2e-4,
+		},
+	})
+	compareResults(t, fused, interp)
+	if fused.FaultInjections != interp.FaultInjections {
+		t.Errorf("fault injections differ:\nfused  %s\ninterp %s",
+			fused.FaultInjections, interp.FaultInjections)
+	}
+}
+
+// TestFusionDeoptFlightRecorder: a forced-on flight recorder is a
+// per-cycle hook, so it deopts fusion; artifacts match NoFusion.
+func TestFusionDeoptFlightRecorder(t *testing.T) {
+	fused, interp := runFusionPair(t, RunConfig{
+		Instructions: 1500,
+		Workloads:    []WorkloadID{TimesharingA},
+		FlightDepth:  64,
+	})
+	compareResults(t, fused, interp)
+}
+
+// TestFusionDeoptProfiler: the sampling profiler's stride hook deopts
+// fusion; the sampled fingerprint (flows, cycles, shares, class
+// vectors) and the stripped ledger are byte-identical fused vs
+// NoFusion.
+func TestFusionDeoptProfiler(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 1500,
+		Workloads:    []WorkloadID{TimesharingA, RTEScientific},
+	}
+	fp, fres, fled := profiledRun(t, cfg, 1)
+	icfg := cfg
+	icfg.NoFusion = true
+	ip, ires, iled := profiledRun(t, icfg, 1)
+
+	compareResults(t, fres, ires)
+	fprof, iprof := fp.Profile(), ip.Profile()
+	if fprof == nil || iprof == nil {
+		t.Fatal("profiler published no profile")
+	}
+	if ff, fi := sampledFingerprint(fprof), sampledFingerprint(iprof); ff != fi {
+		t.Errorf("sampled profiles differ fused vs interpreted:\nfused:\n%s\ninterp:\n%s", ff, fi)
+	}
+	if !bytes.Equal(fled, iled) {
+		t.Error("stripped ledgers differ fused vs interpreted")
+	}
+}
+
+// TestFusionLedgerBitExact: the stripped run ledger — including the
+// run-start config hash, which deliberately excludes fusion settings —
+// is byte-identical fused vs NoFusion.
+func TestFusionLedgerBitExact(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 1500,
+		Workloads:    []WorkloadID{TimesharingA, RTECommercial},
+	}
+	run := func(noFusion bool) []byte {
+		var led bytes.Buffer
+		c := cfg
+		c.NoFusion = noFusion
+		c.Ledger = &led
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+		stripped, err := StripLedgerWallClock(led.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripped
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Error("stripped ledger differs fused vs interpreted")
+	}
+}
+
+// TestFusionResumeInterop: fusion is excluded from the checkpoint
+// fingerprint, so a run killed while fused may be resumed interpreted
+// and vice versa, and both resumed composites are byte-identical to an
+// uninterrupted run.
+func TestFusionResumeInterop(t *testing.T) {
+	base := RunConfig{
+		Instructions: 4000,
+		Workloads:    []WorkloadID{TimesharingA, RTEScientific, RTECommercial},
+	}
+	uninterrupted, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range []struct {
+		name                string
+		killFused, resFused bool
+	}{
+		{"fused-then-interpreted", true, false},
+		{"interpreted-then-fused", false, true},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			killed := base
+			killed.Checkpoint = ckpt
+			killed.NoFusion = !dir.killFused
+			killed.haltAfter = 1
+			if _, err := Run(killed); !errors.Is(err, errRunHalted) {
+				t.Fatalf("halted run: err = %v, want errRunHalted", err)
+			}
+			resumed := base
+			resumed.Checkpoint = ckpt
+			resumed.Resume = true
+			resumed.NoFusion = !dir.resFused
+			res, err := Run(resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Resumed != 1 {
+				t.Errorf("Resumed = %d, want 1", res.Resumed)
+			}
+			compareResults(t, res, uninterrupted)
+		})
+	}
+}

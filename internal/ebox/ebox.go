@@ -15,6 +15,7 @@ import (
 	"vax780/internal/ibox"
 	"vax780/internal/mem"
 	"vax780/internal/ucode"
+	"vax780/internal/ufuse"
 	"vax780/internal/upc"
 	"vax780/internal/urom"
 	"vax780/internal/vax"
@@ -92,6 +93,15 @@ type EBOX struct {
 	// every stride-th cycle lands in a sampled histogram. Concrete type,
 	// same disabled cost as FR — one pointer test per cycle.
 	Samp *upc.Sampler
+
+	// Fuse, when non-nil, is the compiled superword table
+	// (internal/ufuse): straight-line runs the control store proves
+	// pure execute as one dispatch each. Any enabled per-cycle hook —
+	// Probe, FR, Samp, CheckFaults, or a Monitor that is not the
+	// devirtualized histogram board — forces single-step
+	// interpretation (run checks once per flow entry), so every hook
+	// still observes every individual cycle.
+	Fuse *ufuse.Plan
 
 	// Now is the cycle counter (200 ns units).
 	Now uint64
@@ -222,12 +232,50 @@ func (e *EBOX) RunOverhead(entry uint16, ctx *InstrCtx) error {
 
 // run is the microsequencer main loop: execute from entry until an
 // end-of-instruction microinstruction completes.
+//
+// With a fusion plan attached and every per-cycle hook disabled, a
+// straight-line run the control store proves pure executes as one
+// superword: the histogram takes the run's count vector in bulk, the
+// I-Fetch stage advances the same cycles it would have seen
+// individually, the cycle counter jumps by the run length, and the
+// run's final word goes through the ordinary sequencer — the proven
+// deopt point for branches, dispatches, loop back-edges, and I-stream
+// redirects. Memory words, IB-stall waits, and loop-counter loads are
+// never inside a superword, so the data-dependent paths below are
+// reached exactly as the interpreter reaches them.
 func (e *EBOX) run(entry uint16) error {
 	e.upc = entry
+	fuse := e.Fuse
+	if fuse != nil && (e.upcMon == nil || e.Probe != nil || e.FR != nil ||
+		e.Samp != nil || e.CheckFaults) {
+		// An enabled observation or fault hook forces single-step
+		// interpretation: every hook observes every individual cycle.
+		fuse = nil
+	}
 	for steps := 0; ; steps++ {
 		if steps > 1_000_000 {
 			return fmt.Errorf("microcode runaway at uPC %#o", e.upc)
 		}
+
+		if fuse != nil {
+			if n := fuse.Len(e.upc); n != 0 && e.upcMon.Fast() {
+				e.upcMon.TickRun(e.upc, n)
+				e.IB.TickRun(e.Now, n)
+				e.Now += uint64(n)
+				e.upc += uint16(n - 1)
+				mi := e.ROM.Image.At(e.upc)
+				next, done, err := e.seq(mi)
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				e.upc = next
+				continue
+			}
+		}
+
 		mi := e.ROM.Image.At(e.upc)
 
 		if mi.Loop != ucode.LoopNone {

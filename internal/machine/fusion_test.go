@@ -1,0 +1,127 @@
+package machine
+
+// Machine-level fusion coverage: a machine handed a superword plan
+// must produce the same monitored data, cycle count, and CPI as one
+// interpreting every microword — and an attached per-cycle hook (the
+// flight recorder here) must force single-step execution, proven by
+// the recorder observing every contiguous cycle.
+
+import (
+	"testing"
+
+	"vax780/internal/mem"
+	"vax780/internal/ufuse"
+	"vax780/internal/ulint"
+	"vax780/internal/upc"
+	"vax780/internal/vax"
+	"vax780/internal/workload"
+)
+
+// testPlan compiles the shipped ROM's full superword plan.
+func testPlan(t *testing.T) *ufuse.Plan {
+	t.Helper()
+	rom := ROM()
+	var segs []ufuse.Segment
+	for _, f := range ulint.IndexFor(rom).Flows() {
+		for _, s := range f.Segments {
+			if s.Fusible {
+				segs = append(segs, ufuse.Segment{Start: s.Start, Len: s.Len})
+			}
+		}
+	}
+	p, err := ufuse.Compile(rom, segs)
+	if err != nil {
+		t.Fatalf("compiling the shipped plan: %v", err)
+	}
+	if p.Superwords() == 0 {
+		t.Fatal("shipped plan has no superwords")
+	}
+	return p
+}
+
+// fusionWorkload is a small mixed trace: straight-line ALU work (the
+// fusible flows), a taken branch, and memory traffic (deopt points).
+func fusionWorkload(t *testing.T) *workload.Trace {
+	t.Helper()
+	var ins []*vax.Instr
+	for i := 0; i < 40; i++ {
+		ins = append(ins,
+			&vax.Instr{Op: vax.MOVL, Specs: []vax.Specifier{litSpec(int32(i % 60)), regSpec(1)}},
+			&vax.Instr{Op: vax.ADDL2, Specs: []vax.Specifier{litSpec(1), regSpec(2)}},
+			&vax.Instr{Op: vax.MOVL, Specs: []vax.Specifier{
+				memSpec(vax.ModeLongDisp, 3, 0x40, 0x9000+uint32(i)*4), regSpec(4)}},
+			&vax.Instr{Op: vax.NOP},
+		)
+	}
+	return layout(t, 0x1000, ins)
+}
+
+func runWorkload(t *testing.T, tr *workload.Trace, cfg Config) (*Machine, *upc.Histogram) {
+	t.Helper()
+	mon := upc.New()
+	mon.Start()
+	cfg.Mem = mem.Config{}
+	cfg.Monitor = mon
+	cfg.Strict = true
+	m := New(cfg, tr.Program)
+	if err := m.Run(tr.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	mon.Stop()
+	return m, mon.Snapshot()
+}
+
+// TestFusedMachineBitExact: same trace, fused and interpreted — the
+// histogram, final cycle counter, instruction count, and CPI match.
+func TestFusedMachineBitExact(t *testing.T) {
+	tr := fusionWorkload(t)
+	fm, fh := runWorkload(t, tr, Config{Fusion: testPlan(t)})
+	im, ih := runWorkload(t, tr, Config{})
+
+	if *fh != *ih {
+		t.Error("histograms differ fused vs interpreted")
+	}
+	if fm.E.Now != im.E.Now {
+		t.Errorf("cycle counters differ: %d fused, %d interpreted", fm.E.Now, im.E.Now)
+	}
+	if fm.CPI() != im.CPI() {
+		t.Errorf("CPI differs: %g fused, %g interpreted", fm.CPI(), im.CPI())
+	}
+	if fm.E.Instrs != im.E.Instrs {
+		t.Errorf("instruction counts differ: %d fused, %d interpreted", fm.E.Instrs, im.E.Instrs)
+	}
+}
+
+// TestFlightRecorderForcesSingleStep: with the recorder attached the
+// EBOX must deopt — every cycle is recorded, contiguously, even though
+// a superword plan is wired in — and the recorded stream matches a
+// plan-free machine's exactly.
+func TestFlightRecorderForcesSingleStep(t *testing.T) {
+	tr := fusionWorkload(t)
+
+	frFused := upc.NewFlightRecorder(1 << 16)
+	fm, fh := runWorkload(t, tr, Config{Fusion: testPlan(t), Flight: frFused})
+	frInterp := upc.NewFlightRecorder(1 << 16)
+	im, ih := runWorkload(t, tr, Config{Flight: frInterp})
+
+	if *fh != *ih {
+		t.Error("histograms differ fused vs interpreted under the recorder")
+	}
+	if frFused.Recorded() != fm.E.Now {
+		t.Fatalf("recorder saw %d cycles of %d: fusion skipped cycles despite the hook",
+			frFused.Recorded(), fm.E.Now)
+	}
+	fs, is := frFused.Snapshot(), frInterp.Snapshot()
+	if len(fs) != len(is) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(fs), len(is))
+	}
+	for i := range fs {
+		if fs[i] != is[i] {
+			t.Fatalf("flight entry %d differs: %+v vs %+v", i, fs[i], is[i])
+		}
+		if i > 0 && fs[i].Cycle != fs[i-1].Cycle+1 {
+			t.Fatalf("recorded cycles not contiguous at entry %d", i)
+		}
+	}
+	_ = im
+}

@@ -41,6 +41,15 @@ type Target struct {
 	// Score ranks the list: Ns × Fusibility (Cycles × Fusibility when
 	// no calibration priced the cycles).
 	Score float64 `json:"score"`
+
+	// RankedBy names the quantity Score actually ranks this row by:
+	// "ns" when a calibration priced the segment's cycles, "cycles"
+	// when there was no calibration — or a degenerate one whose
+	// active-set solve pinned the compute class at zero ns. The fusion
+	// seeder reads this to weight rows correctly: a cycle-ranked score
+	// is heat, not host time, and must not be compared against ns-ranked
+	// scores from another run.
+	RankedBy string `json:"ranked_by"`
 }
 
 // Targets builds the ranked JIT targeting list from the run's exact
@@ -71,12 +80,16 @@ func Targets(rom *urom.ROM, ix *ulint.FlowIndex, h *upc.Histogram, cal *Calibrat
 			// Cycle ranking is the fallback: a degenerate calibration
 			// can price the compute class at zero (the active-set solve
 			// pinned it), and a list scored all-zero would order by
-			// address, not heat.
+			// address, not heat. Each row is annotated with the basis it
+			// was actually ranked by, so the fallback is visible to the
+			// fusion seeder instead of masquerading as a host-ns score.
 			t.Score = float64(cycles) * t.Fusibility
+			t.RankedBy = "cycles"
 			if cal != nil {
 				t.Ns = float64(cycles) * cal.NsPerClass[paper.T8Compute]
 				if t.Ns > 0 {
 					t.Score = t.Ns * t.Fusibility
+					t.RankedBy = "ns"
 				}
 			}
 			out = append(out, t)
@@ -98,15 +111,15 @@ func RenderTargets(targets []Target, n int) string {
 	}
 	var b strings.Builder
 	b.WriteString("JIT targets: fusible straight-line segments by host ns × fusibility\n")
-	fmt.Fprintf(&b, "%4s  %-22s %6s  %5s  %12s  %6s  %12s\n",
-		"#", "flow", "start", "words", "cycles", "fus", "est host ns")
+	fmt.Fprintf(&b, "%4s  %-22s %6s  %5s  %12s  %6s  %12s  %-6s\n",
+		"#", "flow", "start", "words", "cycles", "fus", "est host ns", "rank")
 	for i, t := range targets[:n] {
 		ns := "-"
 		if t.Ns > 0 {
 			ns = fmt.Sprintf("%12.0f", t.Ns)
 		}
-		fmt.Fprintf(&b, "%4d  %-22s %06o  %5d  %12d  %5.2f  %12s\n",
-			i+1, t.Flow, t.Start, t.Len, t.Cycles, t.Fusibility, ns)
+		fmt.Fprintf(&b, "%4d  %-22s %06o  %5d  %12d  %5.2f  %12s  %-6s\n",
+			i+1, t.Flow, t.Start, t.Len, t.Cycles, t.Fusibility, ns, t.RankedBy)
 	}
 	return b.String()
 }

@@ -19,18 +19,25 @@ import (
 // Segment is one maximal straight-line run of microwords inside a flow:
 // consecutive addresses entered only at the top, linked only by
 // fall-through, ended by the first word that branches, dispatches, or
-// is itself another segment's entry. Segments are the JIT's unit of
-// work: a fusible segment executes as one block with no intervening
-// control decision.
+// is itself another segment's entry. A scheduling word — a memory
+// reference, an IB-stall wait, or a loop-counter load — always forms a
+// single-word segment of its own, so the fusible segments are exactly
+// the maximal pure-compute runs. Segments are the fusion engine's unit
+// of work: a fusible segment executes as one superword with no
+// intervening control decision.
 type Segment struct {
 	Start uint16
 	Len   int
 
-	// Fusible marks a segment the control store proves safe to fuse
-	// into a single host-code block: at least two words, none touching
-	// memory, waiting on the IB, or loading the loop counter. Memory
-	// words stall data-dependently and IB-stall words wait on the
-	// I-stream — both are scheduling points a fused block cannot contain.
+	// Fusible marks a segment the control store proves safe to execute
+	// as one superword (internal/ufuse): at least two words, none
+	// touching memory, waiting on the IB, or loading the loop counter,
+	// and no interior word performing an IB function or sequencing
+	// anywhere but fall-through. The final word may branch, dispatch,
+	// or redirect — the fused executor hands it to the ordinary
+	// sequencer, which is the proven deopt point. Memory words stall
+	// data-dependently and IB-stall words wait on the I-stream — both
+	// are scheduling points a fused block cannot contain.
 	Fusible bool
 }
 
@@ -125,9 +132,13 @@ func (ix *FlowIndex) FlowOf(addr uint16) (int, bool) {
 
 // segments splits a flow's word set into maximal straight-line runs.
 // A word starts a new segment when it is the flow entry, a join (more
-// than one intra-flow edge targets it), or the target of anything other
-// than its predecessor's fall-through. A segment extends only across
-// fall-through links; the first branching word closes it (inclusive).
+// than one intra-flow edge targets it), the target of anything other
+// than its predecessor's fall-through, a scheduling word, or the word
+// after one. A segment extends only across fall-through links between
+// pure words; the first branching word closes it (inclusive), and a
+// scheduling word — memory reference, IB-stall wait, loop-counter load
+// — always sits alone, so the fusible segments are exactly the maximal
+// pure-compute runs the fusion engine executes as superwords.
 func segments(img *ucode.Image, entry uint16, words []uint16) []Segment {
 	inFlow := make(map[uint16]bool, len(words))
 	for _, w := range words {
@@ -148,11 +159,20 @@ func segments(img *ucode.Image, entry uint16, words []uint16) []Segment {
 			}
 		}
 	}
+	sched := func(w uint16) bool {
+		mi := img.At(w)
+		return mi.Mem != ucode.MemNone || mi.IBStall || mi.Loop != ucode.LoopNone
+	}
 	starts := func(w uint16) bool {
-		if w == entry {
+		if w == entry || sched(w) {
 			return true
 		}
-		return preds[w] != 1 || !fallIn[w]
+		if preds[w] != 1 || !fallIn[w] {
+			return true
+		}
+		// The only predecessor is w-1's fall-through; a scheduling word
+		// there closed its own segment, so w opens the next one.
+		return sched(w - 1)
 	}
 
 	var out []Segment
@@ -164,14 +184,10 @@ func segments(img *ucode.Image, entry uint16, words []uint16) []Segment {
 			i++ // swallowed by a previous segment, or unreachable oddity
 			continue
 		}
-		seg := Segment{Start: w, Len: 1, Fusible: true}
+		seg := Segment{Start: w, Len: 1}
 		cur := w
-		for {
-			mi := img.At(cur)
-			if mi.Mem != ucode.MemNone || mi.IBStall || mi.Loop != ucode.LoopNone {
-				seg.Fusible = false
-			}
-			if mi.Seq != ucode.SeqNext {
+		for !sched(cur) {
+			if img.At(cur).Seq != ucode.SeqNext {
 				break // branching word closes the segment
 			}
 			next := cur + 1
@@ -181,8 +197,15 @@ func segments(img *ucode.Image, entry uint16, words []uint16) []Segment {
 			seg.Len++
 			cur = next
 		}
-		if seg.Len < 2 {
-			seg.Fusible = false
+		// Fusible: a pure run of at least two words whose interior does
+		// nothing but count a compute cycle and fall through. The final
+		// word may branch, dispatch, or redirect the I-stream — the
+		// fused executor hands it to the ordinary sequencer.
+		seg.Fusible = seg.Len >= 2
+		for k := 0; k+1 < seg.Len && seg.Fusible; k++ {
+			if img.At(seg.Start+uint16(k)).IB != ucode.IBNone {
+				seg.Fusible = false
+			}
 		}
 		out = append(out, seg)
 		// Skip past the words this segment consumed.

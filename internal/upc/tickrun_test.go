@@ -1,0 +1,57 @@
+package upc
+
+// TickRun is the superword path's bulk histogram application; it must
+// be bit-exact with the n individual TickFast pulses it replaces,
+// including the lazy-saturation semantics both share.
+
+import "testing"
+
+func TestTickRunMatchesTickFast(t *testing.T) {
+	a, b := New(), New()
+	a.Start()
+	b.Start()
+	if !a.Fast() || !b.Fast() {
+		t.Fatal("healthy running monitors must be on the fast path")
+	}
+
+	runs := []struct {
+		addr uint16
+		n    int
+	}{{100, 1}, {100, 4}, {101, 3}, {4000, 2}, {0, 5}}
+	for _, r := range runs {
+		a.TickRun(r.addr, r.n)
+		for k := 0; k < r.n; k++ {
+			b.TickFast(r.addr+uint16(k), false)
+		}
+	}
+	a.Stop()
+	b.Stop()
+	if *a.Snapshot() != *b.Snapshot() {
+		t.Error("TickRun histogram differs from equivalent TickFast pulses")
+	}
+	if a.Saturated() != b.Saturated() {
+		t.Error("saturation state differs")
+	}
+}
+
+// TestTickRunLazySaturation: like TickFast, TickRun defers the
+// saturation clamp to reconciliation, and the clamped result is
+// bit-exact with the eagerly saturating path.
+func TestTickRunLazySaturation(t *testing.T) {
+	m := New()
+	m.Start()
+	m.counts[7] = counterMax - 1
+	m.counts[8] = counterMax - 1
+	for i := 0; i < 4; i++ {
+		m.TickRun(7, 2)
+	}
+	m.Stop()
+	if !m.Saturated() {
+		t.Fatal("overflowed counter did not latch saturation")
+	}
+	for _, addr := range []uint16{7, 8} {
+		if n, _ := m.Snapshot().At(addr); n != counterMax {
+			t.Errorf("bucket %d = %d, want clamp at %d", addr, n, counterMax)
+		}
+	}
+}

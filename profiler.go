@@ -48,19 +48,12 @@ func ReadCalibration(r io.Reader) (*Calibration, error) {
 	return prof.ReadCalibration(r)
 }
 
-// flowIndexOnce lazily builds the process-wide flow index of the shared
-// control store. The ROM is assembled once and immutable, so one index
-// serves every profiler, result, and CLI in the process.
-var flowIndexOnce = struct {
-	sync.Once
-	ix *ulint.FlowIndex
-}{}
-
+// flowIndex returns the flow index of the shared control store — the
+// per-ROM cached analysis (ulint.IndexFor) the prof sampler, vaxlint,
+// and the fusion engine all classify against, so the three cannot
+// disagree about where a flow or segment begins.
 func flowIndex() *ulint.FlowIndex {
-	flowIndexOnce.Do(func() {
-		flowIndexOnce.ix = ulint.NewFlowIndex(machineROM())
-	})
-	return flowIndexOnce.ix
+	return ulint.IndexFor(machineROM())
 }
 
 // Profiler attaches the sampling host-time profiler to a run (set

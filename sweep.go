@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"vax780/internal/runlog"
-	"vax780/internal/workload"
 )
 
 // SweepPoint is one design point of a characterization sweep.
@@ -225,46 +224,4 @@ func runPoint(ctx context.Context, pt SweepPoint, cache *traceCache, slot *worke
 func (RunConfig) parallelismDefault() int {
 	var c RunConfig
 	return c.parallelism()
-}
-
-// traceKey is the workload-shape identity of a generated trace:
-// everything generation depends on. Two design points differing only
-// in hardware parameters share one trace — exactly the paper's method
-// of replaying one measured address trace against many cache
-// geometries (§5).
-type traceKey struct {
-	id      WorkloadID
-	instr   int
-	headway int
-}
-
-// traceCache shares generated (immutable) traces across design points
-// and their workers.
-type traceCache struct {
-	mu sync.Mutex
-	m  map[traceKey]*workload.Trace
-}
-
-func newTraceCache() *traceCache {
-	return &traceCache{m: make(map[traceKey]*workload.Trace)}
-}
-
-// get returns the cached trace for the workload shape, generating it
-// on first use. Generation holds the lock: concurrent requests for the
-// same shape must not generate twice, and distinct shapes arriving
-// together are rare enough (one per point startup) that a per-key
-// latch is not worth its complexity.
-func (tc *traceCache) get(id WorkloadID, p workload.Profile, cfg *RunConfig) (*workload.Trace, error) {
-	key := traceKey{id: id, instr: cfg.Instructions, headway: cfg.CtxSwitchHeadway}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if tr, ok := tc.m[key]; ok {
-		return tr, nil
-	}
-	tr, err := workload.Generate(p)
-	if err != nil {
-		return nil, err
-	}
-	tc.m[key] = tr
-	return tr, nil
 }

@@ -1,0 +1,80 @@
+package vax780
+
+// The shared trace cache must hand repeated runs of one workload shape
+// the identical immutable trace (that is the perf win), keep distinct
+// shapes distinct (that is correctness), and evict LRU-first under its
+// bound (that is vaxd not hoarding memory).
+
+import (
+	"testing"
+
+	"vax780/internal/workload"
+)
+
+// cachedTrace resolves id's trace through tc exactly as a run would.
+func cachedTrace(t *testing.T, tc *traceCache, id WorkloadID, instr int) *workload.Trace {
+	t.Helper()
+	cfg := RunConfig{Instructions: instr}
+	cfg.fill()
+	p, err := id.profile(cfg.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tc.get(id, p, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceCacheReusesSameShape(t *testing.T) {
+	tc := newTraceCache()
+	a := cachedTrace(t, tc, TimesharingA, 300)
+	b := cachedTrace(t, tc, TimesharingA, 300)
+	if a != b {
+		t.Error("same shape regenerated instead of reusing the cached trace")
+	}
+	if c := cachedTrace(t, tc, TimesharingA, 400); c == a {
+		t.Error("different instruction count shared a trace")
+	}
+	if d := cachedTrace(t, tc, RTEScientific, 300); d == a {
+		t.Error("different workload shared a trace")
+	}
+}
+
+func TestTraceCacheEvictsLRU(t *testing.T) {
+	tc := &traceCache{m: make(map[traceKey]*workload.Trace), cap: 2}
+	a := cachedTrace(t, tc, TimesharingA, 300)
+	cachedTrace(t, tc, TimesharingB, 300)
+	// Touch A so B is now the least recently used, then overflow.
+	cachedTrace(t, tc, TimesharingA, 300)
+	cachedTrace(t, tc, RTEScientific, 300)
+	if len(tc.m) != 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", len(tc.m))
+	}
+	if a2 := cachedTrace(t, tc, TimesharingA, 300); a2 != a {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+// TestRunUsesSharedTraceCache: two plain runs of one shape resolve the
+// identical trace object through the process-wide cache.
+func TestRunUsesSharedTraceCache(t *testing.T) {
+	cfg := RunConfig{Instructions: 300}
+	cfg.fill()
+	p, err := TimesharingA.profile(cfg.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cfg.trace(TimesharingA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.trace(TimesharingA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Run's trace resolution bypassed the shared cache")
+	}
+}

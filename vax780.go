@@ -17,6 +17,7 @@ import (
 	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
 	"vax780/internal/tracesim"
+	"vax780/internal/ufuse"
 	"vax780/internal/upc"
 	"vax780/internal/workload"
 )
@@ -200,6 +201,24 @@ type RunConfig struct {
 	// See Profiler for the span-tree and trace exports.
 	Profiler *Profiler
 
+	// NoFusion disables the flow-fusion superword engine, forcing
+	// single-step interpretation of every microword. Fusion is on by
+	// default and bit-exact with interpretation — ulint proves each
+	// fused run pure, and any enabled observation hook (telemetry,
+	// fault plan, flight recorder, profiler sampler) already forces
+	// single-step — so this escape hatch exists for A/B measurement
+	// and debugging. Like Parallelism, it is excluded from the
+	// checkpoint fingerprint: a fused run may resume an unfused one
+	// and vice versa, bit-identically.
+	NoFusion bool
+
+	// FusionTargets, when non-empty, restricts fusion to the listed
+	// segments — typically a vaxprof -targets ranking's top rows — so a
+	// measurement can ask how much of the fusion win the hottest
+	// superwords carry. Empty fuses every segment the control store
+	// proves legal. Ignored when NoFusion is set.
+	FusionTargets []JITTarget
+
 	// haltAfter is a test seam: when positive, the run stops with
 	// errRunHalted once that many workloads (counting resumed ones)
 	// have completed and checkpointed — a deterministic stand-in for a
@@ -223,6 +242,10 @@ type RunConfig struct {
 	// that completed before the cancel is already merged and (when a
 	// Checkpoint is configured) durably checkpointed.
 	ctx context.Context
+
+	// fusion is the resolved superword plan (set once by RunContext
+	// from NoFusion/FusionTargets; nil single-steps everything).
+	fusion *ufuse.Plan
 }
 
 // errRunHalted reports a run stopped by the haltAfter test seam.
@@ -321,14 +344,17 @@ func (c *RunConfig) childPlan(i int) *faults.Plan {
 }
 
 // trace materializes workload id's instruction trace, through the
-// shared cache when one is attached. Traces are read-only once
-// generated (machines never write them), so one trace can drive any
-// number of concurrent machines.
+// sweep's cache when one is attached and the process-wide shared
+// cache otherwise. Traces are read-only once generated (machines
+// never write them), so one trace can drive any number of concurrent
+// machines — and repeated runs of the same workload shape (benchmark
+// iterations, vaxd jobs, fused-vs-interpreted A/B pairs) reuse one
+// generated trace instead of re-deriving it per run.
 func (c *RunConfig) trace(id WorkloadID, p workload.Profile) (*workload.Trace, error) {
 	if c.traces != nil {
 		return c.traces.get(id, p, c)
 	}
-	return workload.Generate(p)
+	return sharedTraces.get(id, p, c)
 }
 
 // workloadTrace resolves workload id's profile (with overrides) and
@@ -377,6 +403,11 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Results, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	plan, planErr := cfg.fusionPlan()
+	if planErr != nil {
+		return nil, planErr
+	}
+	cfg.fusion = plan
 	if cfg.Profiler != nil {
 		cfg.Profiler.begin()
 	}
@@ -664,6 +695,7 @@ func runOne(tr *workload.Trace, cfg RunConfig, tel *telemetry.Telemetry,
 		Flight:        fr,
 		Sampler:       samp,
 		Progress:      cell,
+		Fusion:        cfg.fusion,
 	}
 	if tel != nil {
 		// Assign only a live layer: a nil *telemetry.Telemetry boxed in
