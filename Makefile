@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-vaxd bench-fusion bench-all bench-smoke vaxd-smoke experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-vaxd bench-fusion bench-fusion-hooks bench-all bench-smoke vaxd-smoke experiments clean
 
 all: fmt-check vet lint build test
 
@@ -69,18 +69,43 @@ bench-fusion:
 	$(GO) test -c -o /tmp/vax_fusion.test .; \
 	: > /tmp/fusion_on.txt; : > /tmp/fusion_off.txt; \
 	for i in 1 2 3 4 5 6; do \
-		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/on$$' -test.benchtime 10x >> /tmp/fusion_on.txt; \
-		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/off$$' -test.benchtime 10x >> /tmp/fusion_off.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusion$$/^on$$' -test.benchtime 10x >> /tmp/fusion_on.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusion$$/^off$$' -test.benchtime 10x >> /tmp/fusion_off.txt; \
 	done; \
 	for i in 1 2 3 4 5 6; do \
-		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/off$$' -test.benchtime 10x >> /tmp/fusion_off.txt; \
-		/tmp/vax_fusion.test -test.run xxx -test.bench 'BenchmarkFusion/on$$' -test.benchtime 10x >> /tmp/fusion_on.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusion$$/^off$$' -test.benchtime 10x >> /tmp/fusion_off.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusion$$/^on$$' -test.benchtime 10x >> /tmp/fusion_on.txt; \
 	done; \
 	rm -f /tmp/fusion_interp.json /tmp/fusion_fused.json; \
 	sed 's|^BenchmarkFusion/off|BenchmarkFusion/on|' /tmp/fusion_off.txt \
 		| $(GO) run ./cmd/vaxbench -history /tmp/fusion_interp.json -label interpreted; \
 	$(GO) run ./cmd/vaxbench -history /tmp/fusion_fused.json -label fused < /tmp/fusion_on.txt; \
 	$(GO) run ./cmd/vaxbench -compare -threshold 3 /tmp/fusion_interp.json /tmp/fusion_fused.json
+
+# The hooks-cell fusion gate: the same interleaved A/B as bench-fusion
+# but with the full telemetry layer attached (interval recorder, Chrome
+# tracer, flight recorder) — the cell that interpreted 100%% of its
+# cycles before the effect-summary engine proved superword replay legal
+# under hooks. The adjudication is the same no-regression tripwire:
+# fusing under telemetry must never be slower than interpreting under
+# telemetry; the recorded speedup lives in BENCH_fusion.json.
+bench-fusion-hooks:
+	@set -e; \
+	$(GO) test -c -o /tmp/vax_fusion.test .; \
+	: > /tmp/fusionh_on.txt; : > /tmp/fusionh_off.txt; \
+	for i in 1 2 3 4 5 6; do \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusionHooks$$/^on$$' -test.benchtime 10x >> /tmp/fusionh_on.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusionHooks$$/^off$$' -test.benchtime 10x >> /tmp/fusionh_off.txt; \
+	done; \
+	for i in 1 2 3 4 5 6; do \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusionHooks$$/^off$$' -test.benchtime 10x >> /tmp/fusionh_off.txt; \
+		/tmp/vax_fusion.test -test.run xxx -test.bench '^BenchmarkFusionHooks$$/^on$$' -test.benchtime 10x >> /tmp/fusionh_on.txt; \
+	done; \
+	rm -f /tmp/fusionh_interp.json /tmp/fusionh_fused.json; \
+	sed 's|^BenchmarkFusionHooks/off|BenchmarkFusionHooks/on|' /tmp/fusionh_off.txt \
+		| $(GO) run ./cmd/vaxbench -history /tmp/fusionh_interp.json -label interpreted-hooks; \
+	$(GO) run ./cmd/vaxbench -history /tmp/fusionh_fused.json -label fused-hooks < /tmp/fusionh_on.txt; \
+	$(GO) run ./cmd/vaxbench -compare -threshold 3 /tmp/fusionh_interp.json /tmp/fusionh_fused.json
 
 # The service cache-hit gate; compare against BENCH_vaxd.json (a
 # regression past the generous threshold means resubmissions started

@@ -9,6 +9,12 @@
 // gate on it.
 //
 //	-bounds   also print the per-flow worst-case cycle bounds
+//	-effects  also run the effect-summary audit: every fusible segment
+//	          must carry a proven per-cycle effect stream, every
+//	          superword's replay must match it, and every fusible uret
+//	          return edge must land on a superword head
+//	-json     write the machine-readable proof report to stdout (implies
+//	          -effects; nothing else is printed on success)
 //	-strict   fail on warnings too
 package main
 
@@ -22,8 +28,24 @@ import (
 
 func main() {
 	bounds := flag.Bool("bounds", false, "print per-flow worst-case cycle bounds")
+	effects := flag.Bool("effects", false, "audit superword effect summaries and return-site fusion")
+	jsonOut := flag.Bool("json", false, "write the machine-readable proof report to stdout")
 	strict := flag.Bool("strict", false, "treat warnings as failures")
 	flag.Parse()
+
+	if *jsonOut {
+		b, err := vax780.LintJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vaxlint:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+		rep := vax780.LintControlStore()
+		if len(rep.Errors()) > 0 || (*strict && !rep.Clean()) || !rep.Proven() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := vax780.LintControlStore()
 	fmt.Println(rep.Summary())
@@ -44,6 +66,20 @@ func main() {
 	}
 	fmt.Printf("fusion: %d superwords audited, every one an ulint-proven straight-line segment\n",
 		superwords)
+
+	if *effects {
+		audit, err := vax780.FusionEffectsAudit()
+		if err != nil {
+			fmt.Println("effects:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("effects: %d/%d fusible segments carry a proven per-cycle effect summary\n",
+			audit.SummarizedEffects, audit.FusibleSegments)
+		fmt.Printf("effects: %d superword replay streams match their summaries\n",
+			audit.Superwords)
+		fmt.Printf("effects: %d uret return edges, %d fusible (land on a superword head)\n",
+			audit.ReturnEdges, audit.FusibleReturnEdges)
+	}
 
 	if len(rep.Errors()) > 0 || (*strict && !rep.Clean()) || !rep.Proven() {
 		os.Exit(1)

@@ -9,6 +9,8 @@
 //	             dominated by a nil check
 //	determinism  no wall-clock reads or global rand draws; runs are
 //	             pure functions of seed and config
+//	atomicwrite  result and checkpoint commits go through staging
+//	             write → fsync → atomic rename, never a bare write
 //
 // Exit status is nonzero when any diagnostic is emitted, so `make lint`
 // and CI can gate on it.
@@ -49,5 +51,5 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("vaxvet: %d packages, 3 analyzers, 0 diagnostics\n", len(pkgs))
+	fmt.Printf("vaxvet: %d packages, 4 analyzers, 0 diagnostics\n", len(pkgs))
 }

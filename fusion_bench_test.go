@@ -39,3 +39,33 @@ func BenchmarkFusion(b *testing.B) {
 		benchFusionRun(b, true)
 	})
 }
+
+func benchFusionHooksRun(b *testing.B, noFusion bool) {
+	b.Helper()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunConfig{
+			Instructions: 10_000,
+			Workloads:    []WorkloadID{TimesharingA},
+			NoFusion:     noFusion,
+			Telemetry:    NewTelemetry(1500, 200000),
+			FlightDepth:  64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.PerWorkload[0].Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles/op")
+}
+
+func BenchmarkFusionHooks(b *testing.B) {
+	// The telemetry-on cell: probe, interval recorder, and flight
+	// recorder all attached. Before the effect-summary engine this cell
+	// interpreted 100% of cycles; now the fused path replays per-cycle
+	// effects into the hooks in tick() order, so "on" and "off" stay
+	// byte-identical (the bit-exactness suite proves it) and only host
+	// ns/op differs.
+	b.Run("on", func(b *testing.B) { benchFusionHooksRun(b, false) })
+	b.Run("off", func(b *testing.B) { benchFusionHooksRun(b, true) })
+}

@@ -6,12 +6,14 @@ package vax780
 // interpreted (NoFusion) and compares the strongest artifacts
 // available — histogram arrays, rendered reports, telemetry series and
 // Chrome traces, fault-injection tallies, profiler fingerprints,
-// stripped ledgers, checkpoint resume chains. The deopt contract is
-// exercised explicitly: every observation hook (telemetry probe, fault
-// plan, flight recorder, prof sampler) forces single-step mode, so
-// attaching one must yield artifacts byte-identical to an interpreted
-// run — and byte-identical between the "fused" (deopted) and NoFusion
-// configurations.
+// stripped ledgers, checkpoint resume chains. The measurement hooks
+// (telemetry probe, flight recorder, prof sampler) no longer deopt:
+// fused dispatches replay each superword's statically-proven per-cycle
+// effect stream into them, so a hooked fused run must still be
+// byte-identical to a hooked interpreted one — the strongest form of
+// the effect-summary proof. Only a fault plan still forces single-step
+// mode (its per-reference poll points live in the interpreter), and
+// that deopt contract keeps its own test.
 
 import (
 	"bytes"
@@ -88,10 +90,14 @@ func TestFusionTargetsSubset(t *testing.T) {
 	compareResults(t, fused, interp)
 }
 
-// TestFusionDeoptTelemetry: an attached telemetry layer forces
-// single-step mode, and every telemetry artifact — live counters,
-// interval CSV, Chrome trace — is byte-identical fused vs NoFusion.
-func TestFusionDeoptTelemetry(t *testing.T) {
+// TestFusionTelemetryBitExact: an attached telemetry layer no longer
+// deopts — the fused path interleaves the probe cycle by cycle in
+// tick's exact order — and every telemetry artifact (live counters,
+// interval CSV, Chrome trace) is byte-identical fused vs NoFusion.
+// This matters because Recorder.roll snapshots the monitor histogram
+// from inside Probe.Cycle at interval boundaries: a bulk histogram
+// update would move counts across an interval edge.
+func TestFusionTelemetryBitExact(t *testing.T) {
 	cfg := RunConfig{
 		Instructions: 1800,
 		Workloads:    []WorkloadID{TimesharingA, RTECommercial},
@@ -138,6 +144,84 @@ func TestFusionDeoptTelemetry(t *testing.T) {
 	}
 }
 
+// TestFusionHooksBitExact is the tentpole acceptance test: with the
+// telemetry probe, flight recorder, and sampling profiler ALL attached
+// — the benchmark matrix's formerly 100%-interpreted cell — the fused
+// composite must be byte-identical to the interpreted one at every -j:
+// histograms, reports, ledgers, telemetry CSV and traces. The sampler
+// rides along inside the profiler-equipped variant below; here the
+// probe and recorder exercise the per-cycle interleave path, and the
+// recorder-only pair exercises the bulk path.
+func TestFusionHooksBitExact(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("j=%d", workers), func(t *testing.T) {
+			cfg := RunConfig{
+				Instructions: 1800,
+				Workloads:    AllWorkloads(),
+				Parallelism:  workers,
+				FlightDepth:  64,
+			}
+			fcfg := cfg
+			fcfg.Telemetry = NewTelemetry(1500, 200000)
+			icfg := cfg
+			icfg.NoFusion = true
+			icfg.Telemetry = NewTelemetry(1500, 200000)
+
+			fused, err := Run(fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interp, err := Run(icfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, fused, interp)
+
+			if fc, ic := fcfg.Telemetry.Counters(), icfg.Telemetry.Counters(); fc != ic {
+				t.Errorf("live counters differ:\nfused  %+v\ninterp %+v", fc, ic)
+			}
+			var fcsv, icsv bytes.Buffer
+			if err := fcfg.Telemetry.WriteIntervalsCSV(&fcsv); err != nil {
+				t.Fatal(err)
+			}
+			if err := icfg.Telemetry.WriteIntervalsCSV(&icsv); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fcsv.Bytes(), icsv.Bytes()) {
+				t.Error("interval CSV differs fused vs interpreted under hooks")
+			}
+			var ftr, itr bytes.Buffer
+			if err := fcfg.Telemetry.WriteTrace(&ftr); err != nil {
+				t.Fatal(err)
+			}
+			if err := icfg.Telemetry.WriteTrace(&itr); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ftr.Bytes(), itr.Bytes()) {
+				t.Error("Chrome trace differs fused vs interpreted under hooks")
+			}
+		})
+	}
+}
+
+// TestFusionEffectsAudit: the -effects gate. Every fusible segment of
+// the shipped store carries a proven effect summary, every superword's
+// replay stream matches it, and every fusible return edge lands on a
+// superword head.
+func TestFusionEffectsAudit(t *testing.T) {
+	rep, err := FusionEffectsAudit()
+	if err != nil {
+		t.Fatalf("FusionEffectsAudit: %v", err)
+	}
+	if rep.FusibleSegments == 0 || rep.SummarizedEffects != rep.FusibleSegments {
+		t.Fatalf("effect coverage %d/%d; the gate requires 100%%",
+			rep.SummarizedEffects, rep.FusibleSegments)
+	}
+	if rep.Superwords == 0 {
+		t.Fatal("no superword replay streams audited")
+	}
+}
+
 // TestFusionDeoptFaults: a fault plan forces single-step mode (its
 // per-cycle injection decisions must see every micro-PC), and the
 // injection tallies, retries, and degradation-annotated report are
@@ -160,9 +244,10 @@ func TestFusionDeoptFaults(t *testing.T) {
 	}
 }
 
-// TestFusionDeoptFlightRecorder: a forced-on flight recorder is a
-// per-cycle hook, so it deopts fusion; artifacts match NoFusion.
-func TestFusionDeoptFlightRecorder(t *testing.T) {
+// TestFusionFlightRecorderBitExact: a forced-on flight recorder runs
+// fused via RecordRun's bulk replay; the ring's contents and artifacts
+// match NoFusion exactly.
+func TestFusionFlightRecorderBitExact(t *testing.T) {
 	fused, interp := runFusionPair(t, RunConfig{
 		Instructions: 1500,
 		Workloads:    []WorkloadID{TimesharingA},
@@ -171,11 +256,11 @@ func TestFusionDeoptFlightRecorder(t *testing.T) {
 	compareResults(t, fused, interp)
 }
 
-// TestFusionDeoptProfiler: the sampling profiler's stride hook deopts
-// fusion; the sampled fingerprint (flows, cycles, shares, class
-// vectors) and the stripped ledger are byte-identical fused vs
-// NoFusion.
-func TestFusionDeoptProfiler(t *testing.T) {
+// TestFusionProfilerBitExact: the sampling profiler's stride hook runs
+// fused via SampleRun's bulk countdown replay; the sampled fingerprint
+// (flows, cycles, shares, class vectors) and the stripped ledger are
+// byte-identical fused vs NoFusion.
+func TestFusionProfilerBitExact(t *testing.T) {
 	cfg := RunConfig{
 		Instructions: 1500,
 		Workloads:    []WorkloadID{TimesharingA, RTEScientific},
@@ -233,6 +318,10 @@ func TestFusionResumeInterop(t *testing.T) {
 	base := RunConfig{
 		Instructions: 4000,
 		Workloads:    []WorkloadID{TimesharingA, RTEScientific, RTECommercial},
+		// A per-cycle hook rides along so the resume chain also proves
+		// the hooked fused path checkpoint-compatible with the
+		// interpreter.
+		FlightDepth: 64,
 	}
 	uninterrupted, err := Run(base)
 	if err != nil {

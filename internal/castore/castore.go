@@ -197,12 +197,26 @@ func (st *Staging) Dir() string { return st.dir }
 // Path returns the path of one file inside the staging directory.
 func (st *Staging) Path(name string) string { return filepath.Join(st.dir, name) }
 
-// WriteFile writes one staged file.
+// WriteFile writes one staged file and syncs it: a staged file's bytes
+// must be on disk before Commit's rename can publish them, or a crash
+// between the two could publish a bundle with torn members.
 func (st *Staging) WriteFile(name string, data []byte) error {
 	if err := validName(name); err != nil {
 		return err
 	}
-	return os.WriteFile(st.Path(name), data, 0o644)
+	f, err := os.OpenFile(st.Path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("castore: staging %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("castore: staging %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("castore: syncing staged %s: %w", name, err)
+	}
+	return f.Close()
 }
 
 // Remove deletes one staged file if present (e.g. the run checkpoint,
@@ -219,11 +233,18 @@ func (st *Staging) Remove(name string) error {
 }
 
 // Commit publishes the staged files as the bundle under key, in one
-// rename. If a bundle already exists under key the staged copy is
+// rename. Every staged file is synced first — writers that stream into
+// the staging directory through their own handles (the job manager's
+// ledger and histogram writers) get their durability here, so the
+// published bundle can never contain a member the disk had not yet
+// accepted. If a bundle already exists under key the staged copy is
 // discarded — first writer wins; determinism makes the copies
 // interchangeable. Either way the staging directory is gone afterwards.
 func (st *Staging) Commit(key string) error {
 	if err := validName(key); err != nil {
+		return err
+	}
+	if err := st.syncAll(); err != nil {
 		return err
 	}
 	st.store.mu.Lock()
@@ -241,6 +262,43 @@ func (st *Staging) Commit(key string) error {
 		d.Close()
 	}
 	return nil
+}
+
+// syncAll fsyncs every regular file in the staging directory and then
+// the directory itself, making the staged tree durable before the
+// commit rename points the store at it.
+func (st *Staging) syncAll() error {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return fmt.Errorf("castore: syncing staging %s: %w", st.id, err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("castore: syncing staged %s: %w", e.Name(), err)
+		}
+		syncErr := f.Sync()
+		closeErr := f.Close()
+		if syncErr != nil {
+			return fmt.Errorf("castore: syncing staged %s: %w", e.Name(), syncErr)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("castore: syncing staged %s: %w", e.Name(), closeErr)
+		}
+	}
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return fmt.Errorf("castore: syncing staging %s: %w", st.id, err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("castore: syncing staging %s: %w", st.id, syncErr)
+	}
+	return closeErr
 }
 
 // Abandon discards the staging directory and everything in it.

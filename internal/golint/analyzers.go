@@ -19,11 +19,16 @@ type HotTarget struct {
 // DefaultHotTargets is the repository's per-cycle path.
 var DefaultHotTargets = []HotTarget{
 	{PkgPath: "vax780/internal/ebox", Recv: "EBOX", Func: "tick"},
+	{PkgPath: "vax780/internal/ebox", Recv: "EBOX", Func: "fusedReplay"},
 	{PkgPath: "vax780/internal/ibox", Recv: "IBox", Func: "Tick"},
+	{PkgPath: "vax780/internal/ibox", Recv: "IBox", Func: "TickRun"},
 	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "Fast"},
 	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "TickFast"},
+	{PkgPath: "vax780/internal/upc", Recv: "Monitor", Func: "TickRun"},
 	{PkgPath: "vax780/internal/upc", Recv: "FlightRecorder", Func: "Record"},
+	{PkgPath: "vax780/internal/upc", Recv: "FlightRecorder", Func: "RecordRun"},
 	{PkgPath: "vax780/internal/upc", Recv: "Sampler", Func: "Sample"},
+	{PkgPath: "vax780/internal/upc", Recv: "Sampler", Func: "SampleRun"},
 }
 
 // HotPathAnalyzer flags heap allocations, defers, goroutine launches and
@@ -247,6 +252,118 @@ func DeterminismAnalyzer() *Analyzer {
 	return an
 }
 
+// DefaultAtomicWritePaths names the packages whose file commits must be
+// crash-safe: the result store (published bundles survive a crash
+// mid-commit), the histogram persistence layer (upc.AtomicWriteFile is
+// the blessed staging-write → fsync → rename pattern), and the root
+// package's checkpoint writer.
+var DefaultAtomicWritePaths = map[string]bool{
+	"vax780":                  true,
+	"vax780/internal/castore": true,
+	"vax780/internal/upc":     true,
+}
+
+// AtomicWriteAnalyzer proves the durable-commit discipline in the named
+// packages: result and checkpoint files reach disk through staging
+// write → fsync → atomic rename, never a bare write. Concretely, per
+// function body:
+//
+//   - os.WriteFile is banned outright — it commits bytes at their final
+//     path with no fsync, so a crash can publish a torn file;
+//   - os.Create / os.CreateTemp / os.OpenFile must be accompanied by a
+//     .Sync() call in the same function, unless the open flags include
+//     O_APPEND (append-only journals sync per record at the call site
+//     that writes them);
+//   - os.Rename — the publish step — likewise requires a .Sync() in the
+//     same function, so nothing is renamed into place before its bytes
+//     (or the directory entry) are durable.
+func AtomicWriteAnalyzer(paths map[string]bool) *Analyzer {
+	an := &Analyzer{
+		Name: "atomicwrite",
+		Doc:  "require staging-write, fsync, atomic-rename on result and checkpoint commits",
+	}
+	an.Run = func(pass *Pass) {
+		if !paths[pass.Pkg.Path] {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkAtomicWrites(pass, fd)
+			}
+		}
+	}
+	return an
+}
+
+func checkAtomicWrites(pass *Pass, fd *ast.FuncDecl) {
+	// One scan for the sanctioning Sync call, one for the os file
+	// operations it licenses.
+	hasSync := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+				hasSync = true
+			}
+		}
+		return true
+	})
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, fn, ok := PkgFuncCall(pass.Pkg, call)
+		if !ok || path != "os" {
+			return true
+		}
+		switch fn {
+		case "WriteFile":
+			pass.Reportf(call.Pos(),
+				"%s: os.WriteFile commits bytes with no fsync; stage, Sync, then rename into place", name)
+		case "Create", "CreateTemp":
+			if !hasSync {
+				pass.Reportf(call.Pos(),
+					"%s: os.%s with no Sync in the same function; a crash can publish a torn file", name, fn)
+			}
+		case "OpenFile":
+			if openFlagsInclude(call, "O_APPEND") {
+				return true
+			}
+			if !hasSync {
+				pass.Reportf(call.Pos(),
+					"%s: os.OpenFile with no Sync in the same function; a crash can publish a torn file", name)
+			}
+		case "Rename":
+			if !hasSync {
+				pass.Reportf(call.Pos(),
+					"%s: os.Rename publishes a file whose bytes were never synced in this function", name)
+			}
+		}
+		return true
+	})
+}
+
+// openFlagsInclude reports whether an os.OpenFile call's flag argument
+// mentions the named os flag constant.
+func openFlagsInclude(call *ast.CallExpr, flag string) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == flag {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
 // All returns the repository's analyzer suite with default
 // configuration.
 func All() []*Analyzer {
@@ -254,5 +371,6 @@ func All() []*Analyzer {
 		HotPathAnalyzer(DefaultHotTargets),
 		ProbeGuardAnalyzer(),
 		DeterminismAnalyzer(),
+		AtomicWriteAnalyzer(DefaultAtomicWritePaths),
 	}
 }

@@ -1,0 +1,110 @@
+package golint
+
+import "testing"
+
+func atomicAnalyzer() *Analyzer {
+	return AtomicWriteAnalyzer(map[string]bool{"p": true})
+}
+
+func TestAtomicWriteBansWriteFile(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func commit(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`
+	diags := runOn(t, src, atomicAnalyzer())
+	wantMsgs(t, diags, "os.WriteFile commits bytes with no fsync")
+}
+
+func TestAtomicWriteRequiresSyncOnCreate(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func bare(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	return f.Close()
+}
+
+func synced(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+`
+	diags := runOn(t, src, atomicAnalyzer())
+	wantMsgs(t, diags, "os.Create with no Sync in the same function")
+}
+
+func TestAtomicWriteRequiresSyncOnRename(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func publish(tmp, dst string) error {
+	return os.Rename(tmp, dst)
+}
+
+func atomic(tmp, dst string, data []byte) error {
+	f, err := os.CreateTemp("", "x")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(f.Name(), dst)
+}
+`
+	diags := runOn(t, src, atomicAnalyzer())
+	wantMsgs(t, diags, "os.Rename publishes a file whose bytes were never synced")
+}
+
+func TestAtomicWriteAppendJournalExempt(t *testing.T) {
+	// Append-only journals sync per record at the write site; the open
+	// itself needs no same-function Sync.
+	src := `package p
+
+import "os"
+
+func openJournal(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func openTruncate(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+`
+	diags := runOn(t, src, atomicAnalyzer())
+	wantMsgs(t, diags, "os.OpenFile with no Sync in the same function")
+}
+
+func TestAtomicWriteScopedToTargetPackages(t *testing.T) {
+	src := `package p
+
+import "os"
+
+func anything(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`
+	an := AtomicWriteAnalyzer(map[string]bool{"q": true})
+	if diags := runOn(t, src, an); len(diags) != 0 {
+		t.Fatalf("non-target package should be skipped, got %v", diags)
+	}
+}

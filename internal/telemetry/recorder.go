@@ -68,6 +68,22 @@ func (r *Recorder) cycle(t *Telemetry, abs uint64) {
 	}
 }
 
+// quiet returns how many consecutive cycles starting at absolute cycle
+// abs can elapse before the next interval boundary: a cycle at c is
+// boundary-free iff c+1 < nextAt, so a run of k cycles from abs is
+// quiet iff k <= nextAt-1-abs. The superword replay path uses this to
+// bulk-apply spans that provably contain no roll.
+func (r *Recorder) quiet(abs uint64) int {
+	if abs+1 >= r.nextAt {
+		return 0
+	}
+	q := r.nextAt - 1 - abs
+	if q > 1<<30 {
+		q = 1 << 30
+	}
+	return int(q)
+}
+
 // flush closes a trailing partial interval (end of a machine or run).
 func (r *Recorder) flush(t *Telemetry, abs uint64) {
 	if r.mon != nil && abs > r.start {
@@ -81,8 +97,22 @@ func (r *Recorder) roll(t *Telemetry, end uint64) {
 	if r.mon == nil || end <= r.start {
 		return
 	}
-	cur := r.mon.Snapshot()
-	delta := cur.Diff(r.prevHist)
+	var delta *upc.Histogram
+	watched := t.watched.Load()
+	if watched {
+		// An HTTP view is attached: dump the full board once and derive
+		// the interval delta from it, so the dump can be published as an
+		// immutable snapshot.
+		cur := r.mon.Snapshot()
+		delta = cur.Diff(r.prevHist)
+		r.prevHist = cur
+	} else {
+		// Headless: one fused pass computes the delta and advances the
+		// previous-counts buffer in place; nothing is published because
+		// nothing can read it. end bounds the pulses delivered since the
+		// board was cleared, letting the dump skip the saturation scan.
+		delta = r.mon.SnapshotDelta(r.prevHist, end)
+	}
 
 	// Stats delta: subtract the previous snapshot from a copy of the
 	// live counters (Stats.Add is the inverse used when compositing).
@@ -97,12 +127,15 @@ func (r *Recorder) roll(t *Telemetry, end uint64) {
 		Stats:      st,
 		Instrs:     instrs - r.prevInstrs,
 	})
-	r.prevHist = cur
 	r.prevStats = *r.stats
 	r.prevInstrs = instrs
 	r.start = end
 	t.C.Intervals.Add(1)
-	t.publish(end)
+	if watched {
+		// Publish the snapshot already taken for the delta instead of
+		// dumping the board a second time.
+		t.publishHist(end, r.prevHist)
+	}
 }
 
 // absorb appends a finished child recorder's intervals, shifted onto

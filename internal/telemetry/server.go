@@ -78,6 +78,7 @@ func (t *Telemetry) counterMap() map[string]any {
 // asynchronously to the measured system.
 func (t *Telemetry) Handler() http.Handler {
 	liveTel.Store(t)
+	t.watched.Store(true)
 	publishExpvar()
 
 	mux := http.NewServeMux()

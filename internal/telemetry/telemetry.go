@@ -112,6 +112,14 @@ type Telemetry struct {
 	status atomic.Uint32                 // published CSR status bits
 	snap   atomic.Pointer[boardSnapshot] // latest published histogram
 
+	// watched is set once Handler builds the HTTP view. Until then no
+	// reader of published board snapshots exists, so the interval
+	// recorder skips the per-roll full-board dump and publish (a
+	// headless run pays one delta pass per interval instead of two
+	// snapshot copies plus two saturation scans). Board commands imply
+	// a watcher and always publish.
+	watched atomic.Bool
+
 	// Live feeds attached by the run (events.go): the ledger's event bus
 	// behind /events and the fleet tracker's snapshot closure behind
 	// /progress and the host gauges.
@@ -266,6 +274,44 @@ func (t *Telemetry) Cycle(now uint64, addr uint16, stalled bool) {
 	}
 }
 
+// Quiet returns how many of the next n cycles starting at now are
+// observation-free: no pending board command and no interval-recorder
+// boundary. The superword replay path bulk-applies exactly that many
+// cycles through CycleRun and routes the boundary cycle itself through
+// the ordinary per-cycle Cycle, so rolls and board commands execute at
+// a cycle boundary with the monitor histogram in precisely the state
+// the interpreted run would show them. A command that arrives
+// asynchronously during a bulk span is noticed at the span's end — the
+// same store-to-observation latency a Unibus CSR write always had.
+// Implements the ebox BulkProbe extension.
+func (t *Telemetry) Quiet(now uint64, n int) int {
+	if t.cmd.Load() != 0 {
+		return 0
+	}
+	if t.rec != nil {
+		if q := t.rec.quiet(now + t.offset); q < n {
+			return q
+		}
+	}
+	return n
+}
+
+// CycleRun observes n consecutive un-stalled cycles at addr, addr+1, …
+// in one call: the counters advance by n, and the tracer coalesces the
+// span by control-store region. Callers must bound n by Quiet first —
+// the span must contain no interval boundary and no pending board
+// command — which makes the call bit-exact with n individual Cycle
+// calls. Implements the ebox BulkProbe extension.
+func (t *Telemetry) CycleRun(now uint64, addr uint16, n int) {
+	abs := now + t.offset
+	t.maxAbs = abs + uint64(n)
+	t.finished = false
+	t.C.Cycles.Add(uint64(n))
+	if t.tr != nil {
+		t.tr.cycleRun(abs, addr, n)
+	}
+}
+
 // TBMiss observes a translation-buffer miss (shared by the ebox and
 // ibox probes: the D-stream microtrap and the I-stream miss flag).
 func (t *Telemetry) TBMiss(now uint64, istream bool, va uint32) {
@@ -365,8 +411,17 @@ func (t *Telemetry) applyCmd(cmd uint32, abs uint64) {
 // publish stores an immutable board readout for the HTTP side.
 func (t *Telemetry) publish(abs uint64) {
 	if t.mon != nil {
-		t.snap.Store(&boardSnapshot{Cycle: abs, Hist: t.mon.Snapshot()})
+		t.publishHist(abs, t.mon.Snapshot())
+		return
 	}
+	t.publishStatus()
+}
+
+// publishHist publishes an already-dumped histogram (the interval
+// recorder reuses its roll snapshot here). h must not be mutated after
+// the call.
+func (t *Telemetry) publishHist(abs uint64, h *upc.Histogram) {
+	t.snap.Store(&boardSnapshot{Cycle: abs, Hist: h})
 	t.publishStatus()
 }
 

@@ -26,6 +26,25 @@ const (
 // cycleMicros converts an absolute cycle number to trace microseconds.
 func cycleMicros(cycle uint64) float64 { return float64(cycle) * 0.2 }
 
+// argKind tags the typed argument payload of a hot-path trace event.
+// The collector is on the simulation hot path (one call per EBOX cycle
+// with tracing enabled), so events carry their arguments as plain
+// fields; the map[string]any form the trace_event JSON wants is built
+// once per event at write time, not once per event at collection time.
+// Only the cold metadata events (emitted at construction) carry a
+// prebuilt map.
+type argKind uint8
+
+const (
+	argsNone      argKind = iota
+	argsMap               // cold path: prebuilt map in M
+	argsEntry             // {"entry": AS}
+	argsPC                // {"pc": A}
+	argsHandlerPC         // {"handler_pc": A}
+	argsFromTo            // {"from": A, "to": B}
+	argsVA                // {"va": A}
+)
+
 // traceEvent is one collected trace record. Timestamps are kept in
 // integer cycles (not float microseconds) so a child tracer's events
 // can be shifted onto the parent timeline bit-exactly at merge; the
@@ -38,7 +57,31 @@ type traceEvent struct {
 	Pid   int
 	Tid   int
 	S     string
-	Args  map[string]any
+
+	// Typed argument payload (see argKind).
+	AK   argKind
+	AS   string
+	A, B uint32
+	M    map[string]any
+}
+
+// args materializes the event's argument map for the JSON exporter.
+func (ev *traceEvent) args() map[string]any {
+	switch ev.AK {
+	case argsMap:
+		return ev.M
+	case argsEntry:
+		return map[string]any{"entry": ev.AS}
+	case argsPC:
+		return map[string]any{"pc": ev.A}
+	case argsHandlerPC:
+		return map[string]any{"handler_pc": ev.A}
+	case argsFromTo:
+		return map[string]any{"from": ev.A, "to": ev.B}
+	case argsVA:
+		return map[string]any{"va": ev.A}
+	}
+	return nil
 }
 
 // wireEvent is the trace_event JSON record (the subset Perfetto
@@ -95,6 +138,7 @@ func newTracer(rom *urom.ROM, maxEvents int) *Tracer {
 	size := rom.Image.Size()
 	tr := &Tracer{
 		max:    maxEvents,
+		events: make([]traceEvent, 0, eventPrealloc(maxEvents)),
 		region: make([]ucode.Region, size),
 		label:  make([]string, size),
 	}
@@ -111,13 +155,31 @@ func newTracer(rom *urom.ROM, maxEvents int) *Tracer {
 	return tr
 }
 
+// eventPrealloc sizes the collector's initial event buffer: enough to
+// absorb a busy run's region and instruction slices without repeated
+// geometric growth (each growth copies every collected event), bounded
+// so a high retained-event cap does not commit tens of megabytes up
+// front.
+func eventPrealloc(maxEvents int) int {
+	const bound = 1 << 16
+	if maxEvents < 0 || maxEvents > bound {
+		return bound
+	}
+	return maxEvents
+}
+
 // newChildTracer builds a per-workload tracer for a parallel composite
 // run: it shares the parent's read-only address tables, carries the
 // parent's full event cap (so the merge — which re-applies the cap in
 // workload order — reproduces exactly the sequential truncation
 // point), and emits no metadata events (the parent already has them).
 func newChildTracer(parent *Tracer) *Tracer {
-	return &Tracer{max: parent.max, region: parent.region, label: parent.label}
+	return &Tracer{
+		max:    parent.max,
+		events: make([]traceEvent, 0, eventPrealloc(parent.max)),
+		region: parent.region,
+		label:  parent.label,
+	}
 }
 
 // meta emits the process/thread naming metadata events.
@@ -133,16 +195,16 @@ func (tr *Tracer) meta() {
 	}
 	tr.events = append(tr.events, traceEvent{
 		Name: "process_name", Ph: "M", Pid: 1,
-		Args: map[string]any{"name": "VAX-11/780 (simulated)"},
+		AK: argsMap, M: map[string]any{"name": "VAX-11/780 (simulated)"},
 	})
 	for _, n := range names {
 		tr.events = append(tr.events, traceEvent{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: n.tid,
-			Args: map[string]any{"name": n.name},
+			AK: argsMap, M: map[string]any{"name": n.name},
 		})
 		tr.events = append(tr.events, traceEvent{
 			Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: n.tid,
-			Args: map[string]any{"sort_index": n.tid},
+			AK: argsMap, M: map[string]any{"sort_index": n.tid},
 		})
 	}
 }
@@ -157,21 +219,21 @@ func (tr *Tracer) emit(ev traceEvent) {
 }
 
 // slice emits a complete ("X") event spanning [start, end) cycles.
-func (tr *Tracer) slice(name string, tid int, start, end uint64, args map[string]any) {
+func (tr *Tracer) slice(name string, tid int, start, end uint64, ak argKind, as string, a, b uint32) {
 	if end <= start {
 		end = start + 1
 	}
 	tr.emit(traceEvent{
 		Name: name, Ph: "X", Pid: 1, Tid: tid,
-		Start: start, End: end, Args: args,
+		Start: start, End: end, AK: ak, AS: as, A: a, B: b,
 	})
 }
 
 // instant emits an instant ("i") event at the given cycle.
-func (tr *Tracer) instant(name string, tid int, at uint64, args map[string]any) {
+func (tr *Tracer) instant(name string, tid int, at uint64, ak argKind, a, b uint32) {
 	tr.emit(traceEvent{
 		Name: name, Ph: "i", S: "t", Pid: 1, Tid: tid,
-		Start: at, Args: args,
+		Start: at, AK: ak, A: a, B: b,
 	})
 }
 
@@ -194,33 +256,67 @@ func (tr *Tracer) cycle(abs uint64, addr uint16, stalled bool) {
 	if stalled && !tr.inStall {
 		tr.inStall, tr.stallStart = true, abs
 	} else if !stalled && tr.inStall {
-		tr.slice("stall", tidStall, tr.stallStart, abs, nil)
+		tr.slice("stall", tidStall, tr.stallStart, abs, argsNone, "", 0, 0)
 		tr.inStall = false
 	}
 }
 
+// cycleRun observes n consecutive un-stalled cycles at addr, addr+1, …
+// — the superword replay path's bulk tracer application. The first
+// cycle goes through the ordinary per-cycle observer (it may close a
+// stall slice left open by the preceding memory reference and start a
+// new region slice, in that order); the rest advance by runs of
+// identical control-store region, emitting exactly the region
+// transitions n individual cycle calls would. Within a same-region run
+// nothing changes, so the cost is one table scan instead of n state
+// machine steps.
+func (tr *Tracer) cycleRun(abs uint64, addr uint16, n int) {
+	tr.cycle(abs, addr, false)
+	for i := 1; i < n; {
+		a := int(addr) + i
+		r := ucode.RegNone
+		lbl := ""
+		if a < len(tr.region) {
+			r = tr.region[a]
+			lbl = tr.label[a]
+		}
+		if r != tr.curRegion {
+			tr.closeRegion(abs + uint64(i))
+			tr.curRegion, tr.regionStart, tr.regionLabel = r, abs+uint64(i), lbl
+		}
+		j := i + 1
+		if a < len(tr.region) {
+			for j < n && int(addr)+j < len(tr.region) && tr.region[int(addr)+j] == r {
+				j++
+			}
+		} else {
+			for j < n && int(addr)+j >= len(tr.region) {
+				j++
+			}
+		}
+		i = j
+	}
+}
+
 func (tr *Tracer) closeRegion(end uint64) {
-	args := map[string]any{"entry": tr.regionLabel}
-	tr.slice(tr.curRegion.String(), tidRegion, tr.regionStart, end, args)
+	tr.slice(tr.curRegion.String(), tidRegion, tr.regionStart, end, argsEntry, tr.regionLabel, 0, 0)
 }
 
 // instr observes an instruction decode: the previous instruction's
 // slice is closed and a new one opened.
 func (tr *Tracer) instr(abs uint64, pc uint32, op vax.Opcode) {
 	if tr.haveInstr {
-		tr.slice(tr.instrName, tidInstr, tr.instrStart, abs,
-			map[string]any{"pc": tr.instrPC})
+		tr.slice(tr.instrName, tidInstr, tr.instrStart, abs, argsPC, "", tr.instrPC, 0)
 	}
 	tr.instrName, tr.instrPC, tr.instrStart, tr.haveInstr = op.String(), pc, abs, true
 }
 
 func (tr *Tracer) interrupt(abs uint64, handler uint32) {
-	tr.instant("interrupt", tidEvents, abs, map[string]any{"handler_pc": handler})
+	tr.instant("interrupt", tidEvents, abs, argsHandlerPC, handler, 0)
 }
 
 func (tr *Tracer) ctxSwitch(abs uint64, from, to uint32) {
-	tr.instant("context switch", tidEvents, abs,
-		map[string]any{"from": from, "to": to})
+	tr.instant("context switch", tidEvents, abs, argsFromTo, from, to)
 }
 
 func (tr *Tracer) tbMiss(abs uint64, istream bool, va uint32) {
@@ -228,7 +324,7 @@ func (tr *Tracer) tbMiss(abs uint64, istream bool, va uint32) {
 	if istream {
 		name = "TB miss (I)"
 	}
-	tr.instant(name, tidEvents, abs, map[string]any{"va": va})
+	tr.instant(name, tidEvents, abs, argsVA, va, 0)
 }
 
 // phase marks a workload-experiment boundary.
@@ -250,12 +346,11 @@ func (tr *Tracer) finish(end uint64) {
 		tr.haveRegion = false
 	}
 	if tr.inStall {
-		tr.slice("stall", tidStall, tr.stallStart, end, nil)
+		tr.slice("stall", tidStall, tr.stallStart, end, argsNone, "", 0, 0)
 		tr.inStall = false
 	}
 	if tr.haveInstr {
-		tr.slice(tr.instrName, tidInstr, tr.instrStart, end,
-			map[string]any{"pc": tr.instrPC})
+		tr.slice(tr.instrName, tidInstr, tr.instrStart, end, argsPC, "", tr.instrPC, 0)
 		tr.haveInstr = false
 	}
 }
@@ -294,7 +389,7 @@ func (tr *Tracer) WriteTrace(w io.Writer) error {
 	for i, ev := range tr.events {
 		we := wireEvent{
 			Name: ev.Name, Ph: ev.Ph, Pid: ev.Pid, Tid: ev.Tid,
-			S: ev.S, Args: ev.Args,
+			S: ev.S, Args: ev.args(),
 		}
 		if ev.Ph != "M" {
 			we.Ts = cycleMicros(ev.Start)

@@ -1,6 +1,10 @@
 package ulint
 
-import "vax780/internal/ucode"
+import (
+	"sort"
+
+	"vax780/internal/ucode"
+)
 
 // EdgeKind classifies a control-flow edge by the mechanism that takes
 // it. The passes discriminate on kind: stall words may only be entered
@@ -69,7 +73,12 @@ func buildCFG(img *ucode.Image, roots Roots) *cfg {
 	}
 
 	// Collect SeqURet return sites first: the B-DISP subroutine is shared,
-	// so its return edge fans out to every call site's continuation.
+	// so its return edge fans out to every call site's continuation. The
+	// set is deduplicated through one map (shared sites stay O(1) to
+	// collect, never O(sites) per collector) and sorted by site address,
+	// so the URet fan-out — and everything derived from it, like the
+	// return-fusion edges — is deterministic regardless of where in the
+	// image the collecting words sit.
 	seen := make(map[uint16]bool)
 	for addr := 0; addr < n; addr++ {
 		mi := img.At(uint16(addr))
@@ -88,6 +97,9 @@ func buildCFG(img *ucode.Image, roots Roots) *cfg {
 			g.returnSites = append(g.returnSites, site)
 		}
 	}
+	sort.Slice(g.returnSites, func(i, j int) bool {
+		return g.returnSites[i] < g.returnSites[j]
+	})
 
 	for addr := 0; addr < n; addr++ {
 		a := uint16(addr)

@@ -1,0 +1,204 @@
+package ulint
+
+import (
+	"testing"
+
+	"vax780/internal/ucode"
+	"vax780/internal/urom"
+)
+
+// --- shipped-ROM effect coverage ---
+
+// TestShippedROMEffectsProven is the -effects gate's substance: every
+// fusible segment of the shipped control store carries a proven
+// EffectSummary, and every summary's trajectory is the closed form the
+// fused replay assumes.
+func TestShippedROMEffectsProven(t *testing.T) {
+	rep := AnalyzeROM(urom.Build())
+	if rep.FusibleSegments == 0 {
+		t.Fatal("no fusible segments found in the shipped ROM")
+	}
+	if rep.SummarizedEffects != rep.FusibleSegments {
+		t.Fatalf("effect summaries proven for %d of %d fusible segments",
+			rep.SummarizedEffects, rep.FusibleSegments)
+	}
+	if len(rep.Effects) != rep.SummarizedEffects {
+		t.Fatalf("%d summaries recorded, %d counted", len(rep.Effects), rep.SummarizedEffects)
+	}
+	for _, s := range rep.Effects {
+		if len(s.UPCs) != s.Len || len(s.Classes) != s.Len {
+			t.Fatalf("summary %05o+%d has %d UPCs, %d classes", s.Start, s.Len, len(s.UPCs), len(s.Classes))
+		}
+		for i, u := range s.UPCs {
+			if u != s.Start+uint16(i) {
+				t.Fatalf("summary %05o+%d: cycle %d at %05o, want the closed form %05o",
+					s.Start, s.Len, i, u, s.Start+uint16(i))
+			}
+		}
+	}
+}
+
+// TestFlowIndexEffects checks the cached-index plumbing: every proven
+// summary is resolvable by segment head, and the return edges ride
+// along.
+func TestFlowIndexEffects(t *testing.T) {
+	rom := urom.Build()
+	ix := NewFlowIndex(rom)
+	rep := AnalyzeROM(rom)
+	if len(ix.Effects()) == 0 {
+		t.Fatal("flow index carries no effect summaries")
+	}
+	for _, s := range ix.Effects() {
+		got, ok := ix.EffectOf(s.Start)
+		if !ok || got.Len != s.Len {
+			t.Fatalf("EffectOf(%05o) = %v, %v", s.Start, got, ok)
+		}
+	}
+	if len(ix.ReturnEdges()) != len(rep.URetEdges) {
+		t.Fatalf("index has %d return edges, report %d", len(ix.ReturnEdges()), len(rep.URetEdges))
+	}
+}
+
+// --- golden broken control stores for the new passes ---
+
+// TestGoldenEffectMismatch: a regionless word spliced into the middle of
+// a straight-line run. The segmentation still calls the run fusible —
+// the word is a pure fall-through compute cycle — but its histogram
+// bucket has no Table 8 cell, so the closed-form effect stream cannot
+// be replayed and the effect proof must reject the segment.
+func TestGoldenEffectMismatch(t *testing.T) {
+	img, roots := brokenStore(t, func(a *ucode.Assembler) {
+		a.Region(ucode.RegExecSimple)
+		a.Label("exec.fx").Compute(1, "head")
+		a.Region(ucode.RegNone)
+		a.Compute(1, "regionless interior")
+		a.Region(ucode.RegExecSimple)
+		a.Compute(1, "third")
+		a.End("done")
+	})
+	rep := Analyze(img, roots)
+
+	bad := img.Addr("exec.fx") + 1
+	mm := rep.ByKind(KindEffectMismatch)
+	if len(mm) != 1 {
+		t.Fatalf("want exactly one effect mismatch, got %v", rep.Findings)
+	}
+	if mm[0].Addr != bad {
+		t.Errorf("mismatch at %05o, want %05o", mm[0].Addr, bad)
+	}
+	if mm[0].Severity != ucode.SevError {
+		t.Errorf("effect mismatch must be an error: %v", mm[0])
+	}
+	if rep.SummarizedEffects >= rep.FusibleSegments {
+		t.Errorf("coverage %d/%d should show the unproven segment",
+			rep.SummarizedEffects, rep.FusibleSegments)
+	}
+}
+
+// TestGoldenURetBadTarget: conditional branches whose taken-path return
+// sites are an IB-stall wait word and a trap-service word — locations a
+// B-DISP return must never land on. Both words are structurally
+// well-formed; only the return-site pass sees the illegal landing.
+func TestGoldenURetBadTarget(t *testing.T) {
+	img, roots := brokenStore(t, func(a *ucode.Assembler) {
+		a.Region(ucode.RegExecSimple)
+		a.Label("exec.br1").CondTaken("stall.bad", "returns to a stall word")
+		a.Label("exec.br2").CondTaken("trap.bad", "returns into trap service")
+		a.Region(ucode.RegDecode)
+		a.Label("stall.bad").IBStallLoc(ucode.IBDecodeSpec, "stall")
+		a.Region(ucode.RegMemMgmt)
+		a.Label("trap.bad").Compute(1, "trap work").TrapRet("rfi")
+	})
+	roots.Trap = []uint16{img.Addr("trap.bad")}
+	rep := Analyze(img, roots)
+
+	bad := rep.ByKind(KindURetBadTarget)
+	if len(bad) != 2 {
+		t.Fatalf("want two bad return sites (stall + trap), got %v", rep.Findings)
+	}
+	want := map[uint16]bool{img.Addr("stall.bad"): true, img.Addr("trap.bad"): true}
+	for _, f := range bad {
+		if !want[f.Addr] {
+			t.Errorf("unexpected bad-target finding at %05o", f.Addr)
+		}
+		if f.Severity != ucode.SevError {
+			t.Errorf("bad return site must be an error: %v", f)
+		}
+	}
+}
+
+// TestGoldenURetMidSegment: a conditional branch whose return site lands
+// in the interior of another flow's fusible segment. In the branch's own
+// flow the return edge makes the site a segment head, but in the owning
+// flow it stays interior — fusing that segment would jump the return
+// into the middle of a superword.
+func TestGoldenURetMidSegment(t *testing.T) {
+	img, roots := brokenStore(t, func(a *ucode.Assembler) {
+		a.Region(ucode.RegExecSimple)
+		a.Label("exec.a").Compute(1, "w0")
+		a.Label("mid.x").Compute(1, "w1: the foreign return site")
+		a.Compute(1, "w2")
+		a.End("w3")
+		a.Label("exec.b").CondTaken("mid.x", "returns mid-segment")
+	})
+	rep := Analyze(img, roots)
+
+	mid := rep.ByKind(KindURetMidSegment)
+	if len(mid) != 1 {
+		t.Fatalf("want exactly one mid-segment return site, got %v", rep.Findings)
+	}
+	if want := img.Addr("mid.x"); mid[0].Addr != want {
+		t.Errorf("finding at %05o, want %05o", mid[0].Addr, want)
+	}
+	if mid[0].Severity != ucode.SevError {
+		t.Errorf("mid-segment return site must be an error: %v", mid[0])
+	}
+}
+
+// TestReturnFusionEdges: the positive case. A taken branch calls the
+// B-DISP subroutine, whose uret returns to a site rooting a fusible
+// segment — the pass must emit exactly that cross-flow edge, marked
+// fusible, with no findings.
+func TestReturnFusionEdges(t *testing.T) {
+	img, roots := brokenStore(t, func(a *ucode.Assembler) {
+		a.Region(ucode.RegExecSimple)
+		a.Label("exec.br").CondTaken("exec.cont", "taken branch")
+		a.Label("exec.cont").Compute(1, "c0").Compute(1, "c1").End("done")
+		a.Label("bdisp").Compute(1, "displacement add").URet("return")
+	})
+	roots.BDisp = img.Addr("bdisp")
+	rep := Analyze(img, roots)
+
+	for _, k := range []Kind{KindURetBadTarget, KindURetMidSegment, KindEffectMismatch} {
+		if n := kindCount(rep, k); n != 0 {
+			t.Fatalf("unexpected %v findings: %v", k, rep.Findings)
+		}
+	}
+	if len(rep.URetEdges) != 1 {
+		t.Fatalf("want one return-fusion edge, got %v", rep.URetEdges)
+	}
+	e := rep.URetEdges[0]
+	if e.From != img.Addr("bdisp")+1 || e.To != img.Addr("exec.cont") {
+		t.Errorf("edge %05o->%05o, want %05o->%05o",
+			e.From, e.To, img.Addr("bdisp")+1, img.Addr("exec.cont"))
+	}
+	if !e.Fusible {
+		t.Error("return site roots a fusible segment; edge must be marked fusible")
+	}
+}
+
+// TestShippedROMReturnEdges pins the shipped store's return-edge count
+// against the committed vaxlint golden: 5 edges (the golden JSON's
+// return_edges) with deterministic order.
+func TestShippedROMReturnEdges(t *testing.T) {
+	rep := AnalyzeROM(urom.Build())
+	if len(rep.URetEdges) == 0 {
+		t.Fatal("shipped ROM has uret words but no return edges")
+	}
+	for i := 1; i < len(rep.URetEdges); i++ {
+		a, b := rep.URetEdges[i-1], rep.URetEdges[i]
+		if b.From < a.From || (b.From == a.From && b.To <= a.To) {
+			t.Fatalf("return edges not in deterministic order: %+v then %+v", a, b)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package ulint
+
+import (
+	"testing"
+
+	"vax780/internal/ucode"
+	"vax780/internal/ufuse"
+	"vax780/internal/urom"
+)
+
+// FuzzCFGBuild drives the CFG builder and every graph pass over
+// mutated control stores: random rewrites of sequencer fields, targets,
+// IB functions, memory/loop fields, and dispatch roots. Two properties
+// must survive any mutation:
+//
+//  1. Analyze never panics — a corrupt image produces findings, not a
+//     crash (vaxlint runs on stores that are broken by definition);
+//  2. cross-checker agreement — every segment the analyzer still calls
+//     fusible must pass ufuse's independent word-by-word legality proof
+//     (Compile), and the compiled plan must pass Audit against the same
+//     set. The analyzer and the fusion engine prove fusibility from the
+//     same rules through different code; the fuzzer hunts for an input
+//     where they disagree.
+func FuzzCFGBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 1, 7, 2, 0, 3, 0o377})
+	f.Add([]byte{5, 0, 0, 200, 6, 0, 4, 1, 7, 0, 2, 2})
+	f.Add([]byte{9, 0, 5, 0, 10, 0, 1, 255, 11, 0, 6, 6, 12, 0, 7, 13})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, roots := fuzzBaseStore(t)
+
+		// Each 4-byte record mutates one word: [addr-lo, addr-hi, field, value].
+		for i := 0; i+4 <= len(data); i += 4 {
+			addr := uint16(int(data[i]) | int(data[i+1])<<8)
+			if int(addr) >= img.Size() {
+				addr = uint16(int(addr) % img.Size())
+			}
+			mi := img.At(addr)
+			v := data[i+3]
+			switch data[i+2] % 8 {
+			case 0:
+				mi.Seq = ucode.SeqFunc(v % 12) // includes out-of-enum values
+			case 1:
+				mi.Target = uint16(v) // in- and out-of-image targets
+			case 2:
+				mi.IB = ucode.IBFunc(v % 6)
+			case 3:
+				mi.IBStall = v&1 != 0
+			case 4:
+				mi.Mem = ucode.MemFunc(v % 14)
+			case 5:
+				mi.Loop = ucode.LoopSrc(v % 8)
+			case 6:
+				mi.Region = ucode.Region(v % 12)
+			case 7:
+				// Root mutation: retarget an exec entry anywhere, including
+				// out of range (checkRoots must catch it, not a panic).
+				if len(roots.Exec) > 0 {
+					roots.Exec[int(v)%len(roots.Exec)] = uint16(v) * 3
+				}
+			}
+		}
+
+		// Property 1: no panic, whatever the mutations did.
+		rep := Analyze(img, roots)
+		_ = rep.Summary()
+
+		// Property 2: the analyzer's fusible segments must pass the
+		// fusion engine's independent proof. The flow walk does not need
+		// the CFG, so it runs even on structurally broken stores.
+		a := &analyzer{img: img, roots: roots}
+		segs := a.fusibleSegs()
+		var plain []ufuse.Segment
+		for _, s := range segs {
+			plain = append(plain, ufuse.Segment{Start: s.Start, Len: s.Len})
+		}
+		if len(plain) == 0 {
+			return
+		}
+		plan, err := ufuse.Compile(&urom.ROM{Image: img}, plain)
+		if err != nil {
+			t.Fatalf("analyzer-fusible segment fails ufuse legality: %v", err)
+		}
+		if err := ufuse.Audit(plan, &urom.ROM{Image: img}, plain); err != nil {
+			t.Fatalf("compiled plan fails audit against its own segment set: %v", err)
+		}
+		// Every proven effect summary must also match ufuse's replay
+		// stream on the mutated store.
+		for _, sum := range rep.Effects {
+			stream, err := ufuse.ReplayStream(img, sum.Start, sum.Len)
+			if err != nil {
+				t.Fatalf("proven summary %05o+%d rejected by replay derivation: %v",
+					sum.Start, sum.Len, err)
+			}
+			for i := range stream {
+				if stream[i] != sum.UPCs[i] {
+					t.Fatalf("summary %05o+%d cycle %d: analyzer %05o, ufuse %05o",
+						sum.Start, sum.Len, i, sum.UPCs[i], stream[i])
+				}
+			}
+		}
+	})
+}
+
+// fuzzBaseStore assembles a small valid store with the flow shapes the
+// mutations get to corrupt: straight-line runs, a loop, a branch with
+// its B-DISP subroutine, a stall word, and a trap flow.
+func fuzzBaseStore(t *testing.T) (*ucode.Image, Roots) {
+	t.Helper()
+	a := ucode.NewAssembler()
+	a.Region(ucode.RegDecode)
+	a.Label("ird").DecodeInstr("decode")
+	a.Label("stall.spec").IBStallLoc(ucode.IBDecodeSpec, "wait")
+	a.Region(ucode.RegExecSimple)
+	a.Label("exec.line").Compute(1, "w0").Compute(1, "w1").Compute(1, "w2").End("done")
+	a.Label("exec.loop").LoopLoad(ucode.LoopImm, 3, "count")
+	a.Label("exec.loop.head").Compute(1, "body")
+	a.LoopBack("exec.loop.head", ucode.MemNone, "again")
+	a.End("done")
+	a.Label("exec.br").CondTaken("exec.cont", "taken branch")
+	a.Label("exec.cont").Compute(1, "c0").Compute(1, "c1").End("done")
+	a.Label("bdisp").Compute(1, "disp add").URet("return")
+	a.Region(ucode.RegMemMgmt)
+	a.Label("tbmiss").Compute(1, "classify").TrapRet("rfi")
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assembling fuzz base store: %v", err)
+	}
+	roots := Roots{
+		IRD:        img.Addr("ird"),
+		StallSpecN: img.Addr("stall.spec"),
+		BDisp:      img.Addr("bdisp"),
+		Trap:       []uint16{img.Addr("tbmiss")},
+	}
+	for _, name := range img.SortedLabels() {
+		if len(name) > 5 && name[:5] == "exec." {
+			roots.Exec = append(roots.Exec, img.Addr(name))
+		}
+	}
+	return img, roots
+}

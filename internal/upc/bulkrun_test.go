@@ -1,0 +1,88 @@
+package upc
+
+import "testing"
+
+// The fused executor's bulk replay variants must be bit-exact with
+// their per-cycle loops: a superword that replays its effect stream in
+// bulk and the same superword interpreted word by word must leave the
+// sampler and flight recorder in identical states. These tests sweep
+// run lengths across and around the stride/ring boundaries where an
+// off-by-one would hide.
+
+func TestSampleRunMatchesSample(t *testing.T) {
+	for _, stride := range []int{1, 2, 3, 64} {
+		for _, runs := range [][]int{
+			{1}, {2}, {5}, {64}, {65}, {127, 3, 64},
+			{1, 1, 1, 1, 1, 1, 1, 1}, {200, 1, 63, 64, 65},
+		} {
+			a := NewSampler(stride)
+			b := NewSampler(stride)
+			addr := uint16(0o1000)
+			for _, n := range runs {
+				for i := 0; i < n; i++ {
+					a.Sample(addr+uint16(i), false)
+				}
+				b.SampleRun(addr, n)
+				addr += uint16(n) + 7 // superwords are not contiguous
+			}
+			if a.Taken() != b.Taken() {
+				t.Fatalf("stride %d runs %v: per-cycle took %d samples, bulk %d",
+					stride, runs, a.Taken(), b.Taken())
+			}
+			ha, hb := a.Snapshot(), b.Snapshot()
+			if *ha != *hb {
+				t.Fatalf("stride %d runs %v: sampled histograms differ", stride, runs)
+			}
+		}
+	}
+}
+
+func TestSampleRunLeavesCountdownExact(t *testing.T) {
+	// Interleave bulk and per-cycle observation: the countdown must be
+	// in the same phase after a bulk run as after the equivalent loop,
+	// or the next per-cycle samples would land on different cycles.
+	a := NewSampler(10)
+	b := NewSampler(10)
+	b.SampleRun(0o2000, 7)
+	for i := 0; i < 7; i++ {
+		a.Sample(0o2000+uint16(i), false)
+	}
+	for i := 0; i < 25; i++ {
+		a.Sample(0o3000+uint16(i), true)
+		b.Sample(0o3000+uint16(i), true)
+	}
+	ha, hb := a.Snapshot(), b.Snapshot()
+	if *ha != *hb {
+		t.Fatal("countdown phase diverged after SampleRun")
+	}
+}
+
+func TestRecordRunMatchesRecord(t *testing.T) {
+	for _, depth := range []int{4, 256} {
+		a := NewFlightRecorder(depth)
+		b := NewFlightRecorder(depth)
+		now := uint64(100)
+		addr := uint16(0o400)
+		for _, n := range []int{1, 2, 3, 5, 300, 1} {
+			for i := 0; i < n; i++ {
+				a.Record(now+uint64(i), addr+uint16(i), false)
+			}
+			b.RecordRun(now, addr, n)
+			now += uint64(n)
+			addr += uint16(n) + 3
+		}
+		if a.Recorded() != b.Recorded() {
+			t.Fatalf("depth %d: per-cycle recorded %d, bulk %d",
+				depth, a.Recorded(), b.Recorded())
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		if len(sa) != len(sb) {
+			t.Fatalf("depth %d: snapshot lengths %d vs %d", depth, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("depth %d: entry %d differs: %+v vs %+v", depth, i, sa[i], sb[i])
+			}
+		}
+	}
+}

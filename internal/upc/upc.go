@@ -235,6 +235,33 @@ func (m *Monitor) Snapshot() *Histogram {
 	return h
 }
 
+// SnapshotDelta dumps the counts accumulated since prev into a fresh
+// Histogram and updates prev in place to the current counts — the
+// interval recorder's roll, fused into one pass instead of a full
+// Snapshot copy followed by a Diff. pulses is an upper bound on the
+// count pulses delivered since the board was last cleared (the caller's
+// elapsed cycle count serves); when it cannot have reached a counter's
+// capacity the deferred-saturation reconcile scan is skipped, which is
+// exact because a counter only exceeds capacity after more than
+// CounterMax pulses.
+func (m *Monitor) SnapshotDelta(prev *Histogram, pulses uint64) *Histogram {
+	if pulses > counterMax {
+		m.reconcile()
+	}
+	out := &Histogram{}
+	for i := 0; i < Buckets; i++ {
+		c := m.counts[i]
+		out.Normal[i] = c - prev.Normal[i]
+		prev.Normal[i] = c
+	}
+	for i := 0; i < Buckets; i++ {
+		c := m.counts[Buckets+i]
+		out.Stalled[i] = c - prev.Stalled[i]
+		prev.Stalled[i] = c
+	}
+	return out
+}
+
 // Histogram is a dumped set of counts, the unit of data reduction. The
 // composite workload of the paper is the sum of the five per-experiment
 // histograms.

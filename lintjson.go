@@ -1,0 +1,95 @@
+package vax780
+
+// Machine-readable lint report: the full static proof state of the
+// shipped microprogram — findings, attribution coverage, effect-summary
+// coverage, fusion audit counts — serialized deterministically so CI
+// can archive it as an artifact and diff it against the committed
+// golden (vaxlint_golden.json). A diff means the shipped control store
+// or an analyzer pass changed what is proven; both deserve a reviewed
+// golden update, never a silent drift.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vax780/internal/ulint"
+)
+
+// LintJSONFinding is one analyzer finding in the JSON report.
+type LintJSONFinding struct {
+	Pass     string `json:"pass"` // finding kind (the pass that emitted it)
+	Addr     string `json:"addr"` // control-store address, octal
+	Flow     string `json:"flow,omitempty"`
+	Severity string `json:"severity"`
+	Msg      string `json:"msg"`
+}
+
+// LintJSONReport is the report envelope. Field order is fixed by the
+// struct (encoding/json preserves it), findings arrive in the
+// analyzer's deterministic sort order, and no map participates — the
+// bytes are reproducible run to run.
+type LintJSONReport struct {
+	Schema int `json:"schema"`
+
+	Words             int `json:"words"`
+	Reachable         int `json:"reachable"`
+	TickableBuckets   int `json:"tickable_buckets"`
+	AttributedBuckets int `json:"attributed_buckets"`
+
+	FusibleSegments   int `json:"fusible_segments"`
+	SummarizedEffects int `json:"summarized_effects"`
+
+	Superwords         int `json:"superwords"`
+	ReturnEdges        int `json:"return_edges"`
+	FusibleReturnEdges int `json:"fusible_return_edges"`
+
+	Findings []LintJSONFinding `json:"findings"`
+}
+
+// lintJSONSchema versions the report shape; bump it when fields change
+// meaning so a stale golden fails loudly instead of diffing confusingly.
+const lintJSONSchema = 1
+
+// buildLintJSON assembles the report from an analyzer run and the
+// effects-audit counts.
+func buildLintJSON(rep *ulint.Report, audit EffectsAuditReport) *LintJSONReport {
+	out := &LintJSONReport{
+		Schema:             lintJSONSchema,
+		Words:              rep.Words,
+		Reachable:          rep.Reachable,
+		TickableBuckets:    rep.TickableBuckets,
+		AttributedBuckets:  rep.AttributedBuckets,
+		FusibleSegments:    rep.FusibleSegments,
+		SummarizedEffects:  rep.SummarizedEffects,
+		Superwords:         audit.Superwords,
+		ReturnEdges:        audit.ReturnEdges,
+		FusibleReturnEdges: audit.FusibleReturnEdges,
+		Findings:           []LintJSONFinding{}, // [] not null: stable goldens
+	}
+	for _, f := range rep.Findings {
+		out.Findings = append(out.Findings, LintJSONFinding{
+			Pass:     f.Kind.String(),
+			Addr:     fmt.Sprintf("%05o", f.Addr),
+			Flow:     f.Flow,
+			Severity: f.Severity.String(),
+			Msg:      f.Msg,
+		})
+	}
+	return out
+}
+
+// LintJSON renders the shipped microprogram's full proof report as
+// deterministic, newline-terminated, indented JSON. The effects audit
+// runs as part of it; an audit failure is an error, not a report —
+// a report must only ever describe a provable store.
+func LintJSON() ([]byte, error) {
+	audit, err := FusionEffectsAudit()
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(buildLintJSON(LintControlStore(), audit), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
