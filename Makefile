@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-vaxd bench-fusion bench-fusion-hooks bench-all bench-smoke vaxd-smoke experiments clean
+.PHONY: all fmt fmt-check vet lint build test race bench bench-telemetry bench-faults bench-parallel bench-prof bench-obs bench-vaxd bench-fusion bench-fusion-hooks bench-all bench-smoke vaxd-smoke experiments clean
 
 all: fmt-check vet lint build test
 
@@ -53,6 +53,36 @@ bench-parallel:
 # disabled sampler hook must stay within 1% of the fault-era baseline).
 bench-prof:
 	$(GO) test -run xxx -bench BenchmarkProf -benchtime 20x -count 3 .
+
+# The trace-recorder gate: BenchmarkObs prices a run with the span
+# recorder detached (the disabled path — every call site is one nil
+# pointer test) and attached (span construction, exact flow
+# attribution, JSONL export, wall strip — the work a vaxd job does to
+# stage trace.jsonl). The two arms alternate at process granularity
+# with the order swapped halfway — the interleaved A/B method recorded
+# in BENCH_obs.json — then reduce to pooled medians and adjudicate via
+# vaxbench -compare: the attached recorder must stay within 25%% of a
+# detached run. The <1%% disabled-path gate is cross-revision and
+# lives in CI (recorder-overhead job: base BenchmarkObs/off — or the
+# fault/prof-era baselines before this layer existed — against head's,
+# adjudicated at the same threshold as bench-faults/bench-prof).
+bench-obs:
+	@set -e; \
+	$(GO) test -c -o /tmp/vax_obs.test .; \
+	: > /tmp/obs_off.txt; : > /tmp/obs_on.txt; \
+	for i in 1 2 3 4 5 6; do \
+		/tmp/vax_obs.test -test.run xxx -test.bench '^BenchmarkObs$$/^off$$' -test.benchtime 10x >> /tmp/obs_off.txt; \
+		/tmp/vax_obs.test -test.run xxx -test.bench '^BenchmarkObs$$/^on$$' -test.benchtime 10x >> /tmp/obs_on.txt; \
+	done; \
+	for i in 1 2 3 4 5 6; do \
+		/tmp/vax_obs.test -test.run xxx -test.bench '^BenchmarkObs$$/^on$$' -test.benchtime 10x >> /tmp/obs_on.txt; \
+		/tmp/vax_obs.test -test.run xxx -test.bench '^BenchmarkObs$$/^off$$' -test.benchtime 10x >> /tmp/obs_off.txt; \
+	done; \
+	rm -f /tmp/obs_detached.json /tmp/obs_attached.json; \
+	$(GO) run ./cmd/vaxbench -history /tmp/obs_detached.json -label detached < /tmp/obs_off.txt; \
+	sed 's|^BenchmarkObs/on|BenchmarkObs/off|' /tmp/obs_on.txt \
+		| $(GO) run ./cmd/vaxbench -history /tmp/obs_attached.json -label attached; \
+	$(GO) run ./cmd/vaxbench -compare -threshold 25 /tmp/obs_detached.json /tmp/obs_attached.json
 
 # The fusion-speedup gate: BenchmarkFusion prices the no-hook hot loop
 # fused (the default) and interpreted (NoFusion) over one shared
@@ -139,14 +169,14 @@ vaxd-smoke:
 # and append one dated medians entry to BENCH_history.json (cmd/vaxbench).
 # LABEL names the change being measured.
 bench-all:
-	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun|BenchmarkProf' \
+	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun|BenchmarkProf|BenchmarkObs' \
 		-benchtime 20x -count 3 . | $(GO) run ./cmd/vaxbench -label "$(LABEL)"
 
 # CI's cheap variant: one iteration of each suite piped through the
 # vaxbench parser (into a throwaway history) to prove the toolchain works.
 bench-smoke:
 	@rm -f /tmp/vaxbench_smoke.json
-	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun|BenchmarkProf' \
+	$(GO) test -run xxx -bench 'BenchmarkTelemetry|BenchmarkFaults|BenchmarkParallelRun|BenchmarkProf|BenchmarkObs' \
 		-benchtime 1x -count 1 . | $(GO) run ./cmd/vaxbench -history /tmp/vaxbench_smoke.json -label smoke
 
 experiments:

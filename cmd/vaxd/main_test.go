@@ -3,7 +3,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -19,21 +22,33 @@ import (
 	"vax780"
 	"vax780/internal/castore"
 	"vax780/internal/jobs"
+	"vax780/internal/obs"
 )
 
-func newTestHandler(t *testing.T) http.Handler {
+func newTestService(t *testing.T, cfg jobs.Config) (*handler, *jobs.Manager, *obs.Metrics) {
 	t.Helper()
-	store, err := castore.Open(filepath.Join(t.TempDir(), "store"))
-	if err != nil {
-		t.Fatal(err)
+	if cfg.Store == nil {
+		store, err := castore.Open(filepath.Join(t.TempDir(), "store"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		cfg.Store = store
 	}
-	t.Cleanup(func() { store.Close() })
-	mgr, err := jobs.New(jobs.Config{Store: store})
+	met := obs.NewMetrics()
+	cfg.Metrics = met
+	mgr, err := jobs.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(mgr.Close)
-	return newHandler(mgr)
+	return newHandler(mgr, met), mgr, met
+}
+
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	h, _, _ := newTestService(t, jobs.Config{})
+	return h.routes()
 }
 
 func postJob(t *testing.T, srv *httptest.Server, body string) (int, jobs.Job) {
@@ -108,7 +123,7 @@ func TestAPISubmitPollFetch(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/results/"+done.Key, &bundle); code != http.StatusOK {
 		t.Fatalf("GET /results/{key}: status %d", code)
 	}
-	if len(bundle.Files) != 4 {
+	if len(bundle.Files) != 5 {
 		t.Fatalf("bundle files = %v", bundle.Files)
 	}
 	resp, err := http.Get(srv.URL + "/results/" + done.Key + "/report.txt")
@@ -193,6 +208,244 @@ func TestAPIJobEventsSSE(t *testing.T) {
 	}
 }
 
+// TestHealthzReadinessAndDrainWindow pins the liveness/readiness
+// split: before the manager is installed (journal replay in progress)
+// /healthz is 503 "starting" while /livez is 200; once draining
+// begins, /healthz turns 503 "draining" for the whole drain window and
+// stays there after the drain completes.
+func TestHealthzReadinessAndDrainWindow(t *testing.T) {
+	// Phase 1: booting — no manager behind the handler yet.
+	h := newHandler(nil, obs.NewMetrics())
+	srv := httptest.NewServer(h.routes())
+	defer srv.Close()
+
+	if code, reason := getHealth(t, srv.URL); code != http.StatusServiceUnavailable || reason != "starting" {
+		t.Fatalf("booting healthz: status %d reason %q, want 503 starting", code, reason)
+	}
+	if code := getJSON(t, srv.URL+"/livez", nil); code != http.StatusOK {
+		t.Fatalf("booting livez: status %d, want 200", code)
+	}
+	if code, _ := postJob(t, srv, `{"workloads":["TIMESHARING-A"],"instructions":1000}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("booting submit: status %d, want 503", code)
+	}
+
+	// Phase 2: ready — install a manager whose runner blocks until
+	// released, so the drain window below stays open.
+	block := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(block) }) }
+	t.Cleanup(release) // unblock the worker even if an assertion fails
+	runner := func(ctx context.Context, cfg vax780.RunConfig) (*vax780.Results, error) {
+		<-block
+		return nil, errors.New("released")
+	}
+	store, err := castore.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	met := obs.NewMetrics()
+	mgr, err := jobs.New(jobs.Config{Store: store, Runner: runner, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	h.setManager(mgr)
+	if code, _ := getHealth(t, srv.URL); code != http.StatusOK {
+		t.Fatalf("ready healthz: status %d, want 200", code)
+	}
+
+	// Phase 3: draining — a job is mid-run (ignoring cancellation), so
+	// Drain blocks; readiness must already be failing.
+	code, job := postJob(t, srv, `{"workloads":["TIMESHARING-A"],"instructions":1000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if j, _ := mgr.Get(job.ID); j.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drained := make(chan int, 1)
+	go func() { drained <- mgr.Drain("test") }()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, reason := getHealth(t, srv.URL)
+		if code == http.StatusServiceUnavailable {
+			if reason != "draining" {
+				t.Fatalf("drain-window reason = %q, want draining", reason)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never failed during drain window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := getJSON(t, srv.URL+"/livez", nil); code != http.StatusOK {
+		t.Fatal("livez must stay 200 while draining")
+	}
+	release()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	// Drained is terminal for this process: readiness stays down.
+	if code, reason := getHealth(t, srv.URL); code != http.StatusServiceUnavailable || reason != "draining" {
+		t.Fatalf("post-drain healthz: status %d reason %q, want 503 draining", code, reason)
+	}
+}
+
+// getHealth fetches /healthz, decoding the body whatever the status.
+func getHealth(t *testing.T, base string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		OK     bool   `json:"ok"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	return resp.StatusCode, health.Reason
+}
+
+// TestMetricsEndpoint checks the Prometheus surface end to end: the
+// counters move with traffic, render deterministically, and recompose
+// exactly from the service journal.
+func TestMetricsEndpoint(t *testing.T) {
+	h, mgr, met := newTestService(t, jobs.Config{})
+	srv := httptest.NewServer(h.routes())
+	defer srv.Close()
+
+	spec := `{"workloads":["TIMESHARING-A"],"instructions":1200,"tenant":"alice"}`
+	code, job := postJob(t, srv, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitDone(t, srv, job.ID)
+	if code, _ := postJob(t, srv, spec); code != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want cache hit", code)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	for _, series := range []string{
+		`vaxd_jobs_submitted_total{tenant="alice"} 2`,
+		`vaxd_cache_hits_total 1`,
+		`vaxd_job_starts_total 1`,
+		`vaxd_requests_total{tenant="alice"} 2`,
+		`vaxd_queue_depth 0`,
+		`vaxd_store_objects 1`,
+		`vaxd_request_duration_seconds_count{tenant="alice"} 2`,
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	// The exported counters must recompose from the journal.
+	var journal bytes.Buffer
+	err = mgr.Store().ReplayJournal(func(line []byte) error {
+		journal.Write(line)
+		journal.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(met.Counters(), &journal); err != nil {
+		t.Fatalf("counters do not recompose: %v", err)
+	}
+}
+
+// TestTraceEndpoint checks /trace/{id}: a schema-valid connected span
+// tree from HTTP admission down to control-store flows, plus the
+// chrome://tracing rendering.
+func TestTraceEndpoint(t *testing.T) {
+	h, _, _ := newTestService(t, jobs.Config{})
+	srv := httptest.NewServer(h.routes())
+	defer srv.Close()
+
+	code, job := postJob(t, srv, `{"workloads":["TIMESHARING-A"],"instructions":1500}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitDone(t, srv, job.ID)
+
+	resp, err := http.Get(srv.URL + "/trace/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: status %d (%s)", resp.StatusCode, rows)
+	}
+	if err := obs.ValidateSpans(rows); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	kinds := traceKinds(t, rows)
+	for _, k := range []string{"job", "http", "queue", "attempt", "run", "workload", "flow"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace has no %s span: %v", k, kinds)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/trace/" + job.ID + "?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome trace: %v (%d events)", err, len(doc.TraceEvents))
+	}
+
+	if code := getJSON(t, srv.URL+"/trace/j-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job trace: status %d, want 404", code)
+	}
+}
+
+// traceKinds tallies span kinds in a JSONL trace export.
+func traceKinds(t *testing.T, rows []byte) map[string]int {
+	t.Helper()
+	_, root, err := obs.ParseRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		kinds[s.Kind]++
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return kinds
+}
+
 // startVaxd launches a built vaxd binary and returns its base URL plus
 // a channel that yields the exit error when the process ends.
 func startVaxd(t *testing.T, bin, data string) (*exec.Cmd, string, chan error) {
@@ -223,7 +476,23 @@ func startVaxd(t *testing.T, bin, data string) (*exec.Cmd, string, chan error) {
 
 	select {
 	case addr := <-addrCh:
-		return cmd, "http://" + addr, waitCh
+		url := "http://" + addr
+		// The socket answers before recovery finishes; wait for
+		// readiness so tests can submit immediately.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(url + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd, url, waitCh
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("vaxd never became ready")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 	case err := <-waitCh:
 		t.Fatalf("vaxd exited before listening: %v", err)
 	case <-time.After(30 * time.Second):
@@ -377,5 +646,47 @@ func TestVaxdSIGTERMDrainRestart(t *testing.T) {
 	}
 	if fmt.Sprint(cached.Key) != fmt.Sprint(done.Key) {
 		t.Fatalf("cached key %s != original %s", cached.Key, done.Key)
+	}
+
+	// The assembled trace must connect both process lives into one
+	// tree: admission HTTP, two queue/attempt pairs (life 1 evicted,
+	// life 2 done), and the run subtree with its resume span and
+	// control-store flows spliced under the final attempt.
+	tr, err := http.Get(url2 + "/trace/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: status %d (%s)", tr.StatusCode, rows)
+	}
+	if err := obs.ValidateSpans(rows); err != nil {
+		t.Fatalf("kill-and-restart trace invalid: %v", err)
+	}
+	kinds := traceKinds(t, rows)
+	switch {
+	case kinds["job"] != 1 || kinds["run"] != 1:
+		t.Errorf("trace not a single connected job: %v", kinds)
+	case kinds["attempt"] < 2 || kinds["queue"] < 2:
+		t.Errorf("trace missing the evicted first life: %v", kinds)
+	case kinds["resume"] == 0:
+		t.Errorf("trace has no resume span; checkpoint link lost: %v", kinds)
+	case kinds["http"] == 0 || kinds["workload"] == 0 || kinds["flow"] == 0:
+		t.Errorf("trace does not reach HTTP and flow leaves: %v", kinds)
+	}
+
+	// Restart counters are cumulative: both lives' starts and the drain
+	// survive the journal replay into the second process's /metrics.
+	mr, err := http.Get(url2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metText, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, series := range []string{"vaxd_job_starts_total 2", "vaxd_drains_total 1"} {
+		if !bytes.Contains(metText, []byte(series)) {
+			t.Errorf("/metrics after restart missing %q", series)
+		}
 	}
 }

@@ -11,6 +11,14 @@
 // validated against the golden schema and rendered one event per line.
 // -ev TYPE[,TYPE...] filters to the named event types (e.g.
 // "machine-fault,retry"); exit code 1 when the file fails validation.
+//
+// -obs DATA_DIR switches to the observability auditor: the vaxd data
+// directory's journal is validated against the golden event schema,
+// the counters it implies are recomposed and printed, and every
+// committed bundle's trace.jsonl is checked against the span schema.
+// With -metrics URL the live /metrics counters are additionally proven
+// to recompose exactly from the journal (obs.Validate). Exit code 1 on
+// any failed check.
 package main
 
 import (
@@ -30,7 +38,17 @@ func main() {
 	lint := flag.Bool("lint", false, "run the control-store static analyzer and print flow bounds")
 	ledger := flag.String("ledger", "", "pretty-print a run-ledger JSONL file instead of the system structure")
 	evFilter := flag.String("ev", "", "with -ledger: only print these comma-separated event types")
+	obsDir := flag.String("obs", "", "audit a vaxd data directory's observability invariants (journal, counters, traces)")
+	metricsURL := flag.String("metrics", "", "with -obs: prove this live /metrics endpoint recomposes from the journal")
 	flag.Parse()
+
+	if *obsDir != "" {
+		if err := runObs(*obsDir, *metricsURL); err != nil {
+			fmt.Fprintln(os.Stderr, "vaxdiag:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ledger != "" {
 		if err := printLedger(*ledger, *evFilter); err != nil {

@@ -1,0 +1,262 @@
+// Fleet mode (-jobs): vaxtop as a vaxd service viewer. The pane seeds
+// from GET /jobs, then stays live on the service-wide GET /events SSE
+// stream — the same journal-backed bus the /metrics counters recompose
+// from — rendering the job table, per-state tallies, and the shed
+// counts admission control is applying.
+
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fleetEvent is the union of journal-event fields the pane renders;
+// it doubles as the GET /jobs row shape (the job snapshot JSON).
+type fleetEvent struct {
+	Msg          string  `json:"msg"`
+	ID           string  `json:"id"`
+	Tenant       string  `json:"tenant"`
+	State        string  `json:"state"`
+	Cause        string  `json:"cause"`
+	Cached       bool    `json:"cached"`
+	Requeues     int     `json:"requeues"`
+	Reason       string  `json:"reason"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	CPI          float64 `json:"cpi"`
+}
+
+// fleetState is the pane's model, shared between the SSE reader
+// goroutine and the render loop.
+type fleetState struct {
+	mu        sync.Mutex
+	jobs      map[string]*fleetEvent
+	order     []string // admission order (sorted IDs)
+	sheds     map[string]int
+	drains    int
+	connected bool
+	lastErr   error
+}
+
+func newFleetState() *fleetState {
+	return &fleetState{jobs: make(map[string]*fleetEvent), sheds: make(map[string]int)}
+}
+
+// seed replaces the job table with the service's current list.
+func (f *fleetState) seed(rows []fleetEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.jobs = make(map[string]*fleetEvent, len(rows))
+	f.order = f.order[:0]
+	for i := range rows {
+		r := rows[i]
+		f.jobs[r.ID] = &r
+		f.order = append(f.order, r.ID)
+	}
+	sort.Strings(f.order)
+}
+
+// apply folds one live event into the model.
+func (f *fleetState) apply(msg string, ev fleetEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch msg {
+	case "job-queued":
+		if _, ok := f.jobs[ev.ID]; !ok {
+			f.order = append(f.order, ev.ID)
+			sort.Strings(f.order)
+		}
+		ev.State = "queued"
+		f.jobs[ev.ID] = &ev
+	case "job-start":
+		if j, ok := f.jobs[ev.ID]; ok {
+			j.State = "running"
+			j.Requeues = ev.Requeues
+		}
+	case "job-done":
+		if j, ok := f.jobs[ev.ID]; ok {
+			j.State = ev.State
+			j.Cause = ev.Cause
+			j.Cached = ev.Cached
+			j.Instructions = ev.Instructions
+			j.Cycles = ev.Cycles
+			j.CPI = ev.CPI
+		}
+	case "job-shed":
+		f.sheds[ev.Reason]++
+	case "drain":
+		f.drains++
+	}
+}
+
+func (f *fleetState) setConn(ok bool, err error) {
+	f.mu.Lock()
+	f.connected, f.lastErr = ok, err
+	f.mu.Unlock()
+}
+
+// runFleet is the -jobs main loop: one goroutine follows the SSE
+// stream (reseeding the table on every reconnect), while this loop
+// re-renders at the poll interval.
+func runFleet(client *http.Client, base string, interval time.Duration, once, lines bool) {
+	f := newFleetState()
+	if rows, err := fetchJobs(client, base); err == nil {
+		f.seed(rows)
+		f.setConn(true, nil)
+	} else {
+		f.setConn(false, err)
+	}
+	if once {
+		fmt.Print(f.render(base))
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if !f.connected {
+			fmt.Fprintln(os.Stderr, "vaxtop:", f.lastErr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	go followEvents(client, base, f, interval)
+
+	ansi := !lines && stdoutIsTerminal()
+	for {
+		if ansi {
+			fmt.Print("\x1b[H\x1b[J")
+		}
+		fmt.Print(f.render(base))
+		time.Sleep(interval)
+	}
+}
+
+// fetchJobs GETs the service's job list.
+func fetchJobs(client *http.Client, base string) ([]fleetEvent, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/jobs: %s", resp.Status)
+	}
+	var rows []fleetEvent
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("/jobs: %w", err)
+	}
+	return rows, nil
+}
+
+// followEvents subscribes to the SSE stream, applying each event to
+// the model; on any disconnect it reseeds from /jobs (events missed
+// while down are reflected there) and resubscribes.
+func followEvents(client *http.Client, base string, f *fleetState, retry time.Duration) {
+	// Streaming reads must not time out; clone the client without one.
+	stream := &http.Client{Transport: client.Transport}
+	for {
+		if rows, err := fetchJobs(client, base); err == nil {
+			f.seed(rows)
+		}
+		err := consumeSSE(stream, strings.TrimRight(base, "/")+"/events", f)
+		f.setConn(false, err)
+		time.Sleep(retry)
+	}
+}
+
+// consumeSSE follows one event-stream connection until it drops.
+func consumeSSE(client *http.Client, url string, f *fleetState) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/events: %s", resp.Status)
+	}
+	f.setConn(true, nil)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev fleetEvent
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) == nil {
+				f.apply(event, ev)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("/events: stream closed")
+}
+
+// render formats the fleet pane.
+func (f *fleetState) render(base string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	conn := "live"
+	if !f.connected {
+		conn = "reconnecting"
+		if f.lastErr != nil {
+			conn = fmt.Sprintf("reconnecting (%v)", f.lastErr)
+		}
+	}
+	states := map[string]int{}
+	for _, id := range f.order {
+		states[f.jobs[id].State]++
+	}
+	fmt.Fprintf(&b, "vaxtop — fleet %s  [%s]  jobs %d  queued %d  running %d  done %d  failed %d  evicted %d  timed-out %d\n",
+		base, conn, len(f.order), states["queued"], states["running"],
+		states["done"], states["failed"], states["evicted"], states["timed-out"])
+	var shedParts []string
+	for _, r := range sortedKeys(f.sheds) {
+		shedParts = append(shedParts, fmt.Sprintf("%s=%d", r, f.sheds[r]))
+	}
+	shed := "none"
+	if len(shedParts) > 0 {
+		shed = strings.Join(shedParts, "  ")
+	}
+	fmt.Fprintf(&b, "  sheds: %s   drains: %d\n\n", shed, f.drains)
+	fmt.Fprintf(&b, "  %-9s %-12s %-9s %3s %5s %12s %12s %6s  %s\n",
+		"JOB", "TENANT", "STATE", "REQ", "CACHE", "INSTR", "CYCLES", "CPI", "CAUSE")
+	for _, id := range f.order {
+		j := f.jobs[id]
+		tenant := j.Tenant
+		if tenant == "" {
+			tenant = "-"
+		}
+		cache := "-"
+		if j.Cached {
+			cache = "hit"
+		}
+		cpi := "-"
+		if j.CPI > 0 {
+			cpi = fmt.Sprintf("%.2f", j.CPI)
+		}
+		fmt.Fprintf(&b, "  %-9s %-12s %-9s %3d %5s %12d %12d %6s  %s\n",
+			j.ID, tenant, j.State, j.Requeues, cache, j.Instructions, j.Cycles, cpi, j.Cause)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

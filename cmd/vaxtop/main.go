@@ -11,9 +11,15 @@
 // -lines — each snapshot prints as a block instead, so vaxtop pipes
 // cleanly into a log.
 //
+// With -jobs, vaxtop watches a vaxd service instead of a run monitor:
+// the pane seeds from GET /jobs and then follows the service-wide
+// GET /events SSE stream, showing every job's lifecycle (queued →
+// running → done/failed/evicted/timed-out), cache hits, requeue
+// counts, and the shed/drain tallies admission control is applying.
+//
 // Usage:
 //
-//	vaxtop [-url http://localhost:8780] [-interval 1s] [-once] [-lines] [-flows 5]
+//	vaxtop [-url http://localhost:8780] [-interval 1s] [-once] [-lines] [-flows 5] [-jobs]
 //
 // -once fetches and prints a single snapshot and exits (0 when a
 // snapshot was served, 1 otherwise) — usable as a health probe.
@@ -37,10 +43,16 @@ func main() {
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	lines := flag.Bool("lines", false, "line mode: print snapshot blocks instead of redrawing in place")
 	flows := flag.Int("flows", 5, "hot control-store flows to show from /prof (0 disables the section)")
+	jobsMode := flag.Bool("jobs", false, "fleet mode: watch a vaxd service (GET /jobs + /events SSE)")
 	flag.Parse()
 
 	ansi := !*lines && !*once && stdoutIsTerminal()
 	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *jobsMode {
+		runFleet(client, *url, *interval, *once, *lines)
+		return
+	}
 
 	for {
 		snap, err := fetchProgress(client, *url)

@@ -1,0 +1,199 @@
+// Jobtrace: the observability walkthrough against a running vaxd. It
+// submits one measurement, then pulls the three artifacts the service
+// derives from its journal — speaking nothing but net/http:
+//
+//  1. POST /jobs + GET /jobs/{id} — the same submit/poll loop as
+//     examples/vaxdclient.
+//  2. GET /trace/{id} — the job's causal trace as JSONL spans: the
+//     service side (job → http/queue/attempt) assembled from the
+//     journal, spliced onto the run side (run → workload → flow)
+//     staged in the result bundle. The example renders the tree with
+//     cycle costs; ?format=chrome fetches the same tree as a Chrome
+//     trace (chrome://tracing, Perfetto) written next to the binary.
+//  3. GET /metrics — the Prometheus counters the journal implies
+//     (every vaxd_*_total series is machine-checked against the
+//     journal by obs.Validate; vaxdiag -obs re-proves it offline).
+//
+// Start a daemon first:
+//
+//	go run ./cmd/vaxd -data /tmp/vaxd
+//
+// then:
+//
+//	go run ./examples/jobtrace -addr 127.0.0.1:8780
+//
+// Kill and restart the daemon mid-job and the trace stays connected:
+// the requeued attempt, the resume span, and the re-run workloads all
+// hang off the same job root.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+type jobView struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	State  string `json:"state"`
+	Cause  string `json:"cause,omitempty"`
+	Cached bool   `json:"cached"`
+}
+
+// spanRow mirrors the JSONL wire form of one trace span (obs.Row).
+type spanRow struct {
+	ID     string         `json:"id"`
+	Parent string         `json:"parent"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	Path   string         `json:"path"`
+	Cycles uint64         `json:"cycles"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8780", "vaxd address")
+	n := flag.Int("n", 20_000, "instructions per workload")
+	workloads := flag.String("workloads", "TIMESHARING-A,RTE-SCI", "comma-separated workload names")
+	chrome := flag.String("chrome", "jobtrace_chrome.json", "write the Chrome-format trace here (empty: skip)")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// 1. Submit and poll to a terminal state.
+	spec := map[string]any{
+		"instructions": *n,
+		"workloads":    strings.Split(*workloads, ","),
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("submit: %v (is vaxd running? go run ./cmd/vaxd)", err)
+	}
+	var job jobView
+	if err := decode(resp, &job); err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("submitted %s: state=%s cached=%v\n", job.ID, job.State, job.Cached)
+	for job.State == "queued" || job.State == "running" {
+		time.Sleep(100 * time.Millisecond)
+		r, err := http.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			log.Fatalf("poll: %v", err)
+		}
+		if err := decode(r, &job); err != nil {
+			log.Fatalf("poll: %v", err)
+		}
+	}
+	if job.State != "done" {
+		log.Fatalf("job ended %s: %s", job.State, job.Cause)
+	}
+
+	// 2. The causal trace: HTTP admission down to the hot flows.
+	r, err := http.Get(base + "/trace/" + job.ID)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	rows, err := readOK(r)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	fmt.Printf("\n--- /trace/%s ---\n", job.ID)
+	printTree(rows)
+
+	if *chrome != "" {
+		r, err := http.Get(base + "/trace/" + job.ID + "?format=chrome")
+		if err != nil {
+			log.Fatalf("chrome trace: %v", err)
+		}
+		data, err := readOK(r)
+		if err != nil {
+			log.Fatalf("chrome trace: %v", err)
+		}
+		if err := os.WriteFile(*chrome, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nChrome trace written to %s (load in chrome://tracing or Perfetto)\n", *chrome)
+	}
+
+	// 3. The counters the same journal implies.
+	r, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	metrics, err := readOK(r)
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	fmt.Println("\n--- /metrics (counters; proven against the journal by vaxdiag -obs) ---")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.Contains(line, "_total") && !strings.HasPrefix(line, "#") {
+			fmt.Println(" ", line)
+		}
+	}
+}
+
+// printTree renders the JSONL span rows as an indented tree. Depth is
+// the span's path depth, so the wire order (depth-first, parents
+// before children) prints directly.
+func printTree(rows []byte) {
+	for _, line := range bytes.Split(rows, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var s spanRow
+		if err := json.Unmarshal(line, &s); err != nil {
+			log.Fatalf("trace row: %v", err)
+		}
+		indent := strings.Repeat("  ", strings.Count(s.Path, "/"))
+		cost := ""
+		if s.Cycles > 0 {
+			cost = fmt.Sprintf("  %d cycles", s.Cycles)
+		}
+		detail := ""
+		switch s.Kind {
+		case "flow":
+			if share, ok := s.Attrs["share"].(float64); ok {
+				detail = fmt.Sprintf("  (%.1f%% of workload)", 100*share)
+			}
+		case "resume":
+			if n, ok := s.Attrs["restored"].(float64); ok {
+				detail = fmt.Sprintf("  (%.0f workloads restored)", n)
+			}
+		case "attempt":
+			if cause, ok := s.Attrs["cause"].(string); ok && cause != "" {
+				detail = "  (" + cause + ")"
+			}
+		}
+		fmt.Printf("%s%s %s%s%s\n", indent, s.Kind, s.Name, cost, detail)
+	}
+}
+
+// readOK drains one response, failing on non-2xx status.
+func readOK(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+// decode drains one HTTP response into v, failing on non-2xx status.
+func decode(resp *http.Response, v any) error {
+	data, err := readOK(resp)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

@@ -27,6 +27,7 @@
 package castore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ type Store struct {
 
 	mu      sync.Mutex
 	journal *os.File
+	races   []string // keys whose commits lost the first-writer race
 }
 
 // Open creates (or reopens) the store rooted at root.
@@ -251,6 +253,12 @@ func (st *Staging) Commit(key string) error {
 	defer st.store.mu.Unlock()
 	dst := st.store.objectDir(key)
 	if _, err := os.Stat(dst); err == nil {
+		// First writer won. The discarded bundle was identical by
+		// determinism, so nothing is lost — but the race itself was
+		// invisible until now; record it so the job manager can journal
+		// and count it (an unexpected race rate means duplicate work
+		// admission should have deduplicated).
+		st.store.races = append(st.store.races, key)
 		return os.RemoveAll(st.dir)
 	}
 	if err := os.Rename(st.dir, dst); err != nil {
@@ -341,6 +349,57 @@ func (w journalWriter) Write(p []byte) (int, error) {
 // JournalWriter returns an io.Writer appending one journal record per
 // Write call (the runlog JSON handler's contract).
 func (s *Store) JournalWriter() io.Writer { return journalWriter{s} }
+
+// TakeCommitRaces drains the keys whose commits lost a first-writer-
+// wins race since the last call.
+func (s *Store) TakeCommitRaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.races
+	s.races = nil
+	return out
+}
+
+// RepairJournal truncates a torn final record — the partial line a
+// crash mid-append leaves behind. Replay already ignores the torn
+// tail, but without repair the next O_APPEND write would concatenate
+// onto the partial line, silently corrupting two records; with it the
+// journal is clean before the ledger reopens for append. Returns the
+// number of records dropped (0 or 1). Callers run it after replay and
+// before appending anything new.
+func (s *Store) RepairJournal() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.root, "journal.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("castore: reading journal: %w", err)
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return 0, nil
+	}
+	keep := 0
+	if nl := bytes.LastIndexByte(data, '\n'); nl >= 0 {
+		keep = nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("castore: repairing journal: %w", err)
+	}
+	if err := f.Truncate(int64(keep)); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("castore: repairing journal: %w", err)
+	}
+	syncErr := f.Sync()
+	closeErr := f.Close()
+	if syncErr != nil {
+		return 0, fmt.Errorf("castore: repairing journal: %w", syncErr)
+	}
+	if closeErr != nil {
+		return 0, fmt.Errorf("castore: repairing journal: %w", closeErr)
+	}
+	return 1, nil
+}
 
 // ReplayJournal calls fn for every complete record in the journal, in
 // append order. A truncated final line (torn write at crash) is

@@ -87,6 +87,13 @@ func TestCommitFirstWriterWins(t *testing.T) {
 	if _, err := os.Stat(b.Dir()); !errors.Is(err, os.ErrNotExist) {
 		t.Fatal("loser's staging dir not discarded")
 	}
+	races := s.TakeCommitRaces()
+	if len(races) != 1 || races[0] != "cafef00d" {
+		t.Fatalf("TakeCommitRaces = %v, want [cafef00d]", races)
+	}
+	if again := s.TakeCommitRaces(); len(again) != 0 {
+		t.Fatalf("TakeCommitRaces did not drain: %v", again)
+	}
 }
 
 func TestCommitRace(t *testing.T) {
@@ -116,6 +123,64 @@ func TestCommitRace(t *testing.T) {
 	ents, _ := os.ReadDir(filepath.Join(s.Root(), "staging"))
 	if len(ents) != 0 {
 		t.Fatalf("%d staging dirs survive the race", len(ents))
+	}
+	if races := s.TakeCommitRaces(); len(races) != n-1 {
+		t.Fatalf("recorded %d commit races, want %d", len(races), n-1)
+	}
+}
+
+func TestRepairJournalTornTail(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	s, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendJournal([]byte(`{"msg":"a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-append: a partial record with no newline.
+	path := filepath.Join(root, "journal.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"msg":"to`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, err := s2.RepairJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("RepairJournal dropped %d records, want 1", n)
+	}
+	// The next append must start a fresh record, not concatenate onto
+	// the torn one — the corruption repair exists to prevent.
+	if err := s2.AppendJournal([]byte(`{"msg":"b"}`)); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := s2.ReplayJournal(func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"msg":"a"}`, `{"msg":"b"}`}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("journal after repair+append = %q, want %q", got, want)
+	}
+	// A clean journal repairs to a no-op.
+	if n, err := s2.RepairJournal(); err != nil || n != 0 {
+		t.Fatalf("RepairJournal on clean journal = %d, %v", n, err)
 	}
 }
 

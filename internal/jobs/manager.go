@@ -22,6 +22,7 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -36,6 +37,7 @@ import (
 
 	"vax780"
 	"vax780/internal/castore"
+	"vax780/internal/obs"
 	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
 )
@@ -135,6 +137,12 @@ type Config struct {
 	// fake). Only admission reads it — nothing downstream of admission
 	// depends on wall time.
 	Clock func() time.Time
+
+	// Metrics, when non-nil, receives one Count per journaled event (the
+	// recompose contract: counters move only alongside journal records),
+	// duration observations, and the manager's gauges. Nil disables all
+	// metric work.
+	Metrics *obs.Metrics
 }
 
 // Manager owns the job table, the admission queue, and the worker pool.
@@ -143,8 +151,12 @@ type Manager struct {
 	store *castore.Store
 
 	// journal is the service ledger, persisted through the store's
-	// append-only journal file; crash recovery replays it.
+	// append-only journal file; crash recovery replays it. Every emit
+	// also fans out on events (the service-wide bus behind GET /events)
+	// and counts into cfg.Metrics, so the live counters recompose
+	// exactly from the journal by construction.
 	journal *runlog.Ledger
+	events  *runlog.Bus
 
 	// mux serves per-job SSE streams; each job's bus is attached at
 	// admission and stays attached for the manager's life.
@@ -195,13 +207,25 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m.root, m.cancel = context.WithCancel(context.Background())
 
+	// Repair a torn journal tail before replay and before any append:
+	// an O_APPEND write after a torn final line would concatenate two
+	// records into one unparseable hybrid.
+	torn, err := m.store.RepairJournal()
+	if err != nil {
+		return nil, err
+	}
 	requeue, err := m.recover()
 	if err != nil {
 		return nil, err
 	}
 	// The journal ledger is opened after replay so recovery reads the
 	// file without racing its own appends.
-	m.journal = runlog.New(m.store.JournalWriter())
+	m.events = runlog.NewBus()
+	m.journal = runlog.NewOn(m.store.JournalWriter(), m.events)
+	if torn > 0 {
+		m.emit(runlog.JournalTornEvent(torn), obs.Rec{Msg: runlog.EvJournalTorn})
+	}
+	m.registerGauges()
 
 	m.notify = make(chan struct{}, cfg.QueueDepth+len(requeue))
 	for _, j := range requeue {
@@ -236,6 +260,12 @@ type journalRec struct {
 func (m *Manager) recover() ([]*job, error) {
 	var order []string
 	err := m.store.ReplayJournal(func(line []byte) error {
+		// Counters are cumulative across process lives: every replayed
+		// record counts exactly as it did when first journaled, so the
+		// restarted /metrics still recomposes from the journal.
+		if r, ok := obs.ParseRec(line); ok {
+			m.cfg.Metrics.Count(r)
+		}
 		var rec journalRec
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// The journal carries non-job events too (drain); a record
@@ -297,6 +327,75 @@ func (m *Manager) recover() ([]*job, error) {
 	return requeue, nil
 }
 
+// emit is the single choke point for service events: journal the
+// record (which also publishes it on the events bus) and fold the same
+// event into the live counters. Keeping the two moves in one place is
+// what makes obs.Validate hold by construction.
+func (m *Manager) emit(ev runlog.Event, r obs.Rec) {
+	m.journal.Emit(ev)
+	m.cfg.Metrics.Count(r)
+}
+
+// registerGauges publishes the manager's present-state gauges. Gauge
+// closures are sampled at /metrics render time, outside any Metrics
+// lock, so taking m.mu here is safe.
+func (m *Manager) registerGauges() {
+	mm := m.cfg.Metrics
+	if mm == nil {
+		return
+	}
+	mm.Gauge("vaxd_queue_depth", "jobs queued but not yet running", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.pending))
+	})
+	mm.Gauge("vaxd_jobs_running", "jobs currently executing", func() float64 {
+		running := 0
+		for _, s := range m.List() {
+			if s.State == StateRunning {
+				running++
+			}
+		}
+		return float64(running)
+	})
+	mm.Gauge("vaxd_draining", "1 while the manager is draining, else 0", func() float64 {
+		if m.Draining() {
+			return 1
+		}
+		return 0
+	})
+	mm.Gauge("vaxd_store_objects", "committed bundles in the content-addressed store", func() float64 {
+		keys, err := m.store.Keys()
+		if err != nil {
+			return -1
+		}
+		return float64(len(keys))
+	})
+}
+
+// Draining reports whether admission has stopped. vaxd's /healthz uses
+// it to fail readiness during the drain window.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// EventsBus is the service-wide event bus: every journaled record is
+// published on it, so subscribers (GET /events, vaxtop's fleet pane)
+// see the same stream the journal persists.
+func (m *Manager) EventsBus() *runlog.Bus { return m.events }
+
+// NoteHTTP journals one settled HTTP request against a job and records
+// its latency. vaxd calls it for submissions only — polls are not
+// journaled (the journal fsyncs per record) — so the request counters
+// measure admission traffic.
+func (m *Manager) NoteHTTP(id, route, tenant string, status int, durNs int64) {
+	m.emit(runlog.JobHTTPEvent(id, route, tenant, status, durNs),
+		obs.Rec{Msg: runlog.EvJobHTTP, Tenant: tenant, Status: status})
+	m.cfg.Metrics.Observe("vaxd_request_duration_seconds", tenant, float64(durNs)/1e9)
+}
+
 // take spends one quota token for the tenant, reporting whether the
 // bucket had one. Caller holds m.mu.
 func (m *Manager) take(tenant string) bool {
@@ -351,6 +450,8 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
+		m.emit(runlog.JobShedEvent(spec.Tenant, "draining"),
+			obs.Rec{Msg: runlog.EvJobShed, Reason: "draining"})
 		return Job{}, ErrDraining
 	}
 	m.seq++
@@ -364,22 +465,28 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		m.fillFromMeta(&j.snap)
 		m.jobs[id] = j
 		m.mux.Attach(id, j.bus)
-		m.journal.Emit(runlog.JobQueuedEvent(id, key, spec.Tenant, spec.DeadlineMS, spec))
+		m.emit(runlog.JobQueuedEvent(id, key, spec.Tenant, spec.DeadlineMS, spec),
+			obs.Rec{Msg: runlog.EvJobQueued, Tenant: spec.Tenant})
 		m.emitDone(j)
 		return j.snap, nil
 	}
 
 	if !m.take(spec.Tenant) {
+		m.emit(runlog.JobShedEvent(spec.Tenant, "quota"),
+			obs.Rec{Msg: runlog.EvJobShed, Reason: "quota"})
 		return Job{}, fmt.Errorf("%w (tenant %q)", ErrQuotaExceeded, spec.Tenant)
 	}
 	if len(m.pending) >= m.cfg.QueueDepth {
 		m.refund(spec.Tenant)
+		m.emit(runlog.JobShedEvent(spec.Tenant, "queue-full"),
+			obs.Rec{Msg: runlog.EvJobShed, Reason: "queue-full"})
 		return Job{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	m.jobs[id] = j
 	m.mux.Attach(id, j.bus)
 	m.pending = append(m.pending, j)
-	m.journal.Emit(runlog.JobQueuedEvent(id, key, spec.Tenant, spec.DeadlineMS, spec))
+	m.emit(runlog.JobQueuedEvent(id, key, spec.Tenant, spec.DeadlineMS, spec),
+		obs.Rec{Msg: runlog.EvJobQueued, Tenant: spec.Tenant})
 	m.notify <- struct{}{}
 	return j.snap, nil
 }
@@ -405,7 +512,8 @@ func (m *Manager) emitDone(j *job) {
 	s := j.get()
 	ev := runlog.JobDoneEvent(s.ID, s.Key, string(s.State), s.Cause, s.Cached,
 		s.Instructions, s.Cycles, s.CPI)
-	m.journal.Emit(ev)
+	m.emit(ev, obs.Rec{Msg: runlog.EvJobDone, Tenant: s.Tenant,
+		State: string(s.State), Cached: s.Cached})
 	j.bus.Publish(ev)
 }
 
@@ -488,7 +596,9 @@ func (m *Manager) runJob(j *job) {
 	}
 
 	m.setState(j, StateRunning, "")
-	m.journal.Emit(runlog.JobStartEvent(snap.ID, snap.Key, snap.Requeues))
+	m.emit(runlog.JobStartEvent(snap.ID, snap.Key, snap.Requeues),
+		obs.Rec{Msg: runlog.EvJobStart})
+	started := m.cfg.Clock()
 
 	ctx := m.root
 	if snap.Spec.DeadlineMS > 0 {
@@ -528,6 +638,13 @@ func (m *Manager) runJob(j *job) {
 		m.setState(j, StateFailed, runErr.Error())
 	}
 	m.emitDone(j)
+	m.cfg.Metrics.Observe("vaxd_job_duration_seconds", snap.Tenant,
+		m.cfg.Clock().Sub(started).Seconds())
+	// A twin job may have won the commit while this one ran; surface the
+	// benign race in the journal and counters.
+	for _, key := range m.store.TakeCommitRaces() {
+		m.emit(runlog.CommitRaceEvent(key), obs.Rec{Msg: runlog.EvCommitRace})
+	}
 }
 
 // bundleMeta is the bundle's machine-readable summary. Deliberately
@@ -568,6 +685,10 @@ func (m *Manager) runSingle(ctx context.Context, j *job, stage *castore.Staging)
 	cfg.Resume = true // a requeued job resumes its previous life's checkpoint
 	cfg.Ledger = led
 	cfg.Events = j.bus
+	// The bundle's causal trace. The trace ID is the content address, so
+	// identical submissions produce byte-identical trace files.
+	rec := obs.NewRecorder(snap.Key)
+	cfg.Trace = rec
 
 	res, runErr := m.cfg.Runner(ctx, cfg)
 	if cerr := led.Close(); runErr == nil && cerr != nil {
@@ -589,6 +710,19 @@ func (m *Manager) runSingle(ctx context.Context, j *job, stage *castore.Staging)
 		return err
 	}
 	if err := stage.WriteFile("report.txt", []byte(res.Report())); err != nil {
+		return err
+	}
+	var traceBuf bytes.Buffer
+	if err := rec.WriteJSONL(&traceBuf); err != nil {
+		return err
+	}
+	// Strip wall placement (present when a profiler is attached) so the
+	// committed trace is a pure function of the measurement.
+	traceRows, err := obs.StripWall(traceBuf.Bytes())
+	if err != nil {
+		return err
+	}
+	if err := stage.WriteFile("trace.jsonl", traceRows); err != nil {
 		return err
 	}
 	meta := bundleMeta{
@@ -742,7 +876,7 @@ func (m *Manager) Drain(reason string) int {
 			requeued++
 		}
 	}
-	m.journal.Emit(runlog.DrainEvent(reason, requeued))
+	m.emit(runlog.DrainEvent(reason, requeued), obs.Rec{Msg: runlog.EvDrain})
 	return requeued
 }
 

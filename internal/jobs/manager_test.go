@@ -82,7 +82,7 @@ func TestSubmitRunsToDone(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Bundle: %v", err)
 	}
-	want := []string{"histogram.upch", "ledger.jsonl", "meta.json", "report.txt"}
+	want := []string{"histogram.upch", "ledger.jsonl", "meta.json", "report.txt", "trace.jsonl"}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("bundle = %v, want %v", names, want)
 	}

@@ -1,0 +1,158 @@
+package jobs
+
+// Observability integration: the manager's /metrics counters must
+// recompose exactly from its journal (obs.Validate), across cache
+// hits, quota and drain sheds, HTTP notes, and a process restart; and
+// the bundle's trace.jsonl must be a byte-deterministic, schema-valid
+// function of the submission.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vax780/internal/obs"
+)
+
+func journalBytes(t *testing.T, root string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "journal.jsonl"))
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	return data
+}
+
+func TestMetricsRecomposeFromJournal(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	met := obs.NewMetrics()
+	m := newManager(t, Config{
+		Store:   openStore(t, root),
+		Quota:   Quota{Rate: 1, Burst: 1},
+		Clock:   clock,
+		Metrics: met,
+	})
+
+	spec := tinySpec(1200)
+	spec.Tenant = "alice"
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.NoteHTTP(j.ID, "POST /jobs", "alice", 202, 1_500_000)
+	done := waitTerminal(t, m, j.ID)
+	if done.State != StateDone {
+		t.Fatalf("state = %s (%s)", done.State, done.Cause)
+	}
+
+	// Identical resubmission: a cache hit, journaled and counted.
+	hit, err := m.Submit(spec)
+	if err != nil || !hit.Cached {
+		t.Fatalf("resubmit: cached %v err %v", hit.Cached, err)
+	}
+	m.NoteHTTP(hit.ID, "POST /jobs", "alice", 202, 900_000)
+
+	// A new measurement with a dry bucket: shed for quota, and the
+	// rejected request is noted with its error status.
+	if _, err := m.Submit(func() Spec { s := tinySpec(1300); s.Tenant = "alice"; return s }()); err == nil {
+		t.Fatal("expected quota shed")
+	}
+	m.NoteHTTP("", "POST /jobs", "alice", 429, 200_000)
+
+	m.Drain("test")
+	if _, err := m.Submit(tinySpec(1400)); err == nil {
+		t.Fatal("expected draining shed")
+	}
+
+	live := met.Counters()
+	if err := obs.Validate(live, bytes.NewReader(journalBytes(t, root))); err != nil {
+		t.Fatalf("live counters do not recompose: %v", err)
+	}
+	checks := map[string]float64{
+		`vaxd_jobs_submitted_total{tenant="alice"}`: 2,
+		`vaxd_jobs_shed_total{reason="quota"}`:      1,
+		`vaxd_jobs_shed_total{reason="draining"}`:   1,
+		`vaxd_cache_hits_total`:                     1,
+		`vaxd_job_starts_total`:                     1,
+		`vaxd_jobs_done_total{state="done"}`:        2,
+		`vaxd_requests_total{tenant="alice"}`:       3,
+		`vaxd_request_errors_total{tenant="alice"}`: 1,
+		`vaxd_drains_total`:                         1,
+	}
+	for k, want := range checks {
+		if got := live[k]; got != want {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+	}
+
+	// A restarted manager replays the journal into a fresh registry:
+	// counters are cumulative across process lives and still recompose.
+	met2 := obs.NewMetrics()
+	m2 := newManager(t, Config{Store: openStore(t, root), Metrics: met2})
+	m2.Close()
+	live2 := met2.Counters()
+	for k, want := range checks {
+		if got := live2[k]; got != want {
+			t.Errorf("after restart: %s = %g, want %g", k, got, want)
+		}
+	}
+	if err := obs.Validate(live2, bytes.NewReader(journalBytes(t, root))); err != nil {
+		t.Fatalf("restarted counters do not recompose: %v", err)
+	}
+}
+
+// TestBundleTraceDeterministic proves the committed trace.jsonl is a
+// pure function of the submission: two independent stores produce
+// byte-identical, schema-valid traces whose span tree reaches the
+// control-store flows.
+func TestBundleTraceDeterministic(t *testing.T) {
+	run := func() []byte {
+		m := newManager(t, Config{})
+		j, err := m.Submit(tinySpec(1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := waitTerminal(t, m, j.ID)
+		if done.State != StateDone {
+			t.Fatalf("state = %s (%s)", done.State, done.Cause)
+		}
+		data, err := m.Store().ReadFile(done.Key, "trace.jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("bundle traces differ across independent stores")
+	}
+	if err := obs.ValidateSpans(a); err != nil {
+		t.Fatalf("bundle trace invalid: %v", err)
+	}
+	_, rootSpan, err := obs.ParseRows(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootSpan.Kind != "run" {
+		t.Fatalf("root kind = %s, want run", rootSpan.Kind)
+	}
+	kinds := map[string]int{}
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		kinds[s.Kind]++
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(rootSpan)
+	if kinds["workload"] == 0 || kinds["flow"] == 0 {
+		t.Fatalf("trace missing workload/flow spans: %v", kinds)
+	}
+}

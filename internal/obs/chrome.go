@@ -1,0 +1,86 @@
+package obs
+
+// Chrome trace-event export for obs span trees (load in Perfetto /
+// chrome://tracing). Unlike prof's exporter, an obs tree mixes two
+// timebases: service spans carry measured wall placements, run-side
+// spans carry simulated cycles and no wall clock at all (they must
+// stay byte-deterministic across -j). The layout rule: a wall-placed
+// span sits at its measured offset; a wall-free span is laid out
+// sequentially inside its parent's window with its cycle count as the
+// duration unit (one cycle renders as one microsecond). The result is
+// schematic for cycle spans — magnitudes and nesting are faithful,
+// absolute positions are not — and fully deterministic for a trace
+// with no wall data at all.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the tree as Chrome trace-event JSON ("X"
+// complete events, microseconds).
+func WriteChromeTrace(w io.Writer, trace string, root *Span) error {
+	memo := make(map[*Span]float64)
+	var durOf func(s *Span) float64
+	durOf = func(s *Span) float64 {
+		if d, ok := memo[s]; ok {
+			return d
+		}
+		var sum float64
+		for _, c := range s.children {
+			sum += durOf(c)
+		}
+		d := float64(1)
+		switch {
+		case s.DurNs > 0:
+			d = s.DurNs / 1e3
+		case float64(s.Cycles) > sum:
+			d = float64(s.Cycles)
+		case sum > 0:
+			d = sum
+		}
+		memo[s] = d
+		return d
+	}
+
+	var events []chromeEvent
+	var layout func(s *Span, ts float64)
+	layout = func(s *Span, ts float64) {
+		if s.DurNs > 0 {
+			ts = s.StartNs / 1e3
+		}
+		args := make(map[string]any, len(s.attrs)+1)
+		args["trace"] = trace
+		for k, v := range s.attrs {
+			args[k] = v
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Kind, Ph: "X",
+			Ts: ts, Dur: durOf(s), Pid: 1, Tid: 1,
+			Args: args,
+		})
+		cur := ts
+		for _, c := range s.children {
+			layout(c, cur)
+			cur += durOf(c)
+		}
+	}
+	if root != nil {
+		layout(root, 0)
+	}
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	return json.NewEncoder(w).Encode(out)
+}

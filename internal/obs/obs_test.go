@@ -1,0 +1,419 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"vax780/internal/runlog"
+)
+
+// sampleTree builds a small run-shaped trace exercising every run-side
+// span kind.
+func sampleTree() (*Recorder, *Span) {
+	rec := NewRecorder("k-0123")
+	root := rec.Begin("run", "TIMESHARING-A,TIMESHARING-A")
+	root.Attr("config", "00000000deadbeef").Attr("workloads", 2).
+		Attr("instructions", 1000).Attr("retries", 1).Attr("resumed", 1)
+	root.SetCycles(21900)
+	rs := root.Child("resume", "resume")
+	rs.Attr("restored", 1)
+	for i := 0; i < 2; i++ {
+		ws := root.Child("workload", "TIMESHARING-A")
+		ws.Attr("index", i).Attr("instructions", 1000).Attr("cpi", 10.95)
+		ws.SetCycles(10950)
+		fs := ws.Child("flow", "IRD")
+		fs.Attr("entry", 16).Attr("share", 0.41)
+		fs.SetCycles(4000)
+		cs := ws.Child("checkpoint", "checkpoint")
+		cs.Attr("records", i+1)
+	}
+	rt := root.Children()[1].Child("retry", "retries")
+	rt.Attr("count", 1)
+	return rec, root
+}
+
+func TestPathIDDeterministic(t *testing.T) {
+	a := PathID("trace-1", "run/0:wl")
+	if a != PathID("trace-1", "run/0:wl") {
+		t.Fatal("PathID not stable")
+	}
+	if a == PathID("trace-2", "run/0:wl") || a == PathID("trace-1", "run/1:wl") {
+		t.Fatal("PathID does not separate trace/path")
+	}
+	if len(a) != 16 {
+		t.Fatalf("PathID %q not 16 hex digits", a)
+	}
+}
+
+func TestWriteRowsValidatesAndRoundTrips(t *testing.T) {
+	rec, _ := sampleTree()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpans(buf.Bytes()); err != nil {
+		t.Fatalf("sample trace fails its own schema: %v", err)
+	}
+	// Duplicate workload names must still produce distinct IDs.
+	trace, root, err := ParseRows(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != "k-0123" {
+		t.Fatalf("trace = %q", trace)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteRows(&buf2, trace, root); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("ParseRows/WriteRows does not round-trip:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+	// The export is repeatable byte for byte.
+	var buf3 bytes.Buffer
+	if err := rec.WriteJSONL(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf3.Bytes()) {
+		t.Fatal("re-export changed bytes")
+	}
+}
+
+func TestValidateSpansRejects(t *testing.T) {
+	rec, _ := sampleTree()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+
+	mutate := func(name string, fn func(rows []map[string]any)) {
+		rows := make([]map[string]any, len(lines))
+		for i, l := range lines {
+			if err := json.Unmarshal([]byte(l), &rows[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fn(rows)
+		var out bytes.Buffer
+		for _, r := range rows {
+			enc, _ := json.Marshal(r)
+			out.Write(append(enc, '\n'))
+		}
+		if err := ValidateSpans(out.Bytes()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	mutate("id not derived from path", func(rows []map[string]any) {
+		rows[2]["id"] = "0000000000000000"
+	})
+	mutate("orphan parent", func(rows []map[string]any) {
+		rows[2]["parent"] = PathID("k-0123", "nowhere")
+	})
+	mutate("unknown kind", func(rows []map[string]any) {
+		rows[0]["kind"] = "mystery"
+	})
+	mutate("extra attr", func(rows []map[string]any) {
+		attrsOf(t, rows[1])["bogus"] = 1
+	})
+	mutate("missing required attr", func(rows []map[string]any) {
+		delete(attrsOf(t, rows[1]), "restored")
+	})
+	mutate("second trace id", func(rows []map[string]any) {
+		rows[3]["trace"] = "other"
+		rows[3]["id"] = PathID("other", rows[3]["path"].(string))
+	})
+	mutate("key outside envelope", func(rows []map[string]any) {
+		rows[0]["wall"] = 5
+	})
+	if err := ValidateSpans(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+// attrsOf digs the attrs map out of a decoded row.
+func attrsOf(t *testing.T, row map[string]any) map[string]any {
+	t.Helper()
+	m, ok := row["attrs"].(map[string]any)
+	if !ok {
+		t.Fatal("row has no attrs")
+	}
+	return m
+}
+
+func TestStripWall(t *testing.T) {
+	rec, root := sampleTree()
+	root.Children()[1].SetWall(1e6, 2e6) // profiler splice on one workload
+	var walled bytes.Buffer
+	if err := rec.WriteJSONL(&walled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(walled.Bytes(), []byte("start_ns")) {
+		t.Fatal("wall placement not exported")
+	}
+	stripped, err := StripWall(walled.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(stripped, []byte("start_ns")) || bytes.Contains(stripped, []byte("dur_ns")) {
+		t.Fatal("StripWall left wall keys")
+	}
+	// A wall-free export strips to the same canonical bytes.
+	rec2, _ := sampleTree()
+	var plain bytes.Buffer
+	if err := rec2.WriteJSONL(&plain); err != nil {
+		t.Fatal(err)
+	}
+	stripped2, err := StripWall(plain.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripped, stripped2) {
+		t.Fatalf("wall placement leaked into stripped bytes:\n%s\nvs\n%s", stripped, stripped2)
+	}
+	if err := ValidateSpans(stripped); err != nil {
+		t.Fatalf("stripped trace fails schema: %v", err)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	rec, root := sampleTree()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, rec.TraceID(), root); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, rec.TraceID(), root); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Chrome export not deterministic")
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Flatten(rec.TraceID(), root)); len(out.TraceEvents) != want {
+		t.Fatalf("chrome events %d, spans %d", len(out.TraceEvents), want)
+	}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 {
+			t.Fatalf("bad chrome event %+v", ev)
+		}
+	}
+}
+
+func TestNilHooksAreSafe(t *testing.T) {
+	var r *Recorder
+	s := r.Begin("run", "x")
+	s.Child("workload", "y").Attr("k", 1).SetCycles(5).SetWall(1, 2)
+	if r.TraceID() != "" || r.Root() != nil || s.Children() != nil || s.AttrMap() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+	var m *Metrics
+	m.Count(Rec{Msg: runlog.EvJobQueued})
+	m.Observe("vaxd_job_duration_seconds", "t", 1)
+	m.Gauge("g", "h", func() float64 { return 0 })
+	if m.Counters() != nil {
+		t.Fatal("nil metrics returned counters")
+	}
+	if err := m.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// journalLine fabricates one journal record the way the manager's
+// slog handler would render it.
+func journalLine(tm string, ev runlog.Event) string {
+	rec := map[string]any{"time": tm, "level": "INFO", "msg": ev.Type}
+	for _, a := range ev.Attrs {
+		rec[a.Key] = attrVal(a.Value)
+	}
+	b, _ := json.Marshal(rec)
+	return string(b)
+}
+
+// attrVal renders a slog value json-marshalable, groups as objects —
+// matching the slog JSON handler's wire form.
+func attrVal(v slog.Value) any {
+	v = v.Resolve()
+	if v.Kind() == slog.KindGroup {
+		m := map[string]any{}
+		for _, a := range v.Group() {
+			m[a.Key] = attrVal(a.Value)
+		}
+		return m
+	}
+	return v.Any()
+}
+
+func sampleJournal() string {
+	t := func(ms int) string { return fmt.Sprintf("2026-08-08T10:00:%02d.%03d000000Z", ms/1000, ms%1000) }
+	lines := []string{
+		journalLine(t(0), runlog.JobQueuedEvent("j-0001", "k-0123", "alice", 30000, map[string]any{"instructions": 1000})),
+		journalLine(t(1), runlog.JobHTTPEvent("j-0001", "POST /jobs", "alice", 202, 1e6)),
+		journalLine(t(2), runlog.JobStartEvent("j-0001", "k-0123", 0)),
+		journalLine(t(400), runlog.JobDoneEvent("j-0001", "k-0123", "evicted", "drain", false, 0, 0, 0)),
+		journalLine(t(401), runlog.DrainEvent("SIGTERM", 1)),
+		journalLine(t(500), runlog.JobStartEvent("j-0001", "k-0123", 1)),
+		journalLine(t(900), runlog.JobDoneEvent("j-0001", "k-0123", "done", "", false, 1000, 21900, 10.95)),
+		journalLine(t(950), runlog.JobShedEvent("bob", "queue-full")),
+		journalLine(t(951), runlog.JobHTTPEvent("", "POST /jobs", "bob", 429, 0.5e6)),
+		journalLine(t(960), runlog.CommitRaceEvent("k-0123")),
+		journalLine(t(970), runlog.JournalTornEvent(1)),
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestRecomposeAndValidate(t *testing.T) {
+	journal := sampleJournal()
+	m := NewMetrics()
+	for _, line := range strings.Split(strings.TrimSpace(journal), "\n") {
+		if r, ok := ParseRec([]byte(line)); ok {
+			m.Count(r)
+		}
+	}
+	if err := Validate(m.Counters(), strings.NewReader(journal)); err != nil {
+		t.Fatalf("live counters fed from the same journal do not validate: %v", err)
+	}
+	got := m.Counters()
+	for key, want := range map[string]float64{
+		`vaxd_jobs_submitted_total{tenant="alice"}`: 1,
+		`vaxd_job_starts_total`:                     2,
+		`vaxd_jobs_done_total{state="evicted"}`:     1,
+		`vaxd_jobs_done_total{state="done"}`:        1,
+		`vaxd_jobs_shed_total{reason="queue-full"}`: 1,
+		`vaxd_requests_total{tenant="alice"}`:       1,
+		`vaxd_requests_total{tenant="bob"}`:         1,
+		`vaxd_request_errors_total{tenant="bob"}`:   1,
+		`vaxd_drains_total`:                         1,
+		`vaxd_castore_commit_races_total`:           1,
+		`vaxd_castore_torn_tails_total`:             1,
+	} {
+		if got[key] != want {
+			t.Errorf("%s = %g, want %g", key, got[key], want)
+		}
+	}
+	// A counter moved without journal support must be caught...
+	m.Count(Rec{Msg: runlog.EvJobShed, Tenant: "bob", Reason: "quota"})
+	if err := Validate(m.Counters(), strings.NewReader(journal)); err == nil {
+		t.Fatal("Validate missed an unsupported live counter")
+	}
+	// ...and so must a journaled event that was never counted.
+	m2 := NewMetrics()
+	if err := Validate(m2.Counters(), strings.NewReader(journal)); err == nil {
+		t.Fatal("Validate missed missing live counters")
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	m := NewMetrics()
+	m.Count(Rec{Msg: runlog.EvJobQueued, Tenant: "alice"})
+	m.Count(Rec{Msg: runlog.EvJobQueued, Tenant: "bob"})
+	m.Observe("vaxd_request_duration_seconds", "alice", 0.002)
+	m.Observe("vaxd_request_duration_seconds", "alice", 120)
+	m.Gauge("vaxd_queue_depth", "jobs waiting", func() float64 { return 3 })
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE vaxd_jobs_submitted_total counter",
+		`vaxd_jobs_submitted_total{tenant="alice"} 1`,
+		`vaxd_jobs_submitted_total{tenant="bob"} 1`,
+		"# TYPE vaxd_request_duration_seconds histogram",
+		`vaxd_request_duration_seconds_bucket{tenant="alice",le="0.005"} 1`,
+		`vaxd_request_duration_seconds_bucket{tenant="alice",le="+Inf"} 2`,
+		`vaxd_request_duration_seconds_count{tenant="alice"} 2`,
+		"# TYPE vaxd_queue_depth gauge",
+		"vaxd_queue_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering is deterministic.
+	var buf2 bytes.Buffer
+	if err := m.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("Prometheus rendering not deterministic")
+	}
+}
+
+func TestAssembleJob(t *testing.T) {
+	// The bundle's run trace, as runSingle would stage it.
+	rec, _ := sampleTree()
+	var bundle bytes.Buffer
+	if err := rec.WriteJSONL(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	trace, root, err := AssembleJob(strings.NewReader(sampleJournal()), "j-0001", bundle.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != "job-j-0001" {
+		t.Fatalf("trace = %q", trace)
+	}
+	var out bytes.Buffer
+	if err := WriteRows(&out, trace, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpans(out.Bytes()); err != nil {
+		t.Fatalf("assembled trace fails schema: %v\n%s", err, out.Bytes())
+	}
+	kinds := map[string]int{}
+	for _, row := range Flatten(trace, root) {
+		kinds[row.Kind]++
+	}
+	// Two lives: two queue waits, two attempts (evicted + done), the
+	// admission http span, and the spliced run subtree.
+	for kind, want := range map[string]int{
+		"job": 1, "http": 1, "queue": 2, "attempt": 2,
+		"run": 1, "resume": 1, "workload": 2, "flow": 2, "checkpoint": 2, "retry": 1,
+	} {
+		if kinds[kind] != want {
+			t.Errorf("%s spans = %d, want %d (kinds: %v)", kind, kinds[kind], want, kinds)
+		}
+	}
+	if root.AttrMap()["state"] != "done" || root.AttrMap()["requeues"] != 1 {
+		t.Fatalf("job span attrs: %v", root.AttrMap())
+	}
+	if root.StartNs != 0 || root.DurNs <= 0 {
+		t.Fatalf("job span not normalized: start %g dur %g", root.StartNs, root.DurNs)
+	}
+	// Chrome form of the assembled trace must also encode.
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, trace, root); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Fatal("assembled chrome trace invalid")
+	}
+
+	// A job with no events is an error.
+	if _, _, err := AssembleJob(strings.NewReader(sampleJournal()), "j-9999", nil); err == nil {
+		t.Fatal("AssembleJob accepted an unknown job")
+	}
+	// A cached hit (queued + done, no start) still assembles.
+	cached := journalLine("2026-08-08T11:00:00Z", runlog.JobQueuedEvent("j-0002", "k-0123", "alice", 0, nil)) + "\n" +
+		journalLine("2026-08-08T11:00:00.001Z", runlog.JobDoneEvent("j-0002", "k-0123", "done", "", true, 1000, 21900, 10.95)) + "\n"
+	_, cr, err := AssembleJob(strings.NewReader(cached), "j-0002", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.AttrMap()["cached"] != true || len(cr.Children()) != 0 {
+		t.Fatalf("cached job span: attrs %v, %d children", cr.AttrMap(), len(cr.Children()))
+	}
+}

@@ -262,6 +262,53 @@ func DrainEvent(reason string, requeued int) Event {
 	}}
 }
 
+// JobHTTPEvent records one settled POST /jobs request at the HTTP
+// edge: the job it produced (empty when the request never made a job,
+// e.g. a malformed spec), the route, the status code written, and the
+// tenant. The request duration is wall-clock data and rides in the
+// host group so StripWallClock removes it. Poll/fetch GETs are
+// deliberately not journaled: the journal is fsynced per record and
+// clients poll every few milliseconds.
+func JobHTTPEvent(id, route, tenant string, status int, durNs int64) Event {
+	return Event{Type: EvJobHTTP, Attrs: []slog.Attr{
+		slog.String("id", id),
+		slog.String("route", route),
+		slog.String("tenant", tenant),
+		slog.Int("status", status),
+		slog.Attr{Key: "host", Value: slog.GroupValue(slog.Int64("dur_ns", durNs))},
+	}}
+}
+
+// JobShedEvent records a submission rejected at admission — queue
+// full, quota exhausted, or the daemon draining. Sheds were previously
+// invisible in the journal, which made the 429/503 counters on
+// /metrics unverifiable.
+func JobShedEvent(tenant, reason string) Event {
+	return Event{Type: EvJobShed, Level: slog.LevelWarn, Attrs: []slog.Attr{
+		slog.String("tenant", tenant),
+		slog.String("reason", reason),
+	}}
+}
+
+// CommitRaceEvent records a first-writer-wins commit race in the
+// content-addressed store: a finished staging directory was discarded
+// because an identical bundle was already committed under key.
+func CommitRaceEvent(key string) Event {
+	return Event{Type: EvCommitRace, Attrs: []slog.Attr{
+		slog.String("key", key),
+	}}
+}
+
+// JournalTornEvent records a torn journal tail repaired at startup:
+// records partial lines truncated (crash mid-append). The repair runs
+// before the journal reopens for append, so this event is itself the
+// first record of the new epoch and the recomposed counter stays exact.
+func JournalTornEvent(records int) Event {
+	return Event{Type: EvJournalTorn, Level: slog.LevelWarn, Attrs: []slog.Attr{
+		slog.Int("records", records),
+	}}
+}
+
 // hexHash renders a configuration hash the way checkpoint errors do.
 func hexHash(h uint64) string {
 	const digits = "0123456789abcdef"

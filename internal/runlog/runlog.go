@@ -64,6 +64,15 @@ const (
 	EvJobDone   = "job-done"
 	EvDrain     = "drain"
 
+	// Service observability events: the HTTP edge, shed admissions, and
+	// the castore's previously-silent recoveries. These exist so every
+	// counter vaxd exports on /metrics recomposes exactly from the
+	// journal (obs.Validate); none of them carries recovery state.
+	EvJobHTTP     = "job-http"
+	EvJobShed     = "job-shed"
+	EvCommitRace  = "commit-race"
+	EvJournalTorn = "journal-torn"
+
 	// EvProgress is bus-only: periodic fleet snapshots are wall-clock
 	// data and never enter the JSONL file.
 	EvProgress = "progress"

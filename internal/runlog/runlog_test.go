@@ -42,6 +42,10 @@ func sampleEvents() []Event {
 		JobStartEvent("j-0001", "a1b2c3d4e5f60789", 1),
 		JobDoneEvent("j-0001", "a1b2c3d4e5f60789", "done", "", false, 1000, 10949, 10.9),
 		DrainEvent("SIGTERM", 2),
+		JobHTTPEvent("j-0001", "POST /jobs", "alice", 202, 1500000),
+		JobShedEvent("bob", "queue-full"),
+		CommitRaceEvent("a1b2c3d4e5f60789"),
+		JournalTornEvent(1),
 	}
 }
 

@@ -91,6 +91,21 @@ func Schema() map[string]EventSchema {
 		EvDrain: {
 			Required: []string{"reason", "requeued"},
 		},
+		EvJobHTTP: {
+			Required: []string{"id", "route", "tenant", "status"},
+			// The request duration is wall-clock data; StripWallClock
+			// removes the host group, so it cannot be required.
+			Optional: []string{"host"},
+		},
+		EvJobShed: {
+			Required: []string{"tenant", "reason"},
+		},
+		EvCommitRace: {
+			Required: []string{"key"},
+		},
+		EvJournalTorn: {
+			Required: []string{"records"},
+		},
 	}
 }
 

@@ -8,7 +8,10 @@ import (
 	"bufio"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
@@ -97,5 +100,84 @@ func TestSSEMuxDetach(t *testing.T) {
 	frames := readFrames(t, bufio.NewReader(resp.Body), 1)
 	if frames[0].Data["workload"] != "STILL-LIVE" {
 		t.Fatalf("pre-detach stream got %+v", frames[0])
+	}
+}
+
+// TestSSEMuxSubscriberChurnNoLeak hammers one bus with subscribers
+// that connect, read a frame, and disconnect mid-stream while a
+// publisher keeps the bus busy. Every subscription and its handler
+// goroutine must be reclaimed: the bus's subscriber count returns to
+// zero and the process goroutine count returns to its baseline. Run
+// under -race (the CI race job covers this package) it also proves the
+// subscribe/publish/cancel paths are data-race free.
+func TestSSEMuxSubscriberChurnNoLeak(t *testing.T) {
+	mux := telemetry.NewSSEMux()
+	bus := runlog.NewBus()
+	mux.Attach("job-a", bus)
+	srv := muxServer(t, mux)
+
+	baseline := runtime.NumGoroutine()
+
+	stop := make(chan struct{})
+	var pub sync.WaitGroup
+	pub.Add(1)
+	go func() {
+		defer pub.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				bus.Publish(runlog.WlStartEvent("CHURN", 0, 100))
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	const clients, rounds = 8, 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Get(srv.URL + "?id=job-a")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Read one frame so the stream is provably live, then
+				// abandon it mid-job.
+				buf := make([]byte, 256)
+				if _, err := resp.Body.Read(buf); err != nil {
+					t.Errorf("round %d: %v", i, err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pub.Wait()
+
+	// Disconnected subscribers unwind asynchronously (the handler sees
+	// the closed connection at its next write or context poll).
+	deadline := time.Now().Add(30 * time.Second)
+	for bus.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bus still has %d subscribers after churn", bus.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

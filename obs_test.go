@@ -1,0 +1,205 @@
+package vax780
+
+// Trace-layer acceptance tests for the root package: RunConfig.Trace
+// must be as deterministic as every other artifact (byte-identical
+// JSONL across Parallelism after StripWall), the checkpoint/resume
+// path must show up as spans so a vaxd job's kill-and-restart trace
+// stays connected, and the profiler splice must stay strictly additive
+// (wall placement present with a Profiler, gone after StripWall, the
+// remaining bytes identical to an unprofiled run).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"vax780/internal/obs"
+)
+
+// runTraced executes cfg with a fresh recorder under the given trace
+// ID and returns the wall-stripped JSONL export.
+func runTraced(t *testing.T, cfg RunConfig, trace string) []byte {
+	t.Helper()
+	rec := obs.NewRecorder(trace)
+	cfg.Trace = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := obs.StripWall(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stripped
+}
+
+// kindCounts parses a JSONL trace and tallies spans by kind.
+func kindCounts(t *testing.T, rows []byte) map[string]int {
+	t.Helper()
+	_, root, err := obs.ParseRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		counts[s.Kind]++
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return counts
+}
+
+// TestTraceBitExactAcrossParallelism: the exported span tree is a pure
+// function of the simulation — the same trace ID must produce the same
+// bytes at every worker count, with no cross-worker ID coordination.
+func TestTraceBitExactAcrossParallelism(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 1500,
+		Workloads:    []WorkloadID{TimesharingA, TimesharingB, RTEScientific, RTECommercial},
+	}
+	scfg := cfg
+	scfg.Parallelism = 1
+	baseline := runTraced(t, scfg, "trace-det")
+	if err := obs.ValidateSpans(baseline); err != nil {
+		t.Fatalf("baseline trace schema: %v", err)
+	}
+	counts := kindCounts(t, baseline)
+	if counts["run"] != 1 || counts["workload"] != len(cfg.Workloads) || counts["flow"] == 0 {
+		t.Fatalf("baseline span kinds = %v, want 1 run, %d workloads, >0 flows",
+			counts, len(cfg.Workloads))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("j=%d", workers), func(t *testing.T) {
+			pcfg := cfg
+			pcfg.Parallelism = workers
+			got := runTraced(t, pcfg, "trace-det")
+			if !bytes.Equal(baseline, got) {
+				t.Errorf("trace JSONL differs from sequential run (%d vs %d bytes)",
+					len(baseline), len(got))
+			}
+		})
+	}
+}
+
+// TestTraceCheckpointResumeSpans kills a run after one workload (the
+// haltAfter seam), resumes it from the checkpoint, and requires the
+// causal story in the spans: the halted trace carries the one
+// completed workload with its checkpoint span, and the resumed trace
+// opens with a resume span before the remaining workloads — the link
+// /trace/{jobid} relies on to connect a job across a vaxd restart.
+func TestTraceCheckpointResumeSpans(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 1200,
+		Workloads:    []WorkloadID{TimesharingA, RTEEducational, RTECommercial},
+		Checkpoint:   filepath.Join(t.TempDir(), "run.ckpt"),
+	}
+
+	killed := cfg
+	killed.haltAfter = 1
+	rec := obs.NewRecorder("trace-ckpt")
+	killed.Trace = rec
+	if _, err := Run(killed); !errors.Is(err, errRunHalted) {
+		t.Fatalf("halted run: err = %v, want errRunHalted", err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	halted, err := obs.StripWall(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateSpans(halted); err != nil {
+		t.Fatalf("halted trace schema: %v", err)
+	}
+	hc := kindCounts(t, halted)
+	if hc["workload"] != 1 || hc["checkpoint"] != 1 || hc["resume"] != 0 {
+		t.Fatalf("halted span kinds = %v, want 1 workload, 1 checkpoint, 0 resumes", hc)
+	}
+
+	resumed := cfg
+	resumed.Resume = true
+	resumed.Parallelism = 2
+	got := runTraced(t, resumed, "trace-ckpt")
+	if err := obs.ValidateSpans(got); err != nil {
+		t.Fatalf("resumed trace schema: %v", err)
+	}
+	rc := kindCounts(t, got)
+	if rc["resume"] != 1 {
+		t.Errorf("resumed trace has %d resume spans, want 1", rc["resume"])
+	}
+	// Only the two outstanding workloads re-execute; the restored one
+	// rides in the resume span's restored count, not as a workload.
+	if rc["workload"] != 2 || rc["checkpoint"] != 2 {
+		t.Errorf("resumed span kinds = %v, want 2 workloads each with a checkpoint", rc)
+	}
+	_, root, err := obs.ParseRows(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := root.Children()[0]; res.Kind != "resume" {
+		t.Errorf("first child of run = %s span, want resume (causal order)", res.Kind)
+	} else if n, ok := res.AttrMap()["restored"].(float64); !ok || n != 1 {
+		t.Errorf("resume restored attr = %v, want 1", res.AttrMap()["restored"])
+	}
+}
+
+// TestTraceProfilerWallStrip: with a Profiler attached the workload
+// spans gain wall placements (the profiler splice), and StripWall
+// removes exactly that — the stripped bytes must equal the unprofiled
+// run's, proving the splice is additive and never leaks host time into
+// the deterministic export.
+func TestTraceProfilerWallStrip(t *testing.T) {
+	cfg := RunConfig{
+		Instructions: 1500,
+		Workloads:    []WorkloadID{TimesharingA, RTEScientific},
+	}
+	plain := runTraced(t, cfg, "trace-wall")
+
+	prof := cfg
+	prof.Profiler = &Profiler{}
+	rec := obs.NewRecorder("trace-wall")
+	prof.Trace = rec
+	if _, err := Run(prof); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"start_ns"`)) {
+		t.Error("profiled trace carries no wall placement; the splice exercises nothing")
+	}
+	stripped, err := obs.StripWall(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(stripped, []byte(`"start_ns"`)) {
+		t.Error("StripWall left start_ns in the export")
+	}
+	if !bytes.Equal(plain, stripped) {
+		t.Errorf("stripped profiled trace differs from unprofiled trace (%d vs %d bytes)",
+			len(plain), len(stripped))
+	}
+}
+
+// TestTraceNilRecorderSafe: tracing off is the zero value — a run with
+// no recorder must not panic on any span call site, and a nil recorder
+// exports nothing.
+func TestTraceNilRecorderSafe(t *testing.T) {
+	if _, err := Run(RunConfig{
+		Instructions: 800,
+		Workloads:    []WorkloadID{TimesharingA},
+		Checkpoint:   filepath.Join(t.TempDir(), "n.ckpt"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"vax780/internal/faults"
 	"vax780/internal/machine"
 	"vax780/internal/mem"
+	"vax780/internal/obs"
+	"vax780/internal/prof"
 	"vax780/internal/runlog"
 	"vax780/internal/telemetry"
 	"vax780/internal/tracesim"
@@ -191,6 +193,19 @@ type RunConfig struct {
 	// during, and after the job's run. Outside the repository the field
 	// is unusable (runlog is an internal package) and should be left nil.
 	Events *runlog.Bus
+
+	// Trace, when non-nil, records the run as a causal span tree: a run
+	// root, a resume span when a checkpoint was folded in, and per
+	// workload a span carrying its cycles/CPI with retry, checkpoint,
+	// and hot-flow children (exact bucket attribution via the profiler's
+	// flow index, so the spans decompose the same way Table 8 does).
+	// The recorder's JSONL export is byte-identical across Parallelism
+	// settings; with a Profiler also attached, workload spans gain wall
+	// placements (removed by obs.StripWall). This is how a vaxd job's
+	// bundle gets its trace.jsonl and how /trace/{jobid} splices the
+	// run onto the service spans. Like Events, the field is internal
+	// plumbing (internal/obs) and unusable outside the repository.
+	Trace *obs.Recorder
 
 	// Profiler, when non-nil, attaches the sampling host-time profiler:
 	// every stride-th cycle's micro-PC is sampled (one nil test per
@@ -420,6 +435,12 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Results, error) {
 	if cfg.Telemetry != nil {
 		s.tel = cfg.Telemetry.ensure()
 	}
+	if cfg.Trace != nil {
+		s.span = cfg.Trace.Begin("run", workloadsLabel(cfg.Workloads)).
+			Attr("config", fmt.Sprintf("%016x", s.ckptHash)).
+			Attr("workloads", len(cfg.Workloads)).
+			Attr("instructions", cfg.Instructions)
+	}
 	if cfg.observed() {
 		s.led = runlog.NewOn(cfg.Ledger, cfg.Events)
 		var seed uint64
@@ -457,6 +478,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Results, error) {
 		s.completed = len(s.recs)
 		if len(s.recs) > 0 {
 			s.led.Emit(runlog.ResumeEvent(cfg.Checkpoint, len(s.recs)))
+			s.span.Child("resume", "resume").Attr("restored", len(s.recs))
 		}
 	}
 
@@ -516,7 +538,13 @@ type runState struct {
 	led     *runlog.Ledger
 	fleet   *fleet
 	tracker *runlog.Tracker
+	span    *obs.Span // trace root (nil without cfg.Trace)
 }
+
+// traceMaxFlows caps the hot-flow children recorded under each
+// workload span: enough to show what dominated, small enough that a
+// sweep's traces stay proportional to its ledger.
+const traceMaxFlows = 5
 
 // runSequential is the in-order execution path (Parallelism <= 1, or
 // nothing left to parallelize).
@@ -587,6 +615,32 @@ func (s *runState) merge(id WorkloadID, one *oneRun, retries int, plan *faults.P
 	}
 	s.fleet.noteDone(one.machine.Stats.Instrs, one.machine.E.Now)
 
+	// Trace: one workload span, with the flows that dominated it as
+	// children. Exact bucket attribution (prof.Exact over this
+	// workload's own histogram) keeps the span tree a pure function of
+	// the simulation, so the export is byte-identical across -j; the
+	// wall placement is additive and only present under a Profiler.
+	ws := s.span.Child("workload", id.String()).
+		Attr("index", s.completed).
+		Attr("instructions", one.machine.Stats.Instrs).
+		Attr("cpi", one.machine.CPI()).
+		SetCycles(one.machine.E.Now)
+	if retries > 0 {
+		ws.Child("retry", "retries").Attr("count", retries)
+	}
+	if s.span != nil {
+		p := prof.Exact(machineROM(), flowIndex(), one.hist, nil)
+		for _, f := range p.Top(traceMaxFlows) {
+			ws.Child("flow", f.Name).
+				Attr("entry", int(f.Entry)).
+				Attr("share", f.Share).
+				SetCycles(f.Cycles)
+		}
+		if s.cfg.Profiler != nil && one.profEnd > one.profStart {
+			ws.SetWall(one.profStart, one.profEnd-one.profStart)
+		}
+	}
+
 	if s.cfg.Checkpoint != "" {
 		s.recs = append(s.recs, ckptRecord{
 			Workload:   id,
@@ -600,6 +654,7 @@ func (s *runState) merge(id WorkloadID, one *oneRun, retries int, plan *faults.P
 			return fmt.Errorf("vax780: writing checkpoint: %w", err)
 		}
 		s.led.Emit(runlog.CheckpointEvent(s.cfg.Checkpoint, len(s.recs)))
+		ws.Child("checkpoint", "checkpoint").Attr("records", len(s.recs))
 	}
 	s.completed++
 	if s.cfg.haltAfter > 0 && s.completed >= s.cfg.haltAfter {
@@ -634,6 +689,15 @@ func (s *runState) finish() (*Results, error) {
 				map[string]any{"wall_ns": p.WallNs}))
 		}
 		profAttrs = profSummaryAttrs(p)
+	}
+	if s.span != nil {
+		var cycles uint64
+		for _, w := range s.res.PerWorkload {
+			cycles += w.Cycles
+		}
+		s.span.SetCycles(cycles).
+			Attr("retries", s.res.Retries).
+			Attr("resumed", s.res.Resumed)
 	}
 	if s.led != nil {
 		var instrs, cycles uint64
